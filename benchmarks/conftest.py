@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper at the scale
+selected by the ``REPRO_PROFILE`` / ``REPRO_FULL`` environment variables
+(default: the ``bench`` profile, which preserves the qualitative shape of
+the paper's results at laptop-friendly sizes).  The rendered text output of
+every experiment is written to ``benchmarks/results/`` so the numbers can be
+inspected after the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import get_profile  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The scale profile shared by every benchmark."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where rendered experiment outputs are stored."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered text output to the results directory."""
+
+    def _record(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record

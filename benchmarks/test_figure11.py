@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 11: fixed-ℓ learning vs. adaptive learning.
+
+The paper sweeps the fixed number ℓ of learning neighbours on ASF and CA and
+compares against the adaptive Algorithm 3.  The fixed-ℓ curve is U-shaped
+(overfitting at small ℓ, underfitting at large ℓ) and adaptive learning sits
+near its minimum without having to choose ℓ by hand.
+"""
+
+import numpy as np
+
+from repro.experiments import figure11
+
+
+def test_figure11_fixed_vs_adaptive(benchmark, profile, record_result):
+    results = benchmark.pedantic(
+        lambda: figure11(datasets=("asf", "ca"), profile=profile), rounds=1, iterations=1
+    )
+    for dataset, result in results.items():
+        record_result(f"figure11_{dataset}", result.render())
+
+    for dataset, result in results.items():
+        fixed = np.asarray(result.rms_series("Fixed l"))
+        adaptive = np.asarray(result.rms_series("Adaptive"))
+        assert np.isfinite(fixed).all() and np.isfinite(adaptive).all()
+        # Adaptive learning is one value (a horizontal reference line).
+        assert len(set(np.round(adaptive, 12))) == 1
+        # Adaptive is never worse than the *worst* fixed choice, and is close
+        # to the best fixed choice (within 50% on these scaled-down runs; the
+        # paper reports it essentially matching the best fixed ℓ).
+        assert adaptive[0] <= fixed.max()
+        assert adaptive[0] <= fixed.min() * 1.5, dataset
+
+    # The U-shape on the heterogeneous ASF data: the best fixed ℓ is strictly
+    # better than the largest swept ℓ (underfitting) for this dataset.
+    asf_fixed = np.asarray(results["asf"].rms_series("Fixed l"))
+    assert asf_fixed.min() < asf_fixed[-1]

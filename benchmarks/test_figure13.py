@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 13: the accuracy/efficiency trade-off of stepping h.
+
+Larger stepping h evaluates fewer candidate ℓ values: the determination time
+drops (Figure 13b) while the imputation error can only stay equal or grow
+(Figure 13a).  The straightforward and incremental determinations produce
+identical models, so a single RMS series is reported.
+"""
+
+import numpy as np
+
+from repro.experiments import figure13
+
+
+def test_figure13_stepping_tradeoff(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure13(profile=profile), rounds=1, iterations=1)
+    record_result("figure13", result.render())
+
+    assert result.x_values == profile.stepping_values
+    rms = np.asarray(result.rms["IIM"])
+    straightforward = np.asarray(result.seconds["Straightforward"])
+    incremental = np.asarray(result.seconds["Incremental"])
+
+    assert np.isfinite(rms).all()
+    # Time decreases as the stepping grows (fewer candidates to evaluate).
+    assert straightforward[-1] < straightforward[0]
+    assert incremental[-1] < incremental[0]
+    # The finest stepping gives the lowest (or tied-lowest) imputation error.
+    assert rms[0] <= rms.max()
+    assert rms[0] <= np.median(rms) * 1.2

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 4: RMS and time vs. |F| on the ASF dataset.
+
+The paper's Figure 4 sweeps the number of complete attributes used for
+imputation on ASF and reports (a) RMS error and (b) imputation time.  More
+complete attributes help most methods, and IIM shows the largest gains
+because both its neighbour search and its individual regressions improve.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4_attribute_sweep_asf(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure4(profile=profile), rounds=1, iterations=1)
+    record_result("figure4", result.render())
+
+    assert result.x_values == [
+        min(c, 5) for c in profile.attribute_counts_asf
+    ]
+    # IIM with the full attribute set is at least as accurate as with the
+    # smallest one (the paper's "more attributes help" trend).
+    iim = result.rms_series("IIM")
+    assert iim[-1] <= iim[0] * 1.1
+    # With all attributes available IIM beats kNN and GLR on ASF.
+    assert iim[-1] < result.rms_series("kNN")[-1]
+    assert iim[-1] < result.rms_series("GLR")[-1]
+    # Online local-regression methods pay a higher imputation-time cost than
+    # IIM, whose individual models are learned offline (Figure 4b).
+    assert result.time_series("LOESS")[-1] > result.time_series("kNN")[-1]

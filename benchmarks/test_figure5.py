@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 5: RMS and time vs. |F| on the CA dataset."""
+
+import numpy as np
+
+from repro.experiments import figure5
+
+
+def test_figure5_attribute_sweep_ca(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure5(profile=profile), rounds=1, iterations=1)
+    record_result("figure5", result.render())
+
+    assert len(result.x_values) == len(profile.attribute_counts_ca)
+    # On the sparse CA data the regression-style methods (GLR, IIM) beat the
+    # value-sharing kNN for the full attribute set (the paper's Figure 5a).
+    assert result.rms_series("GLR")[-1] < result.rms_series("kNN")[-1]
+    assert result.rms_series("IIM")[-1] < result.rms_series("kNN")[-1] * 1.2
+    # All series are finite for the methods defined on this data.
+    for method in ("IIM", "kNN", "GLR", "LOESS"):
+        assert np.isfinite(result.rms_series(method)).all()

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 6: RMS and time vs. number of complete tuples (ASF).
+
+The paper's Figure 6 shows that more complete tuples help every method, and
+that kNN relies on them most strongly (it needs neighbours that share
+values), while IIM benefits as well through better individual models.
+"""
+
+from repro.experiments import figure6
+
+
+def test_figure6_tuple_sweep_asf(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure6(profile=profile), rounds=1, iterations=1)
+    record_result("figure6", result.render())
+
+    assert result.x_values == profile.tuple_counts_asf
+    # More complete tuples reduce (or at least do not inflate) IIM's error.
+    iim = result.rms_series("IIM")
+    assert iim[-1] <= iim[0] * 1.1
+    # At the largest size the paper's ordering holds: IIM < kNN < GLR.
+    assert iim[-1] < result.rms_series("kNN")[-1]
+    assert result.rms_series("kNN")[-1] < result.rms_series("GLR")[-1]

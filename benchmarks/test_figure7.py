@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 7: RMS and time vs. number of complete tuples (CA)."""
+
+import numpy as np
+
+from repro.experiments import figure7
+
+
+def test_figure7_tuple_sweep_ca(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure7(profile=profile), rounds=1, iterations=1)
+    record_result("figure7", result.render())
+
+    assert result.x_values == profile.tuple_counts_ca
+    # The sparse CA data keeps favouring regression over value sharing at
+    # every size (the roughly flat curves of the paper's Figure 7a).
+    assert result.rms_series("GLR")[-1] <= result.rms_series("kNN")[-1]
+    for method in ("IIM", "kNN", "GLR"):
+        assert np.isfinite(result.rms_series(method)).all()
+    # Imputation time grows with the number of complete tuples for the
+    # neighbour-based methods (Figure 7b).
+    knn_times = result.time_series("kNN")
+    assert knn_times[-1] >= knn_times[0]

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 8: RMS vs. the cluster size of incomplete tuples.
+
+When incomplete tuples cluster together their nearest neighbours are also
+incomplete, so tuple-model methods that rely on close complete neighbours
+degrade, while attribute-model methods stay stable.  IIM copes because it
+uses the neighbours' *models*, not their values.
+"""
+
+import numpy as np
+
+from repro.experiments import figure8
+
+
+def test_figure8_clustered_incomplete_tuples(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure8(profile=profile), rounds=1, iterations=1)
+    record_result("figure8", result.render())
+
+    assert result.x_values == profile.cluster_sizes
+    knn = result.rms_series("kNN")
+    glr = result.rms_series("GLR")
+    iim = result.rms_series("IIM")
+
+    # kNN degrades as the clusters grow (paper Figure 8a)...
+    assert knn[-1] > knn[0]
+    # ...while the attribute-model GLR stays comparatively stable.
+    assert abs(glr[-1] - glr[0]) < max(0.5 * glr[0], abs(knn[-1] - knn[0]))
+    # IIM remains at least as accurate as kNN at the largest cluster size.
+    assert iim[-1] <= knn[-1] * 1.05
+    assert np.isfinite(iim).all()

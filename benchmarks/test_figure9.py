@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 9: RMS and time vs. the number of imputation neighbours k (ASF)."""
+
+import numpy as np
+
+from repro.experiments import figure9
+
+
+def test_figure9_k_sweep_asf(benchmark, profile, record_result):
+    result = benchmark.pedantic(lambda: figure9(profile=profile), rounds=1, iterations=1)
+    record_result("figure9", result.render())
+
+    assert len(result.x_values) >= 3
+    iim = np.asarray(result.rms_series("IIM"))
+    knn = np.asarray(result.rms_series("kNN"))
+
+    # A moderate k beats the extreme k = 1 for the neighbour-based methods
+    # (the paper's "k too small is unreliable" observation).
+    assert iim.min() <= iim[0]
+    assert knn.min() <= knn[0]
+    # At its best k, IIM is at least as accurate as kNN at kNN's best k.
+    assert iim.min() <= knn.min() * 1.05
+    # Imputation time is reported for every k.
+    assert len(result.time_series("IIM")) == len(result.x_values)

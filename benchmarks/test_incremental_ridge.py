@@ -1,0 +1,64 @@
+"""Micro-benchmark for Table III: incremental vs. from-scratch model learning.
+
+Table III of the paper gives the asymptotic costs of computing the ridge
+sufficient statistics U and V from scratch (linear in ℓ) versus
+incrementally (independent of ℓ).  This benchmark measures both strategies
+while sweeping ℓ over a fixed neighbour ordering and checks that the
+incremental path is faster and produces the same parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.learning import learn_models_for_candidates
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def learning_inputs():
+    relation = load_dataset("ca", size=400)
+    values = relation.raw
+    features = values[:, :-1]
+    target = values[:, -1]
+    candidates = list(range(1, 201, 10))
+    return features, target, candidates
+
+
+def test_incremental_learning_speed(benchmark, learning_inputs):
+    features, target, candidates = learning_inputs
+    result = benchmark.pedantic(
+        lambda: learn_models_for_candidates(
+            features, target, candidates, incremental=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.shape == (len(candidates), features.shape[0], features.shape[1] + 1)
+
+
+def test_from_scratch_learning_speed(benchmark, learning_inputs):
+    features, target, candidates = learning_inputs
+    result = benchmark.pedantic(
+        lambda: learn_models_for_candidates(
+            features, target, candidates, incremental=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.shape == (len(candidates), features.shape[0], features.shape[1] + 1)
+
+
+def test_incremental_equals_from_scratch_and_is_faster(learning_inputs):
+    import time
+
+    features, target, candidates = learning_inputs
+    start = time.perf_counter()
+    incremental = learn_models_for_candidates(features, target, candidates, incremental=True)
+    incremental_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scratch = learn_models_for_candidates(features, target, candidates, incremental=False)
+    scratch_seconds = time.perf_counter() - start
+
+    np.testing.assert_allclose(incremental, scratch, atol=1e-6)
+    assert incremental_seconds < scratch_seconds

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/repro`` importable without an install.
+
+The canonical workflow is ``pip install -e .``; this hook simply keeps the
+test and benchmark suites runnable in environments where the editable
+install is unavailable (e.g. fully offline machines without ``wheel``).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

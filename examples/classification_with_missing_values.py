@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Downstream application: classification over data with real missing values.
+
+Section VI-D of the paper shows that better imputation translates into better
+downstream analytics.  This example reproduces both applications on the
+synthetic analogues of the paper's datasets:
+
+* clustering (ASF): purity of k-means clusters after imputation, compared to
+  the clusters of the original complete data and to simply discarding the
+  incomplete tuples;
+* classification (MAM, HEP): 5-fold cross-validated F1 of a kNN classifier
+  over data whose missing cells were imputed by different methods.
+
+Run it with::
+
+    python examples/classification_with_missing_values.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset, make_imputer
+from repro.ml import (
+    classification_application,
+    classification_without_imputation,
+    clustering_application,
+)
+
+METHODS = ("IIM", "kNN", "GLR", "Mean")
+
+
+def clustering_study() -> None:
+    relation = load_dataset("asf", size=500)
+    print("Clustering application (ASF, k-means purity vs. truth clusters)")
+    discard = clustering_application(relation, None, n_clusters=5, random_state=0)
+    print(f"  {'discard incomplete':<22s} purity = {discard.purity_discard:.3f}")
+    for method in METHODS:
+        imputer = make_imputer(method, **({"k": 10, "validation_neighbors": 30}
+                                          if method == "IIM" else {}))
+        outcome = clustering_application(relation, imputer, n_clusters=5, random_state=0)
+        print(f"  impute with {method:<10s} purity = {outcome.purity:.3f}")
+    print()
+
+
+def classification_study() -> None:
+    for dataset in ("mam", "hep"):
+        relation = load_dataset(dataset)
+        n_incomplete = len(relation.incomplete_rows)
+        print(
+            f"Classification application ({dataset.upper()}: {relation.n_tuples} tuples, "
+            f"{n_incomplete} with real missing values)"
+        )
+        baseline = classification_without_imputation(relation, random_state=0)
+        print(f"  {'discard incomplete':<22s} F1 = {baseline:.3f}")
+        for method in METHODS:
+            imputer = make_imputer(method, **({"k": 10, "validation_neighbors": 30}
+                                              if method == "IIM" else {}))
+            score = classification_application(relation, imputer, random_state=0)
+            print(f"  impute with {method:<10s} F1 = {score:.3f}")
+        print()
+
+
+def main() -> None:
+    clustering_study()
+    classification_study()
+
+
+if __name__ == "__main__":
+    main()

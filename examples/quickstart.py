@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: impute missing values with IIM and compare against baselines.
+
+This example walks through the library's core workflow:
+
+1. load a dataset (a synthetic analogue of the paper's ASF data),
+2. inject missing values with the paper's evaluation protocol,
+3. fit IIM (adaptive individual models) and a few baselines,
+4. compare the imputation RMS error against the held-out ground truth.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GLRImputer,
+    IIMImputer,
+    KNNImputer,
+    MeanImputer,
+    inject_missing,
+    load_dataset,
+    rms_error,
+)
+from repro.metrics import heterogeneity_r2, sparsity_r2
+
+
+def main() -> None:
+    # 1. A heterogeneous dataset: several local regimes, no global regression.
+    relation = load_dataset("asf", size=600)
+    print(f"Loaded {relation.name}: {relation.n_tuples} tuples x {relation.n_attributes} attributes")
+    target = relation.n_attributes - 1
+    print(f"  sparsity R2_S      = {sparsity_r2(relation, target, sample_size=300):.2f}")
+    print(f"  heterogeneity R2_H = {heterogeneity_r2(relation, target, sample_size=300):.2f}")
+
+    # 2. The paper's protocol: 5% of tuples lose one value on a random attribute.
+    injection = inject_missing(relation, fraction=0.05, random_state=0)
+    dirty = injection.dirty
+    print(f"Injected {len(injection)} missing cells "
+          f"({len(dirty.complete_rows)} complete tuples remain)\n")
+
+    # 3. Fit IIM and a few baselines on the complete part of the dirty data.
+    imputers = {
+        "IIM (adaptive)": IIMImputer(
+            k=10, learning="adaptive", stepping=5,
+            max_learning_neighbors=100, validation_neighbors=30,
+        ),
+        "IIM (fixed l=20)": IIMImputer(k=10, learning="fixed", learning_neighbors=20),
+        "kNN": KNNImputer(k=10),
+        "GLR": GLRImputer(),
+        "Mean": MeanImputer(),
+    }
+
+    # 4. Impute and score.
+    print(f"{'method':<18s} {'RMS error':>10s}")
+    print("-" * 29)
+    for name, imputer in imputers.items():
+        imputed = imputer.fit(dirty).impute(dirty)
+        values = imputed.raw[injection.rows, injection.attributes]
+        print(f"{name:<18s} {rms_error(injection.truth, values):>10.3f}")
+
+    print("\nLower is better; IIM should lead on this heterogeneous dataset.")
+
+
+if __name__ == "__main__":
+    main()

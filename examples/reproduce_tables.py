@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables and figures as text reports.
+
+This script drives the experiment harness used by the benchmark suite and
+prints the text equivalents of the paper's Tables V-VII and (optionally) a
+selection of its figures.  The workload scale is controlled by the
+``REPRO_PROFILE`` environment variable (``smoke`` / ``bench`` / ``paper``) or
+``REPRO_FULL=1`` for the published sizes.
+
+Run a quick version with::
+
+    REPRO_PROFILE=smoke python examples/reproduce_tables.py
+
+or the full benchmark-scale version (several minutes) with::
+
+    python examples/reproduce_tables.py --figures
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import figure_comparison_methods
+from repro.experiments import (
+    figure9,
+    figure11,
+    figure13,
+    get_profile,
+    table5,
+    table6,
+    table7,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures", action="store_true",
+        help="also regenerate a selection of the paper's figures (slower)",
+    )
+    parser.add_argument(
+        "--profile", default=None,
+        help="scale profile to use (smoke / bench / paper); overrides the environment",
+    )
+    args = parser.parse_args()
+
+    profile = get_profile(args.profile)
+    print(f"Scale profile: {profile.name}\n")
+
+    print(table5(profile=profile).render())
+    print()
+    print(table6(methods=figure_comparison_methods(), profile=profile).render())
+    print()
+    print(table7(methods=figure_comparison_methods() + ["Mean"], profile=profile).render())
+    print()
+
+    if args.figures:
+        print(figure9(profile=profile).render())
+        print()
+        for dataset, result in figure11(profile=profile).items():
+            print(result.render())
+            print()
+        print(figure13(profile=profile).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Sensor-network scenario: clustered outages and individual models.
+
+The paper's introduction motivates imputation with sensor readings that go
+missing during transmission.  This example reproduces that scenario on the
+SN-like dataset (a large two-attribute stream following a piecewise-linear
+curve) and on clustered outages (Figure 8's protocol), where a whole group
+of nearby readings is lost at once so the closest neighbours of an
+incomplete tuple are themselves incomplete.
+
+It demonstrates:
+
+* why a single global regression fails on locally-linear data,
+* why value-sharing kNN fails when outages are clustered,
+* how IIM's individual models handle both, and
+* how to inspect *which* neighbours and candidate values IIM used for one
+  imputation (the ``ImputationTrace``).
+
+Run it with::
+
+    python examples/sensor_network_imputation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IIMImputer, KNNImputer, GLRImputer, load_dataset, rms_error
+from repro.core import impute_one, learn_individual_models
+from repro.data import inject_missing_clustered
+from repro.neighbors import BruteForceNeighbors
+
+
+def clustered_outage_study() -> None:
+    """Compare methods as sensor outages become more clustered."""
+    relation = load_dataset("sn", size=1500)
+    print(f"Sensor stream: {relation.n_tuples} readings, attributes {relation.schema.attributes}")
+    print(f"{'cluster size':>12s} {'kNN':>8s} {'GLR':>8s} {'IIM':>8s}")
+    print("-" * 40)
+
+    for cluster_size in (1, 3, 8):
+        injection = inject_missing_clustered(
+            relation, n_incomplete=60, cluster_size=cluster_size,
+            attribute=-1, random_state=0,
+        )
+        errors = {}
+        for name, imputer in (
+            ("kNN", KNNImputer(k=10)),
+            ("GLR", GLRImputer()),
+            ("IIM", IIMImputer(k=10, learning="fixed", learning_neighbors=30)),
+        ):
+            values = imputer.fit(injection.dirty).impute_cells(injection)
+            errors[name] = rms_error(injection.truth, values)
+        print(f"{cluster_size:>12d} {errors['kNN']:>8.3f} {errors['GLR']:>8.3f} {errors['IIM']:>8.3f}")
+
+    print("\nkNN degrades as outages cluster (its close neighbours are also missing);")
+    print("GLR is stable but inaccurate on the curved stream; IIM handles both.\n")
+
+
+def explain_one_imputation() -> None:
+    """Show the individual models and candidates behind a single imputation."""
+    relation = load_dataset("sn", size=800)
+    values = relation.raw
+    features, target = values[:, :1], values[:, 1]
+
+    models = learn_individual_models(features, target, ell=25)
+    query = np.array([np.median(features)])
+    trace = impute_one(query, models, features, target, k=5, return_trace=True)
+
+    searcher = BruteForceNeighbors().fit(features)
+    print(f"Imputing the reading at position x = {query[0]:.2f}")
+    print(f"{'neighbor':>9s} {'x':>9s} {'candidate':>10s} {'weight':>8s}")
+    for idx, candidate, weight in zip(trace.neighbor_indices, trace.candidates, trace.weights):
+        print(f"{idx:>9d} {features[idx, 0]:>9.2f} {candidate:>10.3f} {weight:>8.3f}")
+    print(f"Combined imputation: {trace.value:.3f}")
+    print("Candidates that agree with each other receive the larger weights")
+    print("(Formulas 11-12 of the paper); outlying candidates are down-weighted.")
+    _ = searcher  # the index is only used implicitly through impute_one
+
+
+def main() -> None:
+    clustered_outage_study()
+    explain_one_imputation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The paper's baseline imputation methods (Table II) and the shared base class."""
+
+from .base import AttributeImputationTask, BaseImputer
+from .blr import BLRImputer
+from .eracer import ERACERImputer
+from .glr import GLRImputer
+from .gmm_impute import GMMImputer
+from .ifc import IFCImputer
+from .ills import ILLSImputer
+from .knn import KNNImputer
+from .knne import KNNEnsembleImputer
+from .loess_impute import LoessImputer
+from .mean import MeanImputer
+from .pmm import PMMImputer
+from .registry import (
+    IMPUTER_FACTORIES,
+    available_methods,
+    figure_comparison_methods,
+    make_imputer,
+    paper_table2_methods,
+)
+from .svd_impute import SVDImputer
+from .xgb import XGBImputer
+
+__all__ = [
+    "BaseImputer",
+    "AttributeImputationTask",
+    "MeanImputer",
+    "KNNImputer",
+    "KNNEnsembleImputer",
+    "IFCImputer",
+    "GMMImputer",
+    "SVDImputer",
+    "ILLSImputer",
+    "GLRImputer",
+    "LoessImputer",
+    "BLRImputer",
+    "ERACERImputer",
+    "PMMImputer",
+    "XGBImputer",
+    "IMPUTER_FACTORIES",
+    "make_imputer",
+    "available_methods",
+    "paper_table2_methods",
+    "figure_comparison_methods",
+]

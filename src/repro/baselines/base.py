@@ -1,0 +1,231 @@
+"""Shared interface and orchestration for all imputation methods.
+
+Every imputer in this library (the paper's baselines in Table II and the
+proposed IIM) follows the same two-call protocol:
+
+* ``fit(relation)`` — remember the complete tuples ``r`` of the relation
+  (incomplete tuples are ignored for fitting) and run any method-specific
+  offline learning;
+* ``impute(relation)`` — return a copy of the relation with every missing
+  cell filled.
+
+The orchestration in :class:`BaseImputer` follows the paper's protocol: each
+incomplete tuple has its missing attributes imputed one at a time, using the
+remaining attributes as the complete attributes ``F``.  When a tuple has
+several missing attributes (the real-world MAM/HEP datasets) the *query*
+features are pre-filled with column means so every method always sees a
+fully-observed feature vector; the pre-filled values are only used as query
+context, never returned as imputations.
+
+Concrete methods implement a single hook,
+:meth:`BaseImputer._impute_attribute`, which receives the complete data
+split into features/target for one incomplete attribute and the query rows
+to impute, and returns the imputed values.  Grouping queries per attribute
+lets methods train one model per incomplete attribute instead of one per
+cell.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.missing import InjectionResult
+from ..data.relation import Relation
+from ..exceptions import DataError, NotFittedError
+
+__all__ = ["BaseImputer", "AttributeImputationTask"]
+
+
+class AttributeImputationTask:
+    """All missing cells sharing the same incomplete attribute.
+
+    Attributes
+    ----------
+    target_index:
+        Column index of the incomplete attribute ``A_x``.
+    feature_indices:
+        Column indices of the complete attributes ``F = R \\ {A_x}``.
+    rows:
+        Row indices (into the dirty relation) of the tuples to impute.
+    queries:
+        Query feature matrix of shape ``(len(rows), len(feature_indices))``;
+        any originally-missing feature cells are pre-filled with column means.
+    """
+
+    def __init__(
+        self,
+        target_index: int,
+        feature_indices: Sequence[int],
+        rows: Sequence[int],
+        queries: np.ndarray,
+    ):
+        self.target_index = int(target_index)
+        self.feature_indices = list(int(i) for i in feature_indices)
+        self.rows = list(int(r) for r in rows)
+        self.queries = np.asarray(queries, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class BaseImputer(ABC):
+    """Abstract base class for all imputation methods.
+
+    Subclasses must set a class-level ``name`` (the short label used in the
+    paper's tables) and implement :meth:`_impute_attribute`.  They may also
+    override :meth:`_fit` for offline learning over the complete tuples.
+    """
+
+    #: Short method label, e.g. ``"kNN"`` or ``"IIM"``.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._fitted_relation: Optional[Relation] = None
+        self._complete_values: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, relation: Relation) -> "BaseImputer":
+        """Learn from the complete tuples of ``relation``.
+
+        The relation may already contain missing cells; only its complete
+        part is used as the paper's relation ``r``.
+        """
+        if not isinstance(relation, Relation):
+            raise DataError("fit expects a Relation")
+        complete = relation.complete_part()
+        if complete.n_tuples == 0:
+            raise DataError("cannot fit an imputer: the relation has no complete tuple")
+        self._fitted_relation = complete
+        self._complete_values = complete.raw.copy()
+        self._fit(complete)
+        return self
+
+    def _fit(self, complete: Relation) -> None:
+        """Optional offline learning hook; default is a no-op."""
+
+    @property
+    def fitted_relation(self) -> Relation:
+        """The complete relation ``r`` the imputer was fitted on."""
+        self._check_fitted()
+        return self._fitted_relation
+
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted_relation is not None
+
+    def _check_fitted(self) -> None:
+        if self._fitted_relation is None:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before imputing")
+
+    # ------------------------------------------------------------------ #
+    # Imputation
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _impute_attribute(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        queries: np.ndarray,
+        feature_indices: Sequence[int],
+        target_index: int,
+    ) -> np.ndarray:
+        """Impute one incomplete attribute for a batch of query tuples.
+
+        Parameters
+        ----------
+        features:
+            Complete tuples restricted to ``F`` — shape ``(n, |F|)``.
+        target:
+            Complete tuples' values on the incomplete attribute — shape ``(n,)``.
+        queries:
+            Query tuples restricted to ``F`` — shape ``(q, |F|)``.
+        feature_indices, target_index:
+            Column positions of ``F`` and ``A_x`` in the original schema,
+            available to methods that need the full-width complete data.
+
+        Returns
+        -------
+        numpy.ndarray
+            Imputed values of shape ``(q,)``.
+        """
+
+    def _build_tasks(self, relation: Relation) -> List[AttributeImputationTask]:
+        values = relation.raw
+        mask = np.isnan(values)
+        if not mask.any():
+            return []
+        column_means = self._fitted_relation.column_means(skip_missing=False)
+        filled = np.where(mask, column_means[None, :], values)
+
+        tasks: List[AttributeImputationTask] = []
+        for target_index in range(relation.n_attributes):
+            rows = np.flatnonzero(mask[:, target_index])
+            if rows.size == 0:
+                continue
+            feature_indices = [i for i in range(relation.n_attributes) if i != target_index]
+            if not feature_indices:
+                raise DataError("cannot impute a relation with a single attribute")
+            queries = filled[np.ix_(rows, feature_indices)]
+            tasks.append(
+                AttributeImputationTask(
+                    target_index=target_index,
+                    feature_indices=feature_indices,
+                    rows=rows,
+                    queries=queries,
+                )
+            )
+        return tasks
+
+    def impute(self, relation: Relation) -> Relation:
+        """Return a copy of ``relation`` with every missing cell filled."""
+        self._check_fitted()
+        if not isinstance(relation, Relation):
+            raise DataError("impute expects a Relation")
+        if relation.n_attributes != self._fitted_relation.n_attributes:
+            raise DataError(
+                "relation width does not match the relation the imputer was fitted on"
+            )
+        tasks = self._build_tasks(relation)
+        if not tasks:
+            return relation.copy()
+
+        values = relation.values
+        complete = self._complete_values
+        for task in tasks:
+            features = complete[:, task.feature_indices]
+            target = complete[:, task.target_index]
+            imputed = np.asarray(
+                self._impute_attribute(
+                    features, target, task.queries, task.feature_indices, task.target_index
+                ),
+                dtype=float,
+            ).ravel()
+            if imputed.shape[0] != len(task):
+                raise DataError(
+                    f"{type(self).__name__} returned {imputed.shape[0]} imputations "
+                    f"for {len(task)} queries"
+                )
+            values[task.rows, task.target_index] = imputed
+        return relation.with_values(values)
+
+    # ------------------------------------------------------------------ #
+    # Convenience entry points used by the experiment harness
+    # ------------------------------------------------------------------ #
+    def fit_impute(self, relation: Relation) -> Relation:
+        """Fit on the complete part of ``relation`` and impute it in one call."""
+        return self.fit(relation).impute(relation)
+
+    def impute_cells(self, injection: InjectionResult) -> np.ndarray:
+        """Impute a dirty relation and return values aligned with the injected cells."""
+        imputed_relation = self.impute(injection.dirty)
+        values = imputed_relation.raw
+        return values[injection.rows, injection.attributes].astype(float)
+
+    def __repr__(self) -> str:
+        status = "fitted" if self.is_fitted() else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {status})"

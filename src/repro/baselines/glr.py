@@ -1,0 +1,46 @@
+"""Global linear regression imputation (GLR) — Section II-B1 of the paper.
+
+A single ridge regression from the complete attributes ``F`` to the
+incomplete attribute ``A_x`` is learned over *all* complete tuples
+(Formula 3/5) and evaluated at the incomplete tuple (Formula 4).  GLR is one
+of the two extreme special cases of IIM (Proposition 2, ``ℓ = n``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..regression import DEFAULT_ALPHA, RidgeRegression
+from .._validation import check_positive_float
+from .base import BaseImputer
+
+__all__ = ["GLRImputer"]
+
+
+class GLRImputer(BaseImputer):
+    """Global ridge-regression imputation.
+
+    Parameters
+    ----------
+    alpha:
+        Ridge regularization strength used when learning the global model.
+    """
+
+    name = "GLR"
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        super().__init__()
+        self.alpha = check_positive_float(alpha, "alpha", allow_zero=True)
+
+    def _impute_attribute(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        queries: np.ndarray,
+        feature_indices: Sequence[int],
+        target_index: int,
+    ) -> np.ndarray:
+        model = RidgeRegression(alpha=self.alpha).fit(features, target)
+        return model.predict(queries)

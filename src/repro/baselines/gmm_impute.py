@@ -1,0 +1,95 @@
+"""Gaussian-mixture-model imputation (Yan et al.) — the GMM baseline.
+
+A Gaussian mixture is fitted over the complete tuples (all attributes).  For
+an incomplete tuple the responsibilities of each component are computed from
+the *marginal* distribution of the observed attributes ``F``, and the missing
+value is the responsibility-weighted sum of each component's *conditional
+mean* of the incomplete attribute given the observed values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..cluster import GaussianMixture
+from .base import BaseImputer
+
+__all__ = ["GMMImputer"]
+
+
+class GMMImputer(BaseImputer):
+    """Conditional-mean imputation under a Gaussian mixture.
+
+    Parameters
+    ----------
+    n_components:
+        Number of mixture components.
+    random_state:
+        Seed for the EM initialisation.
+    """
+
+    name = "GMM"
+
+    def __init__(self, n_components: int = 5, random_state=0):
+        super().__init__()
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.random_state = random_state
+        self._model: GaussianMixture = None
+
+    def _fit(self, complete) -> None:
+        n_components = min(self.n_components, complete.n_tuples)
+        self._model = GaussianMixture(
+            n_components=n_components,
+            random_state=self.random_state,
+        ).fit(complete.raw)
+
+    @staticmethod
+    def _marginal_log_density(
+        queries: np.ndarray, mean: np.ndarray, covariance: np.ndarray
+    ) -> np.ndarray:
+        d = queries.shape[1]
+        diff = queries - mean
+        covariance = covariance + 1e-9 * np.eye(d)
+        chol = np.linalg.cholesky(covariance)
+        z = np.linalg.solve(chol, diff.T)
+        mahalanobis = np.sum(z * z, axis=0)
+        log_det = 2.0 * np.sum(np.log(np.diag(chol)))
+        return -0.5 * (d * np.log(2.0 * np.pi) + log_det + mahalanobis)
+
+    def _impute_attribute(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        queries: np.ndarray,
+        feature_indices: Sequence[int],
+        target_index: int,
+    ) -> np.ndarray:
+        model = self._model
+        feature_idx = list(feature_indices)
+        n_components = model.means_.shape[0]
+        q = queries.shape[0]
+
+        log_weights = np.log(np.maximum(model.weights_, 1e-12))
+        log_resp = np.empty((q, n_components))
+        conditional_means = np.empty((q, n_components))
+        for c in range(n_components):
+            mean = model.means_[c]
+            covariance = model.covariances_[c]
+            mean_f = mean[feature_idx]
+            mean_t = mean[target_index]
+            cov_ff = covariance[np.ix_(feature_idx, feature_idx)]
+            cov_tf = covariance[target_index, feature_idx]
+            log_resp[:, c] = log_weights[c] + self._marginal_log_density(queries, mean_f, cov_ff)
+            # Conditional mean of the target given the observed attributes.
+            cov_ff_reg = cov_ff + 1e-9 * np.eye(cov_ff.shape[0])
+            solved = np.linalg.solve(cov_ff_reg, (queries - mean_f).T)
+            conditional_means[:, c] = mean_t + cov_tf @ solved
+
+        # Normalise responsibilities in log space for stability.
+        max_log = log_resp.max(axis=1, keepdims=True)
+        responsibilities = np.exp(log_resp - max_log)
+        responsibilities /= responsibilities.sum(axis=1, keepdims=True)
+        return np.sum(responsibilities * conditional_means, axis=1)

@@ -1,0 +1,32 @@
+"""Mean imputation (Farhangfar et al.) — the "global average" tuple model.
+
+Every missing value on attribute ``A_x`` is replaced by the mean of that
+attribute over all complete tuples.  It is the degenerate tuple-model method
+where the neighbour set ``T_x`` is the whole relation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import BaseImputer
+
+__all__ = ["MeanImputer"]
+
+
+class MeanImputer(BaseImputer):
+    """Impute each missing cell with the column mean of the complete tuples."""
+
+    name = "Mean"
+
+    def _impute_attribute(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        queries: np.ndarray,
+        feature_indices: Sequence[int],
+        target_index: int,
+    ) -> np.ndarray:
+        return np.full(queries.shape[0], float(target.mean()))

@@ -1,0 +1,67 @@
+"""Predictive mean matching (Landerman et al.) — the paper's PMM baseline.
+
+PMM does not return the value predicted by the regression.  Instead it
+predicts ``t'_x[A_m]`` with a (Bayesian) linear regression, finds the
+complete tuples whose *own predictions* under the same regression are
+closest to ``t'_x[A_m]`` (the donor pool), and returns the *observed* value
+of a randomly chosen donor.  This keeps imputations inside the observed
+value domain, at the cost of accuracy on sparse data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..regression import BayesianLinearRegression
+from .base import BaseImputer
+
+__all__ = ["PMMImputer"]
+
+
+class PMMImputer(BaseImputer):
+    """Predictive-mean-matching imputation.
+
+    Parameters
+    ----------
+    n_donors:
+        Size of the donor pool (MICE's default is 5).
+    random_state:
+        Seed controlling the regression draw and the donor selection.
+    """
+
+    name = "PMM"
+
+    def __init__(self, n_donors: int = 5, random_state=None):
+        super().__init__()
+        self.n_donors = check_positive_int(n_donors, "n_donors")
+        self.random_state = random_state
+
+    def _impute_attribute(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        queries: np.ndarray,
+        feature_indices: Sequence[int],
+        target_index: int,
+    ) -> np.ndarray:
+        rng = check_random_state(self.random_state)
+        model = BayesianLinearRegression(sample=False, random_state=rng).fit(features, target)
+        donor_predictions = model.predict(features)
+        # MICE draws the query-side predictions from the posterior; we follow
+        # the same scheme so the donor matching has the stochastic flavour of
+        # mice.pmm while staying reproducible under a fixed seed.
+        drawn_coefficients = model.sample_coefficients()
+        design = np.hstack([np.ones((queries.shape[0], 1)), queries])
+        query_predictions = design @ drawn_coefficients
+
+        n_donors = min(self.n_donors, features.shape[0])
+        imputations = np.empty(queries.shape[0])
+        for i, prediction in enumerate(query_predictions):
+            gaps = np.abs(donor_predictions - prediction)
+            donor_pool = np.argsort(gaps, kind="stable")[:n_donors]
+            chosen = donor_pool[rng.integers(0, donor_pool.shape[0])]
+            imputations[i] = target[chosen]
+        return imputations

@@ -1,0 +1,102 @@
+"""Registry of every imputation method evaluated in the paper (Table II + IIM).
+
+The experiment harness asks this module for imputers by their short paper
+name (``"IIM"``, ``"kNN"``, ``"GLR"``, ...).  Each factory builds a fresh,
+unfitted imputer; keyword overrides are forwarded so the parameter sweeps of
+Section VI can vary ``k``, ``ℓ``, stepping, etc. without special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .base import BaseImputer
+from .blr import BLRImputer
+from .eracer import ERACERImputer
+from .glr import GLRImputer
+from .gmm_impute import GMMImputer
+from .ifc import IFCImputer
+from .ills import ILLSImputer
+from .knn import KNNImputer
+from .knne import KNNEnsembleImputer
+from .loess_impute import LoessImputer
+from .mean import MeanImputer
+from .pmm import PMMImputer
+from .svd_impute import SVDImputer
+from .xgb import XGBImputer
+
+__all__ = [
+    "IMPUTER_FACTORIES",
+    "make_imputer",
+    "available_methods",
+    "paper_table2_methods",
+    "figure_comparison_methods",
+]
+
+
+def _iim_factory(**overrides) -> BaseImputer:
+    # Imported lazily to avoid a circular import (core depends on baselines.base).
+    from ..core import IIMImputer
+
+    defaults = dict(
+        k=10,
+        learning="adaptive",
+        stepping=5,
+        max_learning_neighbors=200,
+        validation_neighbors=30,
+    )
+    defaults.update(overrides)
+    return IIMImputer(**defaults)
+
+
+#: Factories keyed by the method names used in the paper's tables.
+IMPUTER_FACTORIES: Dict[str, Callable[..., BaseImputer]] = {
+    "IIM": _iim_factory,
+    "Mean": MeanImputer,
+    "kNN": KNNImputer,
+    "kNNE": KNNEnsembleImputer,
+    "IFC": IFCImputer,
+    "GMM": GMMImputer,
+    "SVD": SVDImputer,
+    "ILLS": ILLSImputer,
+    "GLR": GLRImputer,
+    "LOESS": LoessImputer,
+    "BLR": BLRImputer,
+    "ERACER": ERACERImputer,
+    "PMM": PMMImputer,
+    "XGB": XGBImputer,
+}
+
+#: Canonical case-insensitive lookup.
+_CANONICAL = {name.lower(): name for name in IMPUTER_FACTORIES}
+
+
+def available_methods() -> List[str]:
+    """All registered method names (paper spelling)."""
+    return list(IMPUTER_FACTORIES)
+
+
+def paper_table2_methods() -> List[str]:
+    """The 13 existing methods of Table II (everything except IIM)."""
+    return [name for name in IMPUTER_FACTORIES if name != "IIM"]
+
+
+def figure_comparison_methods() -> List[str]:
+    """The eight methods plotted in the paper's figures (Figures 4-8)."""
+    return ["kNN", "IIM", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"]
+
+
+def make_imputer(name: str, **overrides) -> BaseImputer:
+    """Build a fresh imputer by (case-insensitive) method name.
+
+    Keyword arguments are forwarded to the method's constructor; unknown
+    names raise :class:`~repro.exceptions.ConfigurationError`.
+    """
+    canonical = _CANONICAL.get(str(name).lower())
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown imputation method {name!r}; available: {available_methods()}"
+        )
+    factory = IMPUTER_FACTORIES[canonical]
+    return factory(**overrides)

@@ -1,0 +1,7 @@
+"""Clustering substrate: k-means, fuzzy c-means and Gaussian mixtures."""
+
+from .fuzzy_cmeans import FuzzyCMeans
+from .gmm import GaussianMixture
+from .kmeans import KMeans
+
+__all__ = ["KMeans", "FuzzyCMeans", "GaussianMixture"]

@@ -1,0 +1,119 @@
+"""Fuzzy c-means clustering (Bezdek), the engine behind the IFC baseline.
+
+The IFC imputation method of the paper (Nikfalazar et al., FUZZ-IEEE 2017)
+iteratively clusters the data with fuzzy k-means and imputes each missing
+cell from the membership-weighted cluster centroids.  This module provides
+the soft clustering; the imputer lives in :mod:`repro.baselines.ifc`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import (
+    as_float_matrix,
+    check_positive_float,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["FuzzyCMeans"]
+
+
+class FuzzyCMeans:
+    """Soft clustering with per-point membership degrees.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``c``.
+    fuzziness:
+        Fuzzifier ``m`` (> 1); larger values give softer memberships.
+    max_iter:
+        Maximum update iterations.
+    tol:
+        Convergence tolerance on the membership change.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 4,
+        fuzziness: float = 2.0,
+        max_iter: int = 150,
+        tol: float = 1e-5,
+        random_state=None,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.fuzziness = check_positive_float(fuzziness, "fuzziness")
+        if self.fuzziness <= 1.0:
+            raise ConfigurationError("fuzziness must be > 1")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = check_positive_float(tol, "tol", allow_zero=True)
+        self.random_state = random_state
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.membership_: Optional[np.ndarray] = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _update_membership(self, X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        distances = np.sqrt(np.sum((X[:, None, :] - centers[None, :, :]) ** 2, axis=2))
+        distances = np.maximum(distances, 1e-12)
+        power = 2.0 / (self.fuzziness - 1.0)
+        ratio = distances[:, :, None] / distances[:, None, :]
+        membership = 1.0 / np.sum(ratio ** power, axis=2)
+        return membership
+
+    def _update_centers(self, X: np.ndarray, membership: np.ndarray) -> np.ndarray:
+        weights = membership ** self.fuzziness
+        denominator = weights.sum(axis=0)
+        denominator = np.maximum(denominator, 1e-12)
+        return (weights.T @ X) / denominator[:, None]
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X) -> "FuzzyCMeans":
+        """Cluster the rows of ``X`` into ``n_clusters`` soft clusters."""
+        X = as_float_matrix(X, name="X")
+        if self.n_clusters > X.shape[0]:
+            raise ConfigurationError(
+                f"n_clusters={self.n_clusters} exceeds the number of points {X.shape[0]}"
+            )
+        rng = check_random_state(self.random_state)
+        membership = rng.random((X.shape[0], self.n_clusters))
+        membership /= membership.sum(axis=1, keepdims=True)
+
+        for iteration in range(1, self.max_iter + 1):
+            centers = self._update_centers(X, membership)
+            new_membership = self._update_membership(X, centers)
+            change = np.max(np.abs(new_membership - membership))
+            membership = new_membership
+            self.n_iter_ = iteration
+            if change <= self.tol:
+                break
+
+        self.cluster_centers_ = self._update_centers(X, membership)
+        self.membership_ = membership
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("FuzzyCMeans must be fitted before use")
+
+    def predict_membership(self, X) -> np.ndarray:
+        """Membership degrees of new points w.r.t. the learned centers."""
+        self._check_fitted()
+        X = as_float_matrix(X, name="X")
+        return self._update_membership(X, self.cluster_centers_)
+
+    def predict(self, X) -> np.ndarray:
+        """Hard assignment (argmax membership) of new points."""
+        return np.argmax(self.predict_membership(X), axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return the hard assignment of the training points."""
+        self.fit(X)
+        return np.argmax(self.membership_, axis=1)

@@ -1,0 +1,38 @@
+"""Core IIM: individual-model learning, adaptive selection and imputation."""
+
+from .adaptive import AdaptiveLearningResult, adaptive_learning
+from .combine import (
+    COMBINERS,
+    candidate_vote_weights,
+    combine_distance,
+    combine_uniform,
+    combine_voting,
+    get_combiner,
+)
+from .iim import IIMImputer
+from .imputation import ImputationTrace, impute_one, impute_with_individual_models
+from .learning import (
+    IndividualModels,
+    candidate_ell_values,
+    learn_individual_models,
+    learn_models_for_candidates,
+)
+
+__all__ = [
+    "IIMImputer",
+    "IndividualModels",
+    "learn_individual_models",
+    "learn_models_for_candidates",
+    "candidate_ell_values",
+    "adaptive_learning",
+    "AdaptiveLearningResult",
+    "impute_one",
+    "impute_with_individual_models",
+    "ImputationTrace",
+    "candidate_vote_weights",
+    "combine_voting",
+    "combine_uniform",
+    "combine_distance",
+    "get_combiner",
+    "COMBINERS",
+]

@@ -1,0 +1,189 @@
+"""Adaptive learning of the individual models (Algorithm 3 of the paper).
+
+Instead of using one fixed number ``ℓ`` of learning neighbours for every
+tuple, adaptive learning considers a set of candidate ``ℓ`` values (``1`` to
+``n`` with an optional stepping ``h``, Section V-A2) and selects, *per
+tuple*, the candidate whose model best imputes the other complete tuples:
+
+1. learn ``Φ(ℓ)`` for every candidate ``ℓ`` (incrementally, Proposition 3);
+2. treat every complete tuple ``t_j`` as a validation tuple: for each of its
+   ``k`` nearest neighbours ``t_i``, add the squared error of imputing
+   ``t_j[A_m]`` with ``φ^{(ℓ)}_i`` to ``cost[i][ℓ]``;
+3. pick ``ℓ*_i = argmin_ℓ cost[i][ℓ]`` and return ``φ_i = φ^{(ℓ*_i)}_i``.
+
+Tuples that never appear among any validation tuple's neighbours have an
+empty cost row; they fall back to the candidate that is best summed over all
+tuples (a documented deviation — the paper leaves this case unspecified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int
+from ..exceptions import ConfigurationError
+from ..neighbors import NeighborOrderCache
+from ..regression import DEFAULT_ALPHA, RidgeRegression
+from .learning import IndividualModels, candidate_ell_values, learn_models_for_candidates
+
+__all__ = ["AdaptiveLearningResult", "adaptive_learning"]
+
+
+@dataclass
+class AdaptiveLearningResult:
+    """Outcome of Algorithm 3.
+
+    Attributes
+    ----------
+    models:
+        The selected per-tuple models (one ``φ_i`` per tuple).
+    candidates:
+        The candidate ``ℓ`` values that were evaluated.
+    chosen_ell:
+        The ``ℓ*_i`` selected for every tuple.
+    costs:
+        Validation cost matrix of shape ``(n, len(candidates))``; entry
+        ``[i, c]`` is ``cost[i][candidates[c]]`` from the paper.
+    validation_counts:
+        How many validation tuples contributed to each tuple's cost row.
+    """
+
+    models: IndividualModels
+    candidates: np.ndarray
+    chosen_ell: np.ndarray
+    costs: np.ndarray
+    validation_counts: np.ndarray
+
+
+def adaptive_learning(
+    features,
+    target,
+    validation_neighbors: int = 10,
+    stepping: int = 1,
+    max_ell: Optional[int] = None,
+    candidates: Optional[Sequence[int]] = None,
+    alpha: float = DEFAULT_ALPHA,
+    metric: str = "paper_euclidean",
+    incremental: bool = True,
+    include_global: bool = True,
+) -> AdaptiveLearningResult:
+    """Algorithm 3: select a per-tuple ``ℓ`` by validating against complete tuples.
+
+    Parameters
+    ----------
+    features:
+        Complete tuples restricted to ``F``, shape ``(n, m-1)``.
+    target:
+        Complete tuples' values on the incomplete attribute, shape ``(n,)``.
+    validation_neighbors:
+        The ``k`` used when collecting each validation tuple's neighbours
+        (Line 4 of Algorithm 3); the paper reuses the imputation ``k``.
+    stepping:
+        The stepping ``h`` of Section V-A2 (1 = evaluate every ``ℓ``).
+    max_ell:
+        Optional cap on the largest candidate ``ℓ`` (defaults to ``n``).
+    candidates:
+        Explicit candidate list overriding ``stepping``/``max_ell``.
+    alpha:
+        Ridge regularization strength.
+    metric:
+        Distance metric for all neighbour searches.
+    incremental:
+        Learn the per-candidate models with the incremental U/V updates of
+        Proposition 3 (True) or from scratch per candidate (False).
+    include_global:
+        Always add ``ℓ = n`` (the global-regression model of Proposition 2)
+        to the candidate set, even when ``max_ell``/``stepping`` would skip
+        it.  Because the ``ℓ = n`` model is the same for every tuple it is
+        learned once, so this costs one extra ridge fit regardless of ``n``.
+    """
+    features = np.asarray(features, dtype=float)
+    target = np.asarray(target, dtype=float).ravel()
+    n = features.shape[0]
+    validation_neighbors = check_positive_int(validation_neighbors, "validation_neighbors")
+    alpha = check_positive_float(alpha, "alpha", allow_zero=True)
+
+    if candidates is None:
+        candidate_array = candidate_ell_values(n, stepping=stepping, max_ell=max_ell)
+    else:
+        candidate_array = np.asarray(list(candidates), dtype=int)
+        if candidate_array.size == 0:
+            raise ConfigurationError("candidates must contain at least one ℓ value")
+
+    # The ℓ = n candidate (the global model of Proposition 2) is handled
+    # specially: its model does not depend on the tuple, so it is learned
+    # once instead of per tuple through the neighbour ordering.
+    global_candidate = bool(include_global) and n > 1 and int(candidate_array.max()) < n
+
+    # Shared neighbour ordering (self included) reused for both the learning
+    # of Φ(ℓ) and, with the self removed, the validation neighbour lookups.
+    max_candidate = int(candidate_array.max())
+    learn_cache = NeighborOrderCache(
+        features,
+        metric=metric,
+        include_self=True,
+        max_length=max(max_candidate, min(n, validation_neighbors + 1)),
+    )
+
+    all_parameters = learn_models_for_candidates(
+        features,
+        target,
+        candidate_array,
+        alpha=alpha,
+        metric=metric,
+        incremental=incremental,
+        order_cache=learn_cache,
+    )  # shape (L, n, d + 1)
+
+    if global_candidate:
+        global_model = RidgeRegression(alpha=alpha).fit(features, target)
+        global_parameters = np.tile(global_model.coefficients, (n, 1))[None, :, :]
+        all_parameters = np.concatenate([all_parameters, global_parameters], axis=0)
+        candidate_array = np.concatenate([candidate_array, [n]])
+
+    n_candidates = candidate_array.shape[0]
+    costs = np.zeros((n, n_candidates))
+    validation_counts = np.zeros(n, dtype=int)
+
+    # Gather, for every model owner i, the validation tuples j that count it
+    # among their k nearest neighbours (excluding j itself).
+    k = min(validation_neighbors, n - 1) if n > 1 else 0
+    validators = [[] for _ in range(n)]
+    if k > 0:
+        for j in range(n):
+            order = learn_cache.order_of(j)
+            neighbors = [idx for idx in order if idx != j][:k]
+            for i in neighbors:
+                validators[i].append(j)
+
+    designs = np.hstack([np.ones((n, 1)), features])
+    for i in range(n):
+        rows = validators[i]
+        if not rows:
+            continue
+        validation_counts[i] = len(rows)
+        # Predictions of tuple i's candidate models on its validation tuples:
+        # (v, d+1) @ (d+1, L) -> (v, L)
+        predictions = designs[rows] @ all_parameters[:, i, :].T
+        errors = (target[rows, None] - predictions) ** 2
+        costs[i] = errors.sum(axis=0)
+
+    # Per-tuple argmin; unvalidated tuples use the globally best candidate.
+    chosen_positions = np.argmin(costs, axis=1)
+    if (validation_counts == 0).any():
+        global_best = int(np.argmin(costs.sum(axis=0)))
+        chosen_positions = np.where(validation_counts == 0, global_best, chosen_positions)
+
+    chosen_ell = candidate_array[chosen_positions]
+    selected = all_parameters[chosen_positions, np.arange(n), :]
+    models = IndividualModels(selected, chosen_ell)
+    return AdaptiveLearningResult(
+        models=models,
+        candidates=candidate_array,
+        chosen_ell=chosen_ell,
+        costs=costs,
+        validation_counts=validation_counts,
+    )

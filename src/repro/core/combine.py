@@ -1,0 +1,114 @@
+"""Combination of imputation candidates (Section III-B3 of the paper).
+
+The imputation phase produces one candidate value per imputation neighbour.
+The paper combines them with a *voting* scheme: each candidate is weighted
+by the inverse of its total distance to the other candidates (Formulas 11
+and 12), so mutually-agreeing candidates dominate and outliers are largely
+ignored.  Two ablation schemes are provided:
+
+* ``uniform`` — the plain average (this is the weighting under which IIM
+  degenerates to kNN when ``ℓ = 1``, Proposition 1);
+* ``distance`` — weights from the inverse neighbour distance on ``F``
+  (closer neighbours trusted more, regardless of candidate agreement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .._validation import as_float_vector
+from ..exceptions import ConfigurationError, DataError
+
+__all__ = [
+    "candidate_vote_weights",
+    "combine_voting",
+    "combine_uniform",
+    "combine_distance",
+    "get_combiner",
+    "COMBINERS",
+]
+
+
+def candidate_vote_weights(candidates: np.ndarray) -> np.ndarray:
+    """Weights of Formula 12: inverse total distance to the other candidates.
+
+    ``c_xi = Σ_j |t^i_x - t^j_x|`` and ``w_xi = c_xi^{-1} / Σ_j c_xj^{-1}``.
+    Candidates at zero total distance (all candidates identical, or a single
+    candidate) receive uniform weight among themselves.
+    """
+    candidates = as_float_vector(candidates, name="candidates")
+    k = candidates.shape[0]
+    if k == 1:
+        return np.ones(1)
+    total_distance = np.abs(candidates[:, None] - candidates[None, :]).sum(axis=1)
+    scale = total_distance.max()
+    if scale <= 0.0:
+        # All candidates identical: share the weight equally.
+        return np.full(k, 1.0 / k)
+    # Work with distances relative to the largest one so the inversion below
+    # cannot overflow for very small (or subnormal) absolute distances.
+    relative = total_distance / scale
+    zero = relative <= 1e-12
+    if zero.any():
+        # (Near-)perfect agreement: candidates at zero total distance share
+        # the weight equally and outliers are ignored.
+        weights = np.zeros(k)
+        weights[zero] = 1.0 / zero.sum()
+        return weights
+    inverse = 1.0 / relative
+    return inverse / inverse.sum()
+
+
+def combine_voting(candidates: np.ndarray, neighbor_distances: Optional[np.ndarray] = None) -> float:
+    """Formula 10 with the voting weights of Formula 12 (the paper's default)."""
+    candidates = as_float_vector(candidates, name="candidates")
+    weights = candidate_vote_weights(candidates)
+    return float(np.dot(candidates, weights))
+
+
+def combine_uniform(candidates: np.ndarray, neighbor_distances: Optional[np.ndarray] = None) -> float:
+    """Plain average of the candidates (uniform weights ``1/|T_x|``)."""
+    candidates = as_float_vector(candidates, name="candidates")
+    return float(candidates.mean())
+
+
+def combine_distance(candidates: np.ndarray, neighbor_distances: Optional[np.ndarray] = None) -> float:
+    """Inverse-neighbour-distance weighting of the candidates.
+
+    Requires the distances of the imputation neighbours to the incomplete
+    tuple on ``F``; a neighbour at distance zero takes all the weight.
+    """
+    candidates = as_float_vector(candidates, name="candidates")
+    if neighbor_distances is None:
+        raise DataError("combine_distance requires the neighbour distances")
+    distances = as_float_vector(neighbor_distances, name="neighbor_distances")
+    if distances.shape[0] != candidates.shape[0]:
+        raise DataError("neighbor_distances must align with the candidates")
+    zero = distances <= 0.0
+    if zero.any():
+        weights = np.zeros(candidates.shape[0])
+        weights[zero] = 1.0 / zero.sum()
+    else:
+        inverse = 1.0 / distances
+        weights = inverse / inverse.sum()
+    return float(np.dot(candidates, weights))
+
+
+#: Registry of candidate-combination schemes.
+COMBINERS: Dict[str, Callable[[np.ndarray, Optional[np.ndarray]], float]] = {
+    "voting": combine_voting,
+    "uniform": combine_uniform,
+    "distance": combine_distance,
+}
+
+
+def get_combiner(name: str) -> Callable[[np.ndarray, Optional[np.ndarray]], float]:
+    """Look up a combination scheme by name."""
+    key = str(name).lower()
+    if key not in COMBINERS:
+        raise ConfigurationError(
+            f"unknown combination scheme {name!r}; available: {sorted(COMBINERS)}"
+        )
+    return COMBINERS[key]

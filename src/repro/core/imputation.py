@@ -1,0 +1,140 @@
+"""The imputation phase of IIM (Algorithm 2 of the paper).
+
+Given the individual models ``Φ`` learned over the complete tuples, an
+incomplete tuple ``t_x`` is imputed in three steps:
+
+* (S1) find its ``k`` nearest complete neighbours on ``F``;
+* (S2) ask each neighbour's individual model for a candidate
+  ``t^j_x[A_m] = (1, t_x[F]) φ_j`` (Formula 9);
+* (S3) combine the candidates, by default with the voting weights of
+  Formulas 11–12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import as_float_matrix, check_positive_int
+from ..exceptions import ConfigurationError
+from ..neighbors import BruteForceNeighbors
+from .combine import get_combiner
+from .learning import IndividualModels
+
+__all__ = ["ImputationTrace", "impute_with_individual_models", "impute_one"]
+
+
+@dataclass
+class ImputationTrace:
+    """Diagnostic record of one imputed value (useful for examples and tests)."""
+
+    value: float
+    neighbor_indices: np.ndarray
+    neighbor_distances: np.ndarray
+    candidates: np.ndarray
+    weights: np.ndarray
+
+
+def impute_one(
+    query_features: np.ndarray,
+    models: IndividualModels,
+    features: np.ndarray,
+    target: np.ndarray,
+    k: int,
+    combination: str = "voting",
+    searcher: Optional[BruteForceNeighbors] = None,
+    metric: str = "paper_euclidean",
+    return_trace: bool = False,
+):
+    """Impute a single incomplete tuple (Algorithm 2).
+
+    Parameters
+    ----------
+    query_features:
+        The incomplete tuple's values on the complete attributes ``F``.
+    models:
+        Individual models learned over the complete tuples.
+    features, target:
+        The complete tuples split into ``F`` columns and the incomplete
+        attribute column (aligned with ``models``).
+    k:
+        Number of imputation neighbours.
+    combination:
+        Candidate combination scheme (``"voting"``, ``"uniform"``,
+        ``"distance"``).
+    searcher:
+        Optional pre-fitted neighbour searcher over ``features``.
+    metric:
+        Distance metric (used when ``searcher`` is not supplied).
+    return_trace:
+        Return an :class:`ImputationTrace` instead of the bare value.
+    """
+    features = as_float_matrix(features, name="features")
+    k = check_positive_int(k, "k")
+    if models.n_models != features.shape[0]:
+        raise ConfigurationError("models and features must describe the same tuples")
+    if k > features.shape[0]:
+        raise ConfigurationError(
+            f"k={k} exceeds the number of complete tuples {features.shape[0]}"
+        )
+    if searcher is None:
+        searcher = BruteForceNeighbors(metric=metric).fit(features)
+    combiner = get_combiner(combination)
+
+    query_features = np.asarray(query_features, dtype=float).ravel()
+    distances, neighbor_indices = searcher.kneighbors(query_features, k)
+    candidates = models.predict(neighbor_indices, query_features)
+    value = combiner(candidates, distances)
+    if not return_trace:
+        return float(value)
+
+    # Recompute the effective weights for the trace (informational only).
+    if combination == "voting":
+        from .combine import candidate_vote_weights
+
+        weights = candidate_vote_weights(candidates)
+    elif combination == "uniform":
+        weights = np.full(candidates.shape[0], 1.0 / candidates.shape[0])
+    else:
+        safe = np.where(distances <= 0, np.nan, distances)
+        if np.isnan(safe).any():
+            weights = np.where(distances <= 0, 1.0, 0.0)
+            weights /= weights.sum()
+        else:
+            weights = (1.0 / safe) / np.sum(1.0 / safe)
+    return ImputationTrace(
+        value=float(value),
+        neighbor_indices=neighbor_indices,
+        neighbor_distances=distances,
+        candidates=candidates,
+        weights=weights,
+    )
+
+
+def impute_with_individual_models(
+    queries: np.ndarray,
+    models: IndividualModels,
+    features: np.ndarray,
+    target: np.ndarray,
+    k: int,
+    combination: str = "voting",
+    metric: str = "paper_euclidean",
+) -> np.ndarray:
+    """Impute a batch of incomplete tuples with shared models and index."""
+    queries = as_float_matrix(queries, name="queries")
+    features = as_float_matrix(features, name="features")
+    searcher = BruteForceNeighbors(metric=metric).fit(features)
+    values = np.empty(queries.shape[0])
+    for row in range(queries.shape[0]):
+        values[row] = impute_one(
+            queries[row],
+            models,
+            features,
+            target,
+            k,
+            combination=combination,
+            searcher=searcher,
+        )
+    return values

@@ -1,0 +1,50 @@
+"""Relational data substrate: relations, missing values, datasets, splits, I/O."""
+
+from .relation import Relation, Schema
+from .missing import (
+    InjectionResult,
+    MissingCell,
+    inject_missing,
+    inject_missing_attribute,
+    inject_missing_cells,
+    inject_missing_clustered,
+)
+from .generators import (
+    make_classification_relation,
+    make_heterogeneous_regression,
+    make_homogeneous_regression,
+    make_piecewise_curve,
+    make_sparse_highdim,
+    make_two_street_example,
+)
+from .datasets import DATASETS, DatasetSpec, dataset_names, dataset_summary, load_dataset
+from .io import read_csv, write_csv
+from .splits import KFold, StratifiedKFold, TrainTestSplit, train_test_split
+
+__all__ = [
+    "Relation",
+    "Schema",
+    "MissingCell",
+    "InjectionResult",
+    "inject_missing",
+    "inject_missing_attribute",
+    "inject_missing_cells",
+    "inject_missing_clustered",
+    "make_heterogeneous_regression",
+    "make_homogeneous_regression",
+    "make_sparse_highdim",
+    "make_piecewise_curve",
+    "make_classification_relation",
+    "make_two_street_example",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "dataset_summary",
+    "read_csv",
+    "write_csv",
+    "KFold",
+    "StratifiedKFold",
+    "TrainTestSplit",
+    "train_test_split",
+]

@@ -1,0 +1,318 @@
+"""Synthetic data generators.
+
+The paper evaluates on UCI/KEEL/Siemens datasets that are not available in
+this offline environment.  These generators produce datasets with the same
+*structural properties* the paper relies on (Table IV):
+
+* **heterogeneous** data — several local linear regimes with different
+  parameters, so no single global regression fits (low ``R²_H``); used to
+  stand in for ASF/CCS/DA.
+* **homogeneous** data — one dominant linear relation (high ``R²_H``); used
+  to stand in for CCPP/PHASE.
+* **sparse high-dimensional** data — wide tables where nearest neighbours do
+  not share values (low ``R²_S``) but one regression model holds globally;
+  used to stand in for CA.
+* **labelled class-structured** data with embedded missing values — used by
+  the clustering/classification application experiments (MAM/HEP).
+
+Every generator is deterministic given its ``random_state``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import (
+    check_fraction,
+    check_positive_float,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import ConfigurationError
+from .relation import Relation, Schema
+
+__all__ = [
+    "make_heterogeneous_regression",
+    "make_homogeneous_regression",
+    "make_sparse_highdim",
+    "make_piecewise_curve",
+    "make_classification_relation",
+    "make_two_street_example",
+]
+
+
+def _latent_positions(rng: np.random.Generator, n: int, n_latents: int, n_blobs: int) -> np.ndarray:
+    """Latent coordinates drawn from a few blobs so neighbourhoods are meaningful."""
+    centers = rng.uniform(-1.0, 1.0, size=(n_blobs, n_latents))
+    assignment = rng.integers(0, n_blobs, size=n)
+    return centers[assignment] + rng.normal(scale=0.25, size=(n, n_latents))
+
+
+def make_heterogeneous_regression(
+    n_tuples: int,
+    n_attributes: int,
+    n_regimes: int = 4,
+    noise: float = 0.05,
+    spread: float = 10.0,
+    regime_offset: float = 1.0,
+    name: str = "heterogeneous",
+    random_state=None,
+) -> Relation:
+    """Data drawn from several *distinct* locally linear regimes.
+
+    Tuples live on a low-dimensional latent manifold; every attribute is a
+    linear read-out of the latent coordinates, but the read-out parameters
+    differ per regime (regimes partition the latent space into contiguous
+    regions, like the "two streets" of the paper's Figure 1).  Attributes
+    are therefore mutually predictable *within* a regime, while no single
+    global regression fits all tuples — the heterogeneity problem.
+
+    Parameters
+    ----------
+    n_tuples, n_attributes:
+        Size of the relation.
+    n_regimes:
+        Number of distinct linear regimes.
+    noise:
+        Relative standard deviation of the per-attribute observation noise.
+    spread:
+        Scale of the attribute values.
+    regime_offset:
+        How far apart the regime-specific read-outs are (0 = homogeneous);
+        larger values make any global model worse.
+    """
+    n_tuples = check_positive_int(n_tuples, "n_tuples")
+    n_attributes = check_positive_int(n_attributes, "n_attributes")
+    if n_attributes < 2:
+        raise ConfigurationError("n_attributes must be >= 2")
+    n_regimes = check_positive_int(n_regimes, "n_regimes")
+    noise = check_positive_float(noise, "noise", allow_zero=True)
+    spread = check_positive_float(spread, "spread")
+    regime_offset = check_positive_float(regime_offset, "regime_offset", allow_zero=True)
+    rng = check_random_state(random_state)
+
+    n_latents = min(2, n_attributes - 1)
+    latents = _latent_positions(rng, n_tuples, n_latents, n_blobs=max(3, n_regimes))
+
+    # Contiguous regimes: partition the latent space along a random direction.
+    anchor = rng.normal(size=n_latents)
+    anchor /= np.linalg.norm(anchor)
+    projection = latents @ anchor
+    regime_edges = np.quantile(projection, np.linspace(0, 1, n_regimes + 1)[1:-1])
+    regimes = np.searchsorted(regime_edges, projection)
+
+    # Shared read-out plus a regime-specific perturbation of comparable size.
+    # Columns are normalised so every attribute carries a comparable amount
+    # of latent signal (no attribute degenerates into pure noise).
+    base_loadings = rng.uniform(-1.0, 1.0, size=(n_latents, n_attributes))
+    base_loadings /= np.linalg.norm(base_loadings, axis=0, keepdims=True)
+    base_intercepts = rng.uniform(-0.5, 0.5, size=n_attributes)
+    values = np.empty((n_tuples, n_attributes))
+    for regime in range(n_regimes):
+        members = regimes == regime
+        if not members.any():
+            continue
+        perturbation = rng.uniform(-1.0, 1.0, size=(n_latents, n_attributes))
+        perturbation /= np.linalg.norm(perturbation, axis=0, keepdims=True)
+        loadings = base_loadings + regime_offset * perturbation
+        intercepts = base_intercepts + regime_offset * rng.uniform(-1.0, 1.0, size=n_attributes)
+        values[members] = intercepts + latents[members] @ loadings
+    values += rng.normal(scale=noise, size=values.shape)
+    values *= spread
+    return Relation(values, Schema.default(n_attributes), name=name)
+
+
+def make_homogeneous_regression(
+    n_tuples: int,
+    n_attributes: int,
+    noise: float = 0.05,
+    spread: float = 10.0,
+    name: str = "homogeneous",
+    random_state=None,
+) -> Relation:
+    """Data following one clear global linear structure (the PHASE/CCPP analogue).
+
+    Every attribute is a linear read-out of shared latent coordinates with
+    small observation noise, so a single global regression predicts any
+    attribute from the others well (high ``R²_H``).
+    """
+    n_tuples = check_positive_int(n_tuples, "n_tuples")
+    n_attributes = check_positive_int(n_attributes, "n_attributes")
+    if n_attributes < 2:
+        raise ConfigurationError("n_attributes must be >= 2")
+    noise = check_positive_float(noise, "noise", allow_zero=True)
+    spread = check_positive_float(spread, "spread")
+    rng = check_random_state(random_state)
+
+    # Two latent factors keep every attribute recoverable from any two others,
+    # which is what gives these datasets their clear global regression.
+    n_latents = min(2, n_attributes - 1)
+    latents = _latent_positions(rng, n_tuples, n_latents, n_blobs=4)
+    loadings = rng.uniform(-1.0, 1.0, size=(n_latents, n_attributes))
+    loadings /= np.linalg.norm(loadings, axis=0, keepdims=True)
+    intercepts = rng.uniform(-0.5, 0.5, size=n_attributes)
+    values = intercepts + latents @ loadings
+    values += rng.normal(scale=noise, size=values.shape)
+    values *= spread
+    return Relation(values, Schema.default(n_attributes), name=name)
+
+
+def make_sparse_highdim(
+    n_tuples: int,
+    n_attributes: int,
+    n_small_attributes: int = 3,
+    noise: float = 0.04,
+    spread: float = 25.0,
+    small_scale: float = 0.05,
+    name: str = "sparse",
+    random_state=None,
+) -> Relation:
+    """Wide data where neighbours rarely share values but one regression holds.
+
+    Two independent latent factors drive two groups of attributes:
+
+    * a *large-scale* group (driven by latent ``v``, value range ``±spread``)
+      that dominates the Euclidean distance of Formula 1, and
+    * a *small-scale* group of ``n_small_attributes`` columns (driven by
+      latent ``u``, value range ``± spread·small_scale``).
+
+    Nearest neighbours are therefore matched almost exclusively on the
+    large-scale attributes; their small-scale values are unrelated to the
+    query's, so neighbour value-sharing fails for those columns (severe
+    sparsity, low ``R²_S``), while a global linear regression still predicts
+    every attribute from its own group accurately (high ``R²_H``) — the
+    profile the paper reports for the high-dimensional CA dataset.
+    """
+    n_tuples = check_positive_int(n_tuples, "n_tuples")
+    n_attributes = check_positive_int(n_attributes, "n_attributes")
+    if n_attributes < 3:
+        raise ConfigurationError("n_attributes must be >= 3 for the two attribute groups")
+    n_small_attributes = check_positive_int(n_small_attributes, "n_small_attributes")
+    if n_small_attributes >= n_attributes:
+        raise ConfigurationError("n_small_attributes must leave at least two large attributes")
+    noise = check_positive_float(noise, "noise", allow_zero=True)
+    spread = check_positive_float(spread, "spread")
+    small_scale = check_positive_float(small_scale, "small_scale")
+    rng = check_random_state(random_state)
+
+    n_large = n_attributes - n_small_attributes
+    u = rng.uniform(-1.0, 1.0, size=(n_tuples, 2))
+    v = rng.uniform(-1.0, 1.0, size=(n_tuples, 2))
+
+    large_loadings = rng.uniform(0.5, 1.0, size=(2, n_large)) * rng.choice(
+        [-1.0, 1.0], size=(2, n_large)
+    )
+    small_loadings = rng.uniform(0.5, 1.0, size=(2, n_small_attributes)) * rng.choice(
+        [-1.0, 1.0], size=(2, n_small_attributes)
+    )
+    large = (v @ large_loadings + rng.normal(scale=noise, size=(n_tuples, n_large))) * spread
+    small = (u @ small_loadings + rng.normal(scale=noise, size=(n_tuples, n_small_attributes)))
+    small *= spread * small_scale
+
+    # Interleave: small-scale attributes go last (A_{m-2} .. A_m), matching
+    # the paper's default of the last attribute being the incomplete one.
+    values = np.column_stack([large, small])
+    return Relation(values, Schema.default(n_attributes), name=name)
+
+
+def make_piecewise_curve(
+    n_tuples: int,
+    n_segments: int = 6,
+    noise: float = 0.05,
+    x_range: float = 100.0,
+    name: str = "curve",
+    random_state=None,
+) -> Relation:
+    """A large two-attribute relation following a piecewise linear curve.
+
+    This is the SN analogue: 2 attributes, many rows, no single global linear
+    relation (the paper reports ``R²_H = 0.05`` for SN) but locally linear
+    structure that individual models capture.
+    """
+    n_tuples = check_positive_int(n_tuples, "n_tuples")
+    n_segments = check_positive_int(n_segments, "n_segments")
+    noise = check_positive_float(noise, "noise", allow_zero=True)
+    x_range = check_positive_float(x_range, "x_range")
+    rng = check_random_state(random_state)
+
+    x = rng.uniform(0.0, x_range, size=n_tuples)
+    knots = np.linspace(0.0, x_range, n_segments + 1)
+    # Positive, segment-specific slopes: the curve is monotone (so either
+    # attribute is locally predictable from the other) but far from a single
+    # straight line, matching SN's low global-regression fit.
+    slopes = rng.uniform(0.05, 1.0, size=n_segments)
+    # Build a continuous piecewise-linear function by accumulating segments.
+    knot_values = np.concatenate([[0.0], np.cumsum(slopes * np.diff(knots))])
+    y = np.interp(x, knots, knot_values) + rng.normal(scale=noise, size=n_tuples)
+    values = np.column_stack([x, y])
+    return Relation(values, Schema.default(2), name=name)
+
+
+def make_classification_relation(
+    n_tuples: int,
+    n_attributes: int,
+    n_classes: int = 2,
+    class_separation: float = 3.0,
+    noise: float = 1.0,
+    missing_fraction: float = 0.0,
+    name: str = "classification",
+    random_state=None,
+) -> Relation:
+    """Labelled, class-structured data with optional embedded missing cells.
+
+    Stands in for the MAM and HEP datasets of Section VI-D2: each class is a
+    Gaussian blob whose attributes are correlated, and a fraction of cells is
+    blanked *without* recording the truth (mirroring real-world missingness).
+    """
+    n_tuples = check_positive_int(n_tuples, "n_tuples")
+    n_attributes = check_positive_int(n_attributes, "n_attributes")
+    n_classes = check_positive_int(n_classes, "n_classes")
+    if n_classes < 2:
+        raise ConfigurationError("n_classes must be >= 2")
+    class_separation = check_positive_float(class_separation, "class_separation")
+    noise = check_positive_float(noise, "noise")
+    if missing_fraction:
+        missing_fraction = check_fraction(missing_fraction, "missing_fraction", inclusive=True)
+    rng = check_random_state(random_state)
+
+    centers = rng.normal(scale=class_separation, size=(n_classes, n_attributes))
+    labels = rng.integers(0, n_classes, size=n_tuples)
+    # Correlated within-class structure: sample latent factors and mix them.
+    mixing = rng.normal(size=(n_attributes, n_attributes))
+    latent = rng.normal(scale=noise, size=(n_tuples, n_attributes))
+    values = centers[labels] + latent @ (0.5 * mixing)
+
+    if missing_fraction > 0:
+        n_cells = n_tuples * n_attributes
+        n_missing = int(round(missing_fraction * n_cells))
+        if n_missing >= n_cells:
+            raise ConfigurationError("missing_fraction would blank every cell")
+        flat = rng.choice(n_cells, size=n_missing, replace=False)
+        rows, cols = np.unravel_index(flat, (n_tuples, n_attributes))
+        values = values.copy()
+        values[rows, cols] = np.nan
+        # Guarantee at least one complete tuple remains so imputers can fit.
+        incomplete = np.isnan(values).any(axis=1)
+        if incomplete.all():
+            values[0] = centers[labels[0]]
+
+    return Relation(values, Schema.default(n_attributes), labels=labels, name=name)
+
+
+def make_two_street_example() -> Relation:
+    """The 8-tuple running example of Figure 1 (tuples ``t1``–``t8``)."""
+    values = np.array(
+        [
+            [0.0, 5.8],
+            [0.8, 4.6],
+            [1.9, 3.8],
+            [2.9, 3.2],
+            [6.8, 3.0],
+            [7.5, 4.1],
+            [8.2, 4.8],
+            [9.0, 5.5],
+        ]
+    )
+    return Relation(values, Schema(["A1", "A2"]), name="figure1")

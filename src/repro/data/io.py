@@ -1,0 +1,146 @@
+"""CSV input/output for relations.
+
+The loaders deliberately avoid pandas: datasets in this reproduction are
+plain numerical CSV files (optionally with a header row and a label column),
+which numpy handles directly.  Missing cells may be encoded as empty fields,
+``?`` (the KEEL/UCI convention) or ``NA``/``NaN``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import DataError
+from .relation import Relation, Schema
+
+__all__ = ["read_csv", "write_csv", "MISSING_TOKENS"]
+
+#: Cell contents interpreted as a missing value when reading CSV files.
+MISSING_TOKENS = frozenset({"", "?", "na", "nan", "null", "none"})
+
+
+def _parse_cell(token: str) -> float:
+    token = token.strip()
+    if token.lower() in MISSING_TOKENS:
+        return float("nan")
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise DataError(f"cannot parse numeric cell {token!r}") from exc
+
+
+def read_csv(
+    path: Union[str, Path],
+    has_header: bool = True,
+    label_column: Optional[Union[int, str]] = None,
+    name: str = "",
+    delimiter: str = ",",
+) -> Relation:
+    """Read a numeric CSV file into a :class:`Relation`.
+
+    Parameters
+    ----------
+    path:
+        Path to the CSV file.
+    has_header:
+        Whether the first row holds attribute names.
+    label_column:
+        Optional column (index or header name) holding integer class labels;
+        it is removed from the numeric attributes and stored as labels.
+    name:
+        Dataset name recorded on the relation (defaults to the file stem).
+    delimiter:
+        Field delimiter.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"CSV file not found: {path}")
+
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    if not rows:
+        raise DataError(f"CSV file {path} is empty")
+
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        body = rows[1:]
+    else:
+        header = [f"A{i + 1}" for i in range(len(rows[0]))]
+        body = rows
+    if not body:
+        raise DataError(f"CSV file {path} has a header but no data rows")
+
+    widths = {len(row) for row in body}
+    if len(widths) != 1:
+        raise DataError(f"CSV file {path} has ragged rows with widths {sorted(widths)}")
+    width = widths.pop()
+    if len(header) != width:
+        raise DataError(
+            f"CSV file {path}: header has {len(header)} fields but rows have {width}"
+        )
+
+    label_index: Optional[int] = None
+    if label_column is not None:
+        if isinstance(label_column, str):
+            if label_column not in header:
+                raise DataError(f"label column {label_column!r} not found in header {header}")
+            label_index = header.index(label_column)
+        else:
+            label_index = int(label_column)
+            if not 0 <= label_index < width:
+                raise DataError(f"label column index {label_index} out of range")
+
+    numeric_columns = [i for i in range(width) if i != label_index]
+    if not numeric_columns:
+        raise DataError("CSV file has no numeric attribute columns besides the label")
+
+    values = np.empty((len(body), len(numeric_columns)), dtype=float)
+    labels: Optional[List[int]] = [] if label_index is not None else None
+    for r, row in enumerate(body):
+        for c, col in enumerate(numeric_columns):
+            values[r, c] = _parse_cell(row[col])
+        if labels is not None:
+            token = row[label_index].strip()
+            try:
+                labels.append(int(float(token)))
+            except ValueError as exc:
+                raise DataError(f"cannot parse class label {token!r} on row {r}") from exc
+
+    schema = Schema([header[i] for i in numeric_columns])
+    return Relation(values, schema, labels, name=name or path.stem)
+
+
+def write_csv(
+    relation: Relation,
+    path: Union[str, Path],
+    include_header: bool = True,
+    label_header: str = "label",
+    missing_token: str = "",
+    delimiter: str = ",",
+) -> Path:
+    """Write a :class:`Relation` to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    values = relation.raw
+    labels = relation.labels
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if include_header:
+            header: Sequence[str] = list(relation.schema.attributes)
+            if labels is not None:
+                header = list(header) + [label_header]
+            writer.writerow(header)
+        for i in range(relation.n_tuples):
+            row = [
+                missing_token if np.isnan(v) else repr(float(v)) for v in values[i]
+            ]
+            if labels is not None:
+                row.append(str(int(labels[i])))
+            writer.writerow(row)
+    return path

@@ -1,0 +1,271 @@
+"""Missing-value injection strategies used by the evaluation protocol.
+
+Section VI-A2 of the paper evaluates imputation by removing known values from
+otherwise complete datasets:
+
+* a random fraction of tuples each lose one value on a random attribute
+  (Tables V, VI and most figures);
+* a *fixed* incomplete attribute can be forced (Table VI varies ``A_x``);
+* incomplete tuples can be *clustered* so that the nearest neighbours of an
+  incomplete tuple are themselves incomplete (Figure 8).
+
+Every injector returns an :class:`InjectionResult` holding the dirty
+relation, the ground-truth values that were removed, and the exact cell
+coordinates, so metrics can later compare imputations against the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import (
+    check_fraction,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import MissingValueError
+from .relation import AttributeRef, Relation
+
+__all__ = [
+    "MissingCell",
+    "InjectionResult",
+    "inject_missing",
+    "inject_missing_cells",
+    "inject_missing_attribute",
+    "inject_missing_clustered",
+]
+
+
+@dataclass(frozen=True)
+class MissingCell:
+    """A single removed cell: tuple index, attribute index and true value."""
+
+    row: int
+    attribute: int
+    true_value: float
+
+
+@dataclass
+class InjectionResult:
+    """The outcome of a missing-value injection.
+
+    Attributes
+    ----------
+    dirty:
+        The relation with the selected cells replaced by NaN.
+    cells:
+        The removed cells together with their ground-truth values, in the
+        order they were removed.
+    """
+
+    dirty: Relation
+    cells: List[MissingCell]
+
+    @property
+    def truth(self) -> np.ndarray:
+        """Ground-truth values for the removed cells, aligned with ``cells``."""
+        return np.array([c.true_value for c in self.cells], dtype=float)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row indices of the removed cells."""
+        return np.array([c.row for c in self.cells], dtype=int)
+
+    @property
+    def attributes(self) -> np.ndarray:
+        """Attribute (column) indices of the removed cells."""
+        return np.array([c.attribute for c in self.cells], dtype=int)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def _require_complete(relation: Relation) -> None:
+    if not relation.is_complete():
+        raise MissingValueError(
+            "missing-value injection requires a complete relation; "
+            f"found {relation.n_missing_cells} pre-existing missing cells"
+        )
+
+
+def _build_result(relation: Relation, coordinates: Sequence[Tuple[int, int]]) -> InjectionResult:
+    values = relation.values
+    cells: List[MissingCell] = []
+    seen = set()
+    for row, col in coordinates:
+        if (row, col) in seen:
+            continue
+        seen.add((row, col))
+        cells.append(MissingCell(row=int(row), attribute=int(col), true_value=float(values[row, col])))
+        values[row, col] = np.nan
+    remaining_complete = ~np.isnan(values).any(axis=1)
+    if not remaining_complete.any():
+        raise MissingValueError(
+            "injection would leave no complete tuple; reduce the missing fraction"
+        )
+    return InjectionResult(dirty=relation.with_values(values), cells=cells)
+
+
+def inject_missing(
+    relation: Relation,
+    fraction: float = 0.05,
+    attributes: Optional[Sequence[AttributeRef]] = None,
+    random_state=None,
+) -> InjectionResult:
+    """Remove one value from a random attribute of ``fraction`` of the tuples.
+
+    This is the paper's default protocol: "we randomly pick 5% tuples as
+    ``t_x`` with one missing value on a random attribute ``A_x``".
+
+    Parameters
+    ----------
+    relation:
+        A complete relation.
+    fraction:
+        Fraction of tuples to make incomplete, in ``(0, 1)``.
+    attributes:
+        Optional restriction of which attributes may be chosen as the
+        incomplete attribute; defaults to all attributes.
+    random_state:
+        Seed or generator for reproducibility.
+    """
+    _require_complete(relation)
+    fraction = check_fraction(fraction, "fraction")
+    rng = check_random_state(random_state)
+    n = relation.n_tuples
+    n_incomplete = max(1, int(round(fraction * n)))
+    if n_incomplete >= n:
+        raise MissingValueError(
+            f"fraction {fraction} would make all {n} tuples incomplete"
+        )
+    if attributes is None:
+        candidate_columns = np.arange(relation.n_attributes)
+    else:
+        candidate_columns = np.asarray(relation.schema.indices_of(attributes), dtype=int)
+        if candidate_columns.size == 0:
+            raise MissingValueError("attributes must contain at least one attribute")
+    rows = rng.choice(n, size=n_incomplete, replace=False)
+    cols = rng.choice(candidate_columns, size=n_incomplete, replace=True)
+    return _build_result(relation, list(zip(rows.tolist(), cols.tolist())))
+
+
+def inject_missing_attribute(
+    relation: Relation,
+    attribute: AttributeRef,
+    n_incomplete: int,
+    random_state=None,
+) -> InjectionResult:
+    """Remove the value of a *fixed* attribute from ``n_incomplete`` random tuples.
+
+    Used by Table VI, which reports the error separately per incomplete
+    attribute ``A_x`` over the ASF dataset.
+    """
+    _require_complete(relation)
+    n_incomplete = check_positive_int(n_incomplete, "n_incomplete")
+    rng = check_random_state(random_state)
+    n = relation.n_tuples
+    if n_incomplete >= n:
+        raise MissingValueError(
+            f"n_incomplete={n_incomplete} must be smaller than the relation size {n}"
+        )
+    column = relation.schema.index_of(attribute)
+    rows = rng.choice(n, size=n_incomplete, replace=False)
+    return _build_result(relation, [(int(r), column) for r in rows])
+
+
+def inject_missing_cells(
+    relation: Relation,
+    coordinates: Sequence[Tuple[int, AttributeRef]],
+) -> InjectionResult:
+    """Remove an explicit list of ``(row, attribute)`` cells.
+
+    Useful for deterministic tests and for replaying a previously recorded
+    missing pattern.
+    """
+    _require_complete(relation)
+    if not coordinates:
+        raise MissingValueError("coordinates must contain at least one cell")
+    resolved = []
+    for row, attribute in coordinates:
+        row = int(row)
+        if not 0 <= row < relation.n_tuples:
+            raise MissingValueError(f"row index {row} out of range")
+        resolved.append((row, relation.schema.index_of(attribute)))
+    return _build_result(relation, resolved)
+
+
+def inject_missing_clustered(
+    relation: Relation,
+    n_incomplete: int,
+    cluster_size: int,
+    attribute: Optional[AttributeRef] = None,
+    random_state=None,
+) -> InjectionResult:
+    """Remove values from *clusters* of nearby tuples (Figure 8's protocol).
+
+    A cluster of size ``s`` means that an incomplete tuple's ``s - 1``
+    closest neighbours (in the full attribute space) are also incomplete, so
+    tuple-model methods cannot find nearby complete tuples.
+
+    Parameters
+    ----------
+    relation:
+        A complete relation.
+    n_incomplete:
+        Total number of incomplete tuples to produce (across all clusters).
+    cluster_size:
+        Number of mutually-close incomplete tuples per cluster
+        (``cluster_size = 1`` degenerates to random injection).
+    attribute:
+        The attribute to blank within each cluster; a random attribute per
+        cluster when ``None``.
+    random_state:
+        Seed or generator for reproducibility.
+    """
+    _require_complete(relation)
+    n_incomplete = check_positive_int(n_incomplete, "n_incomplete")
+    cluster_size = check_positive_int(cluster_size, "cluster_size")
+    rng = check_random_state(random_state)
+    n = relation.n_tuples
+    if n_incomplete >= n:
+        raise MissingValueError(
+            f"n_incomplete={n_incomplete} must be smaller than the relation size {n}"
+        )
+    if cluster_size > n_incomplete:
+        raise MissingValueError(
+            f"cluster_size={cluster_size} cannot exceed n_incomplete={n_incomplete}"
+        )
+
+    values = relation.raw
+    chosen: List[int] = []
+    chosen_set = set()
+    n_clusters = int(np.ceil(n_incomplete / cluster_size))
+    seeds = rng.choice(n, size=n_clusters, replace=False)
+    for seed_row in seeds:
+        if len(chosen) >= n_incomplete:
+            break
+        remaining = n_incomplete - len(chosen)
+        want = min(cluster_size, remaining)
+        # Gather the seed tuple plus its closest unchosen neighbours.
+        deltas = values - values[seed_row]
+        distances = np.sqrt(np.mean(deltas * deltas, axis=1))
+        order = np.argsort(distances, kind="stable")
+        members = []
+        for candidate in order:
+            if candidate in chosen_set:
+                continue
+            members.append(int(candidate))
+            if len(members) == want:
+                break
+        for member in members:
+            chosen.append(member)
+            chosen_set.add(member)
+
+    if attribute is None:
+        columns = rng.integers(0, relation.n_attributes, size=len(chosen))
+    else:
+        columns = np.full(len(chosen), relation.schema.index_of(attribute), dtype=int)
+    return _build_result(relation, list(zip(chosen, columns.tolist())))

@@ -1,0 +1,321 @@
+"""Relational substrate: :class:`Schema` and :class:`Relation`.
+
+The paper operates on a relation ``r`` of ``n`` tuples over a schema ``R`` of
+``m`` numerical attributes, with missing values confined to an *incomplete
+attribute* per tuple.  :class:`Relation` is a light-weight columnar table
+built on a single float64 matrix with NaN marking missing cells, plus an
+optional label column used by the downstream classification/clustering
+applications of Section VI-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from ..exceptions import DataError, SchemaError
+
+__all__ = ["Schema", "Relation"]
+
+AttributeRef = Union[int, str]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of attribute names, ``R = {A1, ..., Am}``.
+
+    Attribute names must be unique non-empty strings.  The schema supports
+    resolving attributes given either their name or positional index, which
+    keeps the rest of the library agnostic to how callers refer to columns.
+    """
+
+    attributes: Tuple[str, ...]
+    _index: Dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __init__(self, attributes: Sequence[str]):
+        attributes = tuple(str(a) for a in attributes)
+        if len(attributes) == 0:
+            raise SchemaError("a schema must contain at least one attribute")
+        if any(not a for a in attributes):
+            raise SchemaError("attribute names must be non-empty strings")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"attribute names must be unique, got {attributes}")
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "_index", {a: i for i, a in enumerate(attributes)})
+
+    @classmethod
+    def default(cls, m: int) -> "Schema":
+        """Build the paper's default schema ``A1, ..., Am``."""
+        if m < 1:
+            raise SchemaError(f"schema width must be >= 1, got {m}")
+        return cls([f"A{j + 1}" for j in range(m)])
+
+    @property
+    def width(self) -> int:
+        """Number of attributes ``m``."""
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, attribute: AttributeRef) -> bool:
+        if isinstance(attribute, str):
+            return attribute in self._index
+        return isinstance(attribute, (int, np.integer)) and 0 <= attribute < self.width
+
+    def index_of(self, attribute: AttributeRef) -> int:
+        """Resolve an attribute name or index (negative indices allowed) to a column index."""
+        if isinstance(attribute, (int, np.integer)) and not isinstance(attribute, bool):
+            index = int(attribute)
+            if index < 0:
+                index += self.width
+            if not 0 <= index < self.width:
+                raise SchemaError(
+                    f"attribute index {attribute} out of range for schema of width {self.width}"
+                )
+            return index
+        if isinstance(attribute, str):
+            if attribute not in self._index:
+                raise SchemaError(f"unknown attribute {attribute!r}; schema has {self.attributes}")
+            return self._index[attribute]
+        raise SchemaError(f"attribute reference must be an int or str, got {attribute!r}")
+
+    def indices_of(self, attributes: Iterable[AttributeRef]) -> List[int]:
+        """Resolve a collection of attribute references to column indices."""
+        return [self.index_of(a) for a in attributes]
+
+    def name_of(self, index: int) -> str:
+        """Return the attribute name at ``index``."""
+        return self.attributes[self.index_of(index)]
+
+    def complement(self, attributes: Iterable[AttributeRef]) -> List[int]:
+        """Column indices of ``R \\ attributes`` (the paper's complete attributes F)."""
+        excluded = set(self.indices_of(attributes))
+        return [i for i in range(self.width) if i not in excluded]
+
+
+class Relation:
+    """A relation of numerical tuples with optional missing cells and labels.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n, m)``.  NaN entries denote missing cells.
+    schema:
+        Attribute names; defaults to ``A1..Am``.
+    labels:
+        Optional integer class labels of length ``n`` used by the
+        classification application (Section VI-D2 of the paper).
+    name:
+        Optional dataset name carried through for reporting.
+    """
+
+    def __init__(
+        self,
+        values,
+        schema: Optional[Union[Schema, Sequence[str]]] = None,
+        labels: Optional[Sequence[int]] = None,
+        name: str = "",
+    ):
+        self._values = as_float_matrix(values, name="values", allow_nan=True)
+        n, m = self._values.shape
+        if schema is None:
+            self._schema = Schema.default(m)
+        elif isinstance(schema, Schema):
+            self._schema = schema
+        else:
+            self._schema = Schema(schema)
+        if self._schema.width != m:
+            raise SchemaError(
+                f"schema width {self._schema.width} does not match data width {m}"
+            )
+        if labels is None:
+            self._labels: Optional[np.ndarray] = None
+        else:
+            labels = np.asarray(labels)
+            if labels.shape != (n,):
+                raise DataError(
+                    f"labels must have shape ({n},), got {labels.shape}"
+                )
+            self._labels = labels.copy()
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying ``(n, m)`` float matrix (a defensive copy)."""
+        return self._values.copy()
+
+    @property
+    def raw(self) -> np.ndarray:
+        """Read-only view of the underlying matrix (no copy)."""
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def schema(self) -> Schema:
+        """The relation schema."""
+        return self._schema
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        """Class labels, or ``None`` when the relation is unlabelled."""
+        return None if self._labels is None else self._labels.copy()
+
+    @property
+    def n_tuples(self) -> int:
+        """Number of tuples ``n``."""
+        return self._values.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes ``m``."""
+        return self._values.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n, m)``."""
+        return self._values.shape
+
+    def __len__(self) -> int:
+        return self.n_tuples
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"Relation(n={self.n_tuples}, m={self.n_attributes},"
+            f" missing={self.n_missing_cells}{label})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Missing-value structure
+    # ------------------------------------------------------------------ #
+    @property
+    def missing_mask(self) -> np.ndarray:
+        """Boolean ``(n, m)`` mask, True where a cell is missing."""
+        return np.isnan(self._values)
+
+    @property
+    def n_missing_cells(self) -> int:
+        """Total number of missing cells."""
+        return int(np.isnan(self._values).sum())
+
+    @property
+    def incomplete_rows(self) -> np.ndarray:
+        """Indices of tuples containing at least one missing cell."""
+        return np.flatnonzero(np.isnan(self._values).any(axis=1))
+
+    @property
+    def complete_rows(self) -> np.ndarray:
+        """Indices of tuples without missing cells."""
+        return np.flatnonzero(~np.isnan(self._values).any(axis=1))
+
+    def is_complete(self) -> bool:
+        """Whether the relation has no missing cell at all."""
+        return self.n_missing_cells == 0
+
+    def complete_part(self) -> "Relation":
+        """The sub-relation of complete tuples (the paper's ``r``)."""
+        return self.select_rows(self.complete_rows)
+
+    def incomplete_part(self) -> "Relation":
+        """The sub-relation of incomplete tuples (the paper's ``{t_x}``)."""
+        return self.select_rows(self.incomplete_rows)
+
+    # ------------------------------------------------------------------ #
+    # Access and manipulation
+    # ------------------------------------------------------------------ #
+    def column(self, attribute: AttributeRef) -> np.ndarray:
+        """Values of one attribute as a 1-D array (copy)."""
+        return self._values[:, self._schema.index_of(attribute)].copy()
+
+    def columns(self, attributes: Iterable[AttributeRef]) -> np.ndarray:
+        """Values of several attributes as an ``(n, len(attributes))`` array."""
+        indices = self._schema.indices_of(attributes)
+        return self._values[:, indices].copy()
+
+    def row(self, index: int) -> np.ndarray:
+        """One tuple as a 1-D array (copy)."""
+        return self._values[index].copy()
+
+    def select_rows(self, indices) -> "Relation":
+        """A new relation restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=int)
+        labels = None if self._labels is None else self._labels[indices]
+        return Relation(self._values[indices], self._schema, labels, name=self.name)
+
+    def select_attributes(self, attributes: Iterable[AttributeRef]) -> "Relation":
+        """A new relation restricted to the given attributes (order preserved)."""
+        indices = self._schema.indices_of(attributes)
+        if not indices:
+            raise SchemaError("cannot project onto an empty attribute list")
+        names = [self._schema.attributes[i] for i in indices]
+        return Relation(self._values[:, indices], Schema(names), self._labels, name=self.name)
+
+    def with_values(self, values: np.ndarray) -> "Relation":
+        """A new relation with the same schema/labels but different cell values."""
+        return Relation(values, self._schema, self._labels, name=self.name)
+
+    def set_cell(self, row: int, attribute: AttributeRef, value: float) -> "Relation":
+        """Return a copy of the relation with one cell replaced."""
+        values = self._values.copy()
+        values[row, self._schema.index_of(attribute)] = value
+        return self.with_values(values)
+
+    def drop_incomplete(self) -> "Relation":
+        """Discard incomplete tuples (the "Missing" column of Table VII)."""
+        return self.complete_part()
+
+    def copy(self) -> "Relation":
+        """Deep copy of the relation."""
+        return Relation(self._values.copy(), self._schema, self._labels, name=self.name)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Stack two relations sharing the same schema."""
+        if other.schema.attributes != self._schema.attributes:
+            raise SchemaError("cannot concatenate relations with different schemas")
+        values = np.vstack([self._values, other._values])
+        if self._labels is None and other._labels is None:
+            labels = None
+        elif self._labels is not None and other._labels is not None:
+            labels = np.concatenate([self._labels, other._labels])
+        else:
+            raise DataError("cannot concatenate a labelled relation with an unlabelled one")
+        return Relation(values, self._schema, labels, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Statistics used throughout the library
+    # ------------------------------------------------------------------ #
+    def column_means(self, skip_missing: bool = True) -> np.ndarray:
+        """Per-attribute mean, ignoring missing cells when requested."""
+        if skip_missing:
+            with np.errstate(invalid="ignore"):
+                return np.nanmean(self._values, axis=0)
+        return self._values.mean(axis=0)
+
+    def column_stds(self, skip_missing: bool = True) -> np.ndarray:
+        """Per-attribute standard deviation, ignoring missing cells when requested."""
+        if skip_missing:
+            with np.errstate(invalid="ignore"):
+                return np.nanstd(self._values, axis=0)
+        return self._values.std(axis=0)
+
+    def summary(self) -> Dict[str, object]:
+        """A plain-dict summary used by the experiment reporting layer."""
+        return {
+            "name": self.name,
+            "n_tuples": self.n_tuples,
+            "n_attributes": self.n_attributes,
+            "n_missing_cells": self.n_missing_cells,
+            "n_incomplete_tuples": int(len(self.incomplete_rows)),
+            "has_labels": self._labels is not None,
+        }

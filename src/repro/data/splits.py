@@ -1,0 +1,151 @@
+"""Train/test splitting and k-fold cross validation over relations.
+
+The downstream-application experiments (Section VI-D of the paper) use 5-fold
+cross validation of a kNN classifier over datasets with real missing values.
+These helpers provide deterministic, seedable splits that work directly on
+:class:`~repro.data.relation.Relation` objects or on row-index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_fraction, check_positive_int, check_random_state
+from ..exceptions import DataError
+from .relation import Relation
+
+__all__ = ["TrainTestSplit", "train_test_split", "KFold", "StratifiedKFold"]
+
+
+@dataclass
+class TrainTestSplit:
+    """Row indices of a train/test partition plus the derived sub-relations."""
+
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+    train: Relation
+    test: Relation
+
+
+def train_test_split(
+    relation: Relation,
+    test_fraction: float = 0.2,
+    random_state=None,
+) -> TrainTestSplit:
+    """Randomly partition a relation into train and test sub-relations."""
+    test_fraction = check_fraction(test_fraction, "test_fraction")
+    rng = check_random_state(random_state)
+    n = relation.n_tuples
+    n_test = int(round(test_fraction * n))
+    if n_test < 1 or n_test >= n:
+        raise DataError(
+            f"test_fraction={test_fraction} yields an empty train or test side for n={n}"
+        )
+    permutation = rng.permutation(n)
+    test_indices = np.sort(permutation[:n_test])
+    train_indices = np.sort(permutation[n_test:])
+    return TrainTestSplit(
+        train_indices=train_indices,
+        test_indices=test_indices,
+        train=relation.select_rows(train_indices),
+        test=relation.select_rows(test_indices),
+    )
+
+
+class KFold:
+    """Deterministic k-fold splitter over row indices.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (>= 2).
+    shuffle:
+        Whether to shuffle row order before slicing folds.
+    random_state:
+        Seed for the shuffle.
+    """
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state=None):
+        self.n_splits = check_positive_int(n_splits, "n_splits")
+        if self.n_splits < 2:
+            raise DataError("n_splits must be >= 2")
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, n_rows: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n_rows = check_positive_int(n_rows, "n_rows")
+        if n_rows < self.n_splits:
+            raise DataError(
+                f"cannot split {n_rows} rows into {self.n_splits} folds"
+            )
+        indices = np.arange(n_rows)
+        if self.shuffle:
+            rng = check_random_state(self.random_state)
+            indices = rng.permutation(n_rows)
+        fold_sizes = np.full(self.n_splits, n_rows // self.n_splits, dtype=int)
+        fold_sizes[: n_rows % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = np.sort(indices[start : start + size])
+            train = np.sort(np.concatenate([indices[:start], indices[start + size :]]))
+            yield train, test
+            start += size
+
+    def split_relation(self, relation: Relation) -> Iterator[Tuple[Relation, Relation]]:
+        """Yield ``(train, test)`` sub-relations."""
+        for train_idx, test_idx in self.split(relation.n_tuples):
+            yield relation.select_rows(train_idx), relation.select_rows(test_idx)
+
+
+class StratifiedKFold:
+    """K-fold splitter that preserves class proportions in every fold.
+
+    Used for the classification application so that small classes (e.g. in
+    the HEP-like dataset with only 200 tuples) appear in every test fold.
+    """
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state=None):
+        self.n_splits = check_positive_int(n_splits, "n_splits")
+        if self.n_splits < 2:
+            raise DataError("n_splits must be >= 2")
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, labels) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` stratified on ``labels``."""
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or labels.shape[0] == 0:
+            raise DataError("labels must be a non-empty 1-D array")
+        n_rows = labels.shape[0]
+        if n_rows < self.n_splits:
+            raise DataError(f"cannot split {n_rows} rows into {self.n_splits} folds")
+        rng = check_random_state(self.random_state)
+
+        # Assign each row to a fold, round-robin within its class.
+        fold_of_row = np.empty(n_rows, dtype=int)
+        for label in np.unique(labels):
+            rows = np.flatnonzero(labels == label)
+            if self.shuffle:
+                rows = rng.permutation(rows)
+            fold_of_row[rows] = np.arange(rows.size) % self.n_splits
+
+        for fold in range(self.n_splits):
+            test = np.flatnonzero(fold_of_row == fold)
+            train = np.flatnonzero(fold_of_row != fold)
+            if test.size == 0 or train.size == 0:
+                raise DataError(
+                    "stratified split produced an empty fold; reduce n_splits"
+                )
+            yield np.sort(train), np.sort(test)
+
+    def split_relation(self, relation: Relation) -> Iterator[Tuple[Relation, Relation]]:
+        """Yield ``(train, test)`` sub-relations stratified on the relation labels."""
+        labels = relation.labels
+        if labels is None:
+            raise DataError("StratifiedKFold requires a labelled relation")
+        for train_idx, test_idx in self.split(labels):
+            yield relation.select_rows(train_idx), relation.select_rows(test_idx)

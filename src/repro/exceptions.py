@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single exception type at API boundaries while still being able to
+distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An estimator or harness was configured with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a prior ``fit`` call was used before fitting."""
+
+
+class DataError(ReproError):
+    """Input data is malformed (wrong shape, wrong dtype, empty, ...)."""
+
+
+class SchemaError(DataError):
+    """A relation schema is inconsistent with the data or with a request."""
+
+
+class MissingValueError(DataError):
+    """A missing-value pattern is invalid for the requested operation."""
+
+
+class DatasetError(ReproError):
+    """A named dataset could not be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked to run an inconsistent configuration."""

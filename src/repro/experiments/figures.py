@@ -1,0 +1,465 @@
+"""Runners for the paper's Figures 4 through 13.
+
+Every figure in the paper's evaluation plots imputation RMS error and/or
+time against one swept parameter.  Each runner here performs the same sweep
+and returns a :class:`FigureResult` with one series per method (and, for the
+timing figures, per learning variant), which ``render()`` turns into an
+aligned text table — the offline equivalent of the gnuplot output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import figure_comparison_methods, make_imputer
+from ..core import IIMImputer, adaptive_learning, candidate_ell_values
+from ..core.learning import learn_models_for_candidates
+from ..data.datasets import load_dataset
+from ..data.missing import inject_missing_attribute, inject_missing_clustered
+from ..data.relation import Relation
+from ..metrics import rms_error
+from .harness import compare_methods, default_method_overrides, run_method_on_injection
+from .reporting import format_series
+from .settings import ScaleProfile, get_profile
+
+__all__ = [
+    "FigureResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+]
+
+
+@dataclass
+class FigureResult:
+    """Series data backing one figure (RMS and/or time per swept value)."""
+
+    figure: str
+    x_label: str
+    x_values: List[object] = field(default_factory=list)
+    rms: Dict[str, List[float]] = field(default_factory=dict)
+    seconds: Dict[str, List[float]] = field(default_factory=dict)
+    profile: str = "bench"
+
+    def rms_series(self, method: str) -> List[float]:
+        """The RMS series of one method."""
+        return list(self.rms[method])
+
+    def time_series(self, method: str) -> List[float]:
+        """The timing series of one method."""
+        return list(self.seconds[method])
+
+    def render(self) -> str:
+        """Aligned text rendering: one block for RMS, one for time."""
+        blocks = []
+        title = f"{self.figure} ({self.profile} profile)"
+        if self.rms:
+            blocks.append(
+                format_series(self.x_label, self.x_values, self.rms, title=f"{title} - RMS error")
+            )
+        if self.seconds:
+            blocks.append(
+                format_series(
+                    self.x_label, self.x_values, self.seconds, title=f"{title} - time (s)", digits=4
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _record(result: FigureResult, method: str, rms: float, seconds: float) -> None:
+    result.rms.setdefault(method, []).append(rms)
+    result.seconds.setdefault(method, []).append(seconds)
+
+
+# --------------------------------------------------------------------------- #
+# Figures 4 & 5: varying the number of complete attributes |F|
+# --------------------------------------------------------------------------- #
+def _attribute_sweep(
+    figure: str,
+    dataset: str,
+    attribute_counts: Sequence[int],
+    n_incomplete: int,
+    methods: Sequence[str],
+    profile: ScaleProfile,
+    random_state: int,
+) -> FigureResult:
+    relation = load_dataset(dataset, size=profile.dataset_sizes.get(dataset))
+    target = relation.schema.attributes[-1]
+    other_attributes = list(relation.schema.attributes[:-1])
+    overrides = default_method_overrides(profile)
+    result = FigureResult(
+        figure=figure, x_label="#complete attributes", profile=profile.name
+    )
+
+    for count in attribute_counts:
+        count = min(count, len(other_attributes))
+        projected = relation.select_attributes(other_attributes[:count] + [target])
+        injection = inject_missing_attribute(
+            projected, target, n_incomplete=n_incomplete, random_state=random_state
+        )
+        comparison = compare_methods(
+            injection, methods, dataset_name=dataset, method_overrides=overrides
+        )
+        result.x_values.append(count)
+        for method in methods:
+            run = comparison.runs[method]
+            _record(result, method, comparison.rms_of(method), run.impute_seconds)
+    return result
+
+
+def figure4(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 4: RMS and time vs. number of complete attributes, over ASF."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else figure_comparison_methods()
+    return _attribute_sweep(
+        "Figure 4", "asf", profile.attribute_counts_asf, profile.asf_incomplete,
+        methods, profile, random_state,
+    )
+
+
+def figure5(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 5: RMS and time vs. number of complete attributes, over CA."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else figure_comparison_methods()
+    return _attribute_sweep(
+        "Figure 5", "ca", profile.attribute_counts_ca, profile.ca_incomplete,
+        methods, profile, random_state,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 6 & 7: varying the number of complete tuples n
+# --------------------------------------------------------------------------- #
+def _tuple_sweep(
+    figure: str,
+    dataset: str,
+    tuple_counts: Sequence[int],
+    n_incomplete: int,
+    methods: Sequence[str],
+    profile: ScaleProfile,
+    random_state: int,
+) -> FigureResult:
+    overrides = default_method_overrides(profile)
+    result = FigureResult(figure=figure, x_label="#complete tuples", profile=profile.name)
+    full = load_dataset(dataset, size=max(tuple_counts) + n_incomplete)
+    target = full.schema.attributes[-1]
+    rng = np.random.default_rng(random_state)
+
+    for n in tuple_counts:
+        rows = np.sort(rng.choice(full.n_tuples, size=n + n_incomplete, replace=False))
+        subset = full.select_rows(rows)
+        injection = inject_missing_attribute(
+            subset, target, n_incomplete=n_incomplete, random_state=random_state
+        )
+        comparison = compare_methods(
+            injection, methods, dataset_name=dataset, method_overrides=overrides
+        )
+        result.x_values.append(n)
+        for method in methods:
+            run = comparison.runs[method]
+            _record(result, method, comparison.rms_of(method), run.impute_seconds)
+    return result
+
+
+def figure6(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 6: RMS and time vs. number of complete tuples, over ASF."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else figure_comparison_methods()
+    return _tuple_sweep(
+        "Figure 6", "asf", profile.tuple_counts_asf, profile.asf_incomplete,
+        methods, profile, random_state,
+    )
+
+
+def figure7(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 7: RMS and time vs. number of complete tuples, over CA."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else figure_comparison_methods()
+    return _tuple_sweep(
+        "Figure 7", "ca", profile.tuple_counts_ca, profile.ca_incomplete,
+        methods, profile, random_state,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8: varying the cluster size of incomplete tuples
+# --------------------------------------------------------------------------- #
+def figure8(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 8: RMS and time vs. the cluster size of incomplete tuples (ASF)."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else figure_comparison_methods()
+    overrides = default_method_overrides(profile)
+    relation = load_dataset("asf", size=profile.dataset_sizes.get("asf"))
+    target = relation.schema.attributes[-1]
+    result = FigureResult(
+        figure="Figure 8", x_label="cluster size of incomplete tuples", profile=profile.name
+    )
+
+    for cluster_size in profile.cluster_sizes:
+        injection = inject_missing_clustered(
+            relation,
+            n_incomplete=profile.asf_incomplete,
+            cluster_size=cluster_size,
+            attribute=target,
+            random_state=random_state,
+        )
+        comparison = compare_methods(
+            injection, methods, dataset_name="asf", method_overrides=overrides
+        )
+        result.x_values.append(cluster_size)
+        for method in methods:
+            run = comparison.runs[method]
+            _record(result, method, comparison.rms_of(method), run.impute_seconds)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figures 9 & 10: varying the number of imputation neighbours k
+# --------------------------------------------------------------------------- #
+def _k_sweep(
+    figure: str,
+    dataset: str,
+    n_incomplete: int,
+    methods: Sequence[str],
+    profile: ScaleProfile,
+    random_state: int,
+) -> FigureResult:
+    relation = load_dataset(dataset, size=profile.dataset_sizes.get(dataset))
+    target = relation.schema.attributes[-1]
+    injection = inject_missing_attribute(
+        relation, target, n_incomplete=n_incomplete, random_state=random_state
+    )
+    n_complete = injection.dirty.complete_part().n_tuples
+    result = FigureResult(figure=figure, x_label="#imputation neighbors k", profile=profile.name)
+
+    for k in profile.imputation_neighbors:
+        if k > n_complete:
+            continue
+        result.x_values.append(k)
+        for method in methods:
+            overrides: Dict[str, object] = {"k": k}
+            if method == "IIM":
+                overrides.update(
+                    stepping=profile.iim_stepping,
+                    max_learning_neighbors=profile.iim_max_learning_neighbors,
+                )
+            imputer = make_imputer(method, **overrides)
+            run = run_method_on_injection(imputer, injection, method)
+            _record(result, method, run.rms if not run.failed else float("nan"), run.impute_seconds)
+    return result
+
+
+def figure9(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 9: RMS and time vs. the number of imputation neighbours, over ASF."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else ["kNN", "IIM", "kNNE"]
+    return _k_sweep("Figure 9", "asf", profile.asf_incomplete, methods, profile, random_state)
+
+
+def figure10(
+    methods: Optional[Sequence[str]] = None,
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 10: RMS and time vs. the number of imputation neighbours, over CA."""
+    profile = profile or get_profile()
+    methods = list(methods) if methods is not None else ["kNN", "IIM", "kNNE"]
+    return _k_sweep("Figure 10", "ca", profile.ca_incomplete, methods, profile, random_state)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11: fixed ℓ vs. adaptive learning
+# --------------------------------------------------------------------------- #
+def figure11(
+    datasets: Sequence[str] = ("asf", "ca"),
+    profile: Optional[ScaleProfile] = None,
+    random_state: int = 0,
+) -> Dict[str, FigureResult]:
+    """Figure 11: imputation error of fixed-ℓ learning vs. adaptive learning.
+
+    Returns one :class:`FigureResult` per dataset; the ``"Adaptive"`` series
+    is constant across the swept ℓ values (it does not depend on them), as
+    in the paper's horizontal reference line.
+    """
+    profile = profile or get_profile()
+    results: Dict[str, FigureResult] = {}
+
+    for dataset in datasets:
+        relation = load_dataset(dataset, size=profile.dataset_sizes.get(dataset))
+        target = relation.schema.attributes[-1]
+        n_incomplete = profile.asf_incomplete if dataset == "asf" else profile.ca_incomplete
+        injection = inject_missing_attribute(
+            relation, target, n_incomplete=n_incomplete, random_state=random_state
+        )
+        n_complete = injection.dirty.complete_part().n_tuples
+        result = FigureResult(
+            figure=f"Figure 11 ({dataset.upper()})",
+            x_label="#learning neighbors l",
+            profile=profile.name,
+        )
+
+        adaptive = IIMImputer(
+            k=profile.default_k,
+            learning="adaptive",
+            stepping=profile.iim_stepping,
+            max_learning_neighbors=profile.iim_max_learning_neighbors,
+        )
+        adaptive_run = run_method_on_injection(adaptive, injection, "Adaptive")
+
+        for ell in profile.learning_neighbors:
+            if ell > n_complete:
+                continue
+            result.x_values.append(ell)
+            fixed = IIMImputer(k=profile.default_k, learning="fixed", learning_neighbors=ell)
+            fixed_run = run_method_on_injection(fixed, injection, "Fixed")
+            _record(result, "Fixed l", fixed_run.rms, fixed_run.total_seconds)
+            _record(result, "Adaptive", adaptive_run.rms, adaptive_run.total_seconds)
+        results[dataset] = result
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12: scalability of adaptive learning (straightforward vs incremental)
+# --------------------------------------------------------------------------- #
+def figure12(
+    datasets: Sequence[str] = ("sn", "ca"),
+    profile: Optional[ScaleProfile] = None,
+    stepping: Optional[int] = None,
+    random_state: int = 0,
+) -> Dict[str, FigureResult]:
+    """Figure 12: adaptive-learning (model determination) time vs. n.
+
+    Compares the straightforward re-learning of Algorithm 3 against the
+    incremental computation of Proposition 3 (both with the same stepping,
+    the paper uses h = 50).
+    """
+    profile = profile or get_profile()
+    stepping = stepping if stepping is not None else max(profile.iim_stepping, 10)
+    results: Dict[str, FigureResult] = {}
+
+    for dataset in datasets:
+        result = FigureResult(
+            figure=f"Figure 12 ({dataset.upper()})",
+            x_label="#complete tuples",
+            profile=profile.name,
+        )
+        full = load_dataset(dataset, size=max(profile.scalability_tuple_counts))
+        target_index = full.n_attributes - 1
+        feature_indices = [i for i in range(full.n_attributes) if i != target_index]
+        values = full.raw
+
+        for n in profile.scalability_tuple_counts:
+            features = values[:n, feature_indices]
+            target = values[:n, target_index]
+            candidates = candidate_ell_values(
+                n, stepping=stepping, max_ell=min(n, profile.iim_max_learning_neighbors)
+            )
+            timings = {}
+            for variant, incremental in (("Straightforward", False), ("Incremental", True)):
+                start = time.perf_counter()
+                adaptive_learning(
+                    features,
+                    target,
+                    validation_neighbors=profile.default_k,
+                    candidates=candidates,
+                    incremental=incremental,
+                )
+                timings[variant] = time.perf_counter() - start
+            result.x_values.append(n)
+            for variant, seconds in timings.items():
+                result.seconds.setdefault(variant, []).append(seconds)
+        results[dataset] = result
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 13: trade-off via stepping h
+# --------------------------------------------------------------------------- #
+def figure13(
+    profile: Optional[ScaleProfile] = None,
+    dataset: str = "asf",
+    random_state: int = 0,
+) -> FigureResult:
+    """Figure 13: imputation RMS and determination time vs. the stepping h.
+
+    Both the straightforward and the incremental determination are timed;
+    their imputation errors are identical (asserted in the test suite), so a
+    single RMS series is reported.
+    """
+    profile = profile or get_profile()
+    relation = load_dataset(dataset, size=profile.dataset_sizes.get(dataset))
+    target = relation.schema.attributes[-1]
+    injection = inject_missing_attribute(
+        relation, target, n_incomplete=profile.asf_incomplete, random_state=random_state
+    )
+    complete = injection.dirty.complete_part()
+    target_index = complete.n_attributes - 1
+    feature_indices = [i for i in range(complete.n_attributes) if i != target_index]
+    features = complete.raw[:, feature_indices]
+    target_values = complete.raw[:, target_index]
+    queries = injection.dirty.raw[np.ix_(injection.rows, feature_indices)]
+    n_complete = complete.n_tuples
+
+    result = FigureResult(figure="Figure 13", x_label="stepping h", profile=profile.name)
+    max_ell = min(n_complete, profile.iim_max_learning_neighbors)
+
+    from ..core.imputation import impute_with_individual_models
+
+    for h in profile.stepping_values:
+        candidates = candidate_ell_values(n_complete, stepping=h, max_ell=max_ell)
+        timings = {}
+        models = None
+        for variant, incremental in (("Straightforward", False), ("Incremental", True)):
+            start = time.perf_counter()
+            outcome = adaptive_learning(
+                features,
+                target_values,
+                validation_neighbors=profile.default_k,
+                candidates=candidates,
+                incremental=incremental,
+            )
+            timings[variant] = time.perf_counter() - start
+            models = outcome.models
+        imputed = impute_with_individual_models(
+            queries, models, features, target_values, k=min(profile.default_k, n_complete)
+        )
+        result.x_values.append(h)
+        result.rms.setdefault("IIM", []).append(rms_error(injection.truth, imputed))
+        for variant, seconds in timings.items():
+            result.seconds.setdefault(variant, []).append(seconds)
+    return result

@@ -1,0 +1,178 @@
+"""Generic experiment harness shared by every table and figure runner.
+
+The harness factors out the paper's evaluation protocol:
+
+1. build (or accept) a complete relation;
+2. inject missing values under one of the protocols of Section VI-A2;
+3. fit each method on the complete part, impute, and time the two phases;
+4. score the imputations against the held-out truth with RMS error.
+
+Results come back as plain dataclasses so the table/figure runners and the
+pytest benchmarks can format or assert on them without re-running anything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import make_imputer
+from ..baselines.base import BaseImputer
+from ..data.missing import InjectionResult
+from ..data.relation import Relation
+from ..exceptions import ExperimentError
+from ..metrics import rms_error
+
+__all__ = [
+    "MethodRun",
+    "ComparisonRun",
+    "run_method_on_injection",
+    "compare_methods",
+    "default_method_overrides",
+]
+
+
+@dataclass
+class MethodRun:
+    """Outcome of one method on one dirty relation."""
+
+    method: str
+    rms: float
+    fit_seconds: float
+    impute_seconds: float
+    n_imputed: int
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the method raised instead of producing imputations."""
+        return self.error is not None
+
+    @property
+    def total_seconds(self) -> float:
+        """Fit plus impute time."""
+        return self.fit_seconds + self.impute_seconds
+
+
+@dataclass
+class ComparisonRun:
+    """Outcome of several methods on the same injected relation."""
+
+    dataset: str
+    n_tuples: int
+    n_attributes: int
+    n_incomplete: int
+    runs: Dict[str, MethodRun] = field(default_factory=dict)
+
+    def rms_of(self, method: str) -> float:
+        """RMS error of one method (NaN when the method failed)."""
+        run = self.runs[method]
+        return float("nan") if run.failed else run.rms
+
+    def best_method(self) -> str:
+        """The method with the lowest RMS among those that succeeded."""
+        valid = {name: run.rms for name, run in self.runs.items() if not run.failed}
+        if not valid:
+            raise ExperimentError("no method produced a valid imputation")
+        return min(valid, key=valid.get)
+
+    def ranking(self) -> List[str]:
+        """Methods ordered from best (lowest RMS) to worst; failures last."""
+        valid = sorted(
+            (name for name, run in self.runs.items() if not run.failed),
+            key=lambda name: self.runs[name].rms,
+        )
+        failed = [name for name, run in self.runs.items() if run.failed]
+        return valid + failed
+
+
+def default_method_overrides(profile) -> Dict[str, Dict[str, object]]:
+    """Per-method constructor overrides derived from a scale profile.
+
+    Keeps the neighbour-based methods and IIM on the same ``k`` and bounds
+    IIM's adaptive search so the comparison is fair and fast.
+    """
+    k = profile.default_k
+    return {
+        "IIM": {
+            "k": k,
+            "stepping": profile.iim_stepping,
+            "max_learning_neighbors": profile.iim_max_learning_neighbors,
+            # A validation neighbourhood larger than k makes the per-tuple ℓ
+            # selection more robust on collinear data (see DESIGN.md §6).
+            "validation_neighbors": 3 * k,
+        },
+        "kNN": {"k": k},
+        "kNNE": {"k": k},
+        "ILLS": {"k": k},
+        "ERACER": {"k": k},
+        "LOESS": {"k": max(k, 15)},
+        "BLR": {"random_state": 0},
+        "PMM": {"random_state": 0},
+    }
+
+
+def run_method_on_injection(
+    imputer: BaseImputer,
+    injection: InjectionResult,
+    method_name: Optional[str] = None,
+) -> MethodRun:
+    """Fit, impute and score one method on one injected relation.
+
+    A method that raises is reported as failed rather than aborting the
+    whole comparison (the paper similarly omits methods that are undefined
+    on a dataset, e.g. SVD on two-attribute data).
+    """
+    name = method_name or getattr(imputer, "name", type(imputer).__name__)
+    dirty = injection.dirty
+    try:
+        start = time.perf_counter()
+        imputer.fit(dirty)
+        fit_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        imputed = imputer.impute(dirty)
+        impute_seconds = time.perf_counter() - start
+
+        values = imputed.raw[injection.rows, injection.attributes]
+        rms = rms_error(injection.truth, values)
+        return MethodRun(
+            method=name,
+            rms=rms,
+            fit_seconds=fit_seconds,
+            impute_seconds=impute_seconds,
+            n_imputed=len(injection),
+        )
+    except Exception as exc:  # noqa: BLE001 - deliberate: record and continue
+        return MethodRun(
+            method=name,
+            rms=float("nan"),
+            fit_seconds=0.0,
+            impute_seconds=0.0,
+            n_imputed=len(injection),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def compare_methods(
+    injection: InjectionResult,
+    methods: Sequence[str],
+    dataset_name: str = "",
+    method_overrides: Optional[Dict[str, Dict[str, object]]] = None,
+) -> ComparisonRun:
+    """Run a list of registered methods on the same injected relation."""
+    overrides = method_overrides or {}
+    dirty = injection.dirty
+    comparison = ComparisonRun(
+        dataset=dataset_name or dirty.name,
+        n_tuples=dirty.n_tuples,
+        n_attributes=dirty.n_attributes,
+        n_incomplete=len(injection),
+    )
+    for method in methods:
+        imputer = make_imputer(method, **overrides.get(method, {}))
+        comparison.runs[method] = run_method_on_injection(imputer, injection, method)
+    return comparison

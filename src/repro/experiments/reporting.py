@@ -1,0 +1,94 @@
+"""Plain-text reporting of experiment results.
+
+The paper presents its evaluation as tables (Tables V-VII) and gnuplot-style
+figures.  Offline we render everything as aligned text tables, which the
+example scripts print and EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_matrix", "format_series", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Render a float compactly, using ``-`` for NaN (a failed/unavailable run)."""
+    if value is None or (isinstance(value, float) and np.isnan(value)):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render rows of mixed str/float cells as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell, digits))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append(render_line(["-" * w for w in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    values: Mapping[str, Mapping[str, float]],
+    corner: str = "",
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render a nested mapping ``values[row][column]`` as a table."""
+    headers = [corner] + list(column_labels)
+    rows = []
+    for row_label in row_labels:
+        row = [row_label]
+        for column in column_labels:
+            row.append(values.get(row_label, {}).get(column, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title=title, digits=digits)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render figure-style data: one x column plus one column per method."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title, digits=digits)

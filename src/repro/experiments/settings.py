@@ -1,0 +1,146 @@
+"""Experiment scaling profiles.
+
+The paper runs on datasets of up to 100k tuples with 14 methods; repeating
+that verbatim takes hours on a laptop.  Every experiment in this package
+therefore reads its workload sizes from a :class:`ScaleProfile`:
+
+* ``smoke``  — very small sizes used by the unit tests of the harness;
+* ``bench``  — the default for ``pytest benchmarks/``: small enough to finish
+  in minutes, large enough that the paper's qualitative shape (method
+  ordering, crossovers, U-shaped ℓ curves) is preserved;
+* ``paper``  — the published sizes (set ``REPRO_FULL=1`` to select it).
+
+The profile only changes *sizes* (number of tuples, number of incomplete
+tuples, sweep grids); the algorithms and protocols are identical across
+profiles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ScaleProfile", "get_profile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Workload sizes for the experiment harness."""
+
+    name: str
+    #: Number of tuples per dataset (overrides the registry defaults).
+    dataset_sizes: Dict[str, int]
+    #: Number of incomplete tuples used by the ASF-based experiments.
+    asf_incomplete: int
+    #: Number of incomplete tuples used by the CA-based experiments.
+    ca_incomplete: int
+    #: Fraction of incomplete tuples for Table V style experiments.
+    missing_fraction: float
+    #: Sweep grids.
+    attribute_counts_asf: List[int] = field(default_factory=list)
+    attribute_counts_ca: List[int] = field(default_factory=list)
+    tuple_counts_asf: List[int] = field(default_factory=list)
+    tuple_counts_ca: List[int] = field(default_factory=list)
+    cluster_sizes: List[int] = field(default_factory=list)
+    imputation_neighbors: List[int] = field(default_factory=list)
+    learning_neighbors: List[int] = field(default_factory=list)
+    stepping_values: List[int] = field(default_factory=list)
+    scalability_tuple_counts: List[int] = field(default_factory=list)
+    #: IIM configuration shared by the comparison experiments.
+    iim_stepping: int = 5
+    iim_max_learning_neighbors: int = 100
+    default_k: int = 10
+
+
+_SMOKE = ScaleProfile(
+    name="smoke",
+    dataset_sizes={
+        "asf": 200, "ccs": 200, "ccpp": 200, "sn": 300, "phase": 200,
+        "ca": 250, "da": 200, "mam": 150, "hep": 120,
+    },
+    asf_incomplete=20,
+    ca_incomplete=25,
+    missing_fraction=0.05,
+    attribute_counts_asf=[2, 3, 5],
+    attribute_counts_ca=[5, 8],
+    tuple_counts_asf=[100, 150, 200],
+    tuple_counts_ca=[150, 250],
+    cluster_sizes=[1, 3, 5],
+    imputation_neighbors=[1, 3, 5, 10],
+    learning_neighbors=[1, 5, 10, 20, 50],
+    stepping_values=[1, 5, 20],
+    scalability_tuple_counts=[100, 200],
+    iim_stepping=10,
+    iim_max_learning_neighbors=40,
+    default_k=5,
+)
+
+_BENCH = ScaleProfile(
+    name="bench",
+    dataset_sizes={
+        "asf": 600, "ccs": 500, "ccpp": 800, "sn": 1200, "phase": 800,
+        "ca": 800, "da": 700, "mam": 400, "hep": 200,
+    },
+    asf_incomplete=60,
+    ca_incomplete=80,
+    missing_fraction=0.05,
+    attribute_counts_asf=[2, 3, 4, 5],
+    attribute_counts_ca=[5, 6, 7, 8],
+    tuple_counts_asf=[150, 300, 450, 600],
+    tuple_counts_ca=[200, 400, 600, 800],
+    cluster_sizes=[1, 2, 3, 5, 8, 10],
+    imputation_neighbors=[1, 2, 3, 5, 10, 20, 50],
+    learning_neighbors=[1, 5, 10, 20, 50, 100, 200],
+    stepping_values=[1, 5, 10, 20, 60],
+    scalability_tuple_counts=[200, 400, 600, 800],
+    iim_stepping=5,
+    iim_max_learning_neighbors=100,
+    default_k=10,
+)
+
+_PAPER = ScaleProfile(
+    name="paper",
+    dataset_sizes={
+        "asf": 1500, "ccs": 1000, "ccpp": 10000, "sn": 100000, "phase": 10000,
+        "ca": 20000, "da": 7000, "mam": 1000, "hep": 200,
+    },
+    asf_incomplete=100,
+    ca_incomplete=1000,
+    missing_fraction=0.05,
+    attribute_counts_asf=[2, 3, 4, 5],
+    attribute_counts_ca=[5, 6, 7, 8],
+    tuple_counts_asf=[150, 300, 450, 600, 750, 900, 1000, 1200, 1300, 1400],
+    tuple_counts_ca=[2000, 4000, 6000, 8000, 10000, 12000, 14000, 16000, 18000, 20000],
+    cluster_sizes=[1, 2, 3, 5, 8, 10],
+    imputation_neighbors=[1, 2, 3, 5, 10, 20, 50, 100],
+    learning_neighbors=[1, 10, 20, 50, 100, 200, 300, 500, 700, 1000],
+    stepping_values=[1, 5, 10, 20, 60, 100, 200, 300, 500],
+    scalability_tuple_counts=[2000, 4000, 6000, 8000, 10000],
+    iim_stepping=5,
+    iim_max_learning_neighbors=1000,
+    default_k=10,
+)
+
+PROFILES: Dict[str, ScaleProfile] = {
+    "smoke": _SMOKE,
+    "bench": _BENCH,
+    "paper": _PAPER,
+}
+
+
+def get_profile(name: str = None) -> ScaleProfile:
+    """Resolve a scale profile.
+
+    Priority: explicit ``name`` argument, then the ``REPRO_PROFILE``
+    environment variable, then ``REPRO_FULL=1`` (paper scale), then the
+    ``bench`` default.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE")
+    if name is None:
+        name = "paper" if os.environ.get("REPRO_FULL") == "1" else "bench"
+    key = str(name).lower()
+    if key not in PROFILES:
+        raise KeyError(f"unknown scale profile {name!r}; available: {sorted(PROFILES)}")
+    return PROFILES[key]

@@ -1,0 +1,22 @@
+"""Evaluation metrics: imputation error, dataset profiling, clustering, classification."""
+
+from .classification import accuracy_score, confusion_matrix, f1_score, precision_recall_f1
+from .clustering import contingency_matrix, normalized_mutual_information, purity_score
+from .determination import heterogeneity_r2, r_squared, sparsity_r2
+from .error import mean_absolute_error, normalized_rms_error, rms_error
+
+__all__ = [
+    "rms_error",
+    "mean_absolute_error",
+    "normalized_rms_error",
+    "r_squared",
+    "sparsity_r2",
+    "heterogeneity_r2",
+    "purity_score",
+    "normalized_mutual_information",
+    "contingency_matrix",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "precision_recall_f1",
+]

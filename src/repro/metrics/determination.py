@@ -1,0 +1,111 @@
+"""Coefficient-of-determination style measures of sparsity and heterogeneity.
+
+Section VI-A2 of the paper characterises each dataset with two measures:
+
+* ``R²_S`` (sparsity): how well the values *suggested by complete neighbours*
+  (a kNN aggregation) predict the truth.  Low values mean neighbours do not
+  share similar values — the sparsity problem.
+* ``R²_H`` (heterogeneity): how well a *single global regression* predicts
+  the truth.  Low values mean no one model fits all tuples — the
+  heterogeneity problem.
+
+Both are the ordinary ``R² = 1 - SS_res / SS_tot`` computed against a chosen
+predictor; the helpers here build the kNN and GLR predictors from a complete
+relation so datasets can be profiled exactly as in Table V / Table VI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_float_vector, check_consistent_length, check_positive_int
+from ..exceptions import DataError
+from ..data.relation import AttributeRef, Relation
+from ..neighbors import BruteForceNeighbors
+from ..regression import RidgeRegression
+
+__all__ = ["r_squared", "sparsity_r2", "heterogeneity_r2"]
+
+
+def r_squared(truth, predicted) -> float:
+    """Plain coefficient of determination ``1 - SS_res / SS_tot``."""
+    truth = as_float_vector(truth, name="truth")
+    predicted = as_float_vector(predicted, name="predicted")
+    check_consistent_length(truth, predicted, names=("truth", "predicted"))
+    ss_res = float(np.sum((truth - predicted) ** 2))
+    ss_tot = float(np.sum((truth - truth.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _holdout_columns(relation: Relation, attribute: AttributeRef):
+    if not relation.is_complete():
+        raise DataError("dataset profiling requires a complete relation")
+    target_index = relation.schema.index_of(attribute)
+    complete_indices = [i for i in range(relation.n_attributes) if i != target_index]
+    if not complete_indices:
+        raise DataError("profiling needs at least one complete attribute besides the target")
+    values = relation.raw
+    return values[:, complete_indices], values[:, target_index]
+
+
+def sparsity_r2(
+    relation: Relation,
+    attribute: AttributeRef,
+    n_neighbors: int = 5,
+    sample_size: Optional[int] = None,
+    random_state: Optional[int] = 0,
+) -> float:
+    """``R²_S``: determination of the truth by the kNN-aggregated neighbour value.
+
+    For each (sampled) tuple, its value on ``attribute`` is predicted as the
+    mean of its ``n_neighbors`` nearest neighbours' values (neighbours found
+    on the remaining attributes, excluding the tuple itself).  Low values
+    signal the sparsity problem.
+    """
+    n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+    features, target = _holdout_columns(relation, attribute)
+    n = features.shape[0]
+    if n_neighbors >= n:
+        raise DataError("n_neighbors must be smaller than the relation size")
+
+    rng = np.random.default_rng(random_state)
+    if sample_size is not None and sample_size < n:
+        rows = np.sort(rng.choice(n, size=sample_size, replace=False))
+    else:
+        rows = np.arange(n)
+
+    searcher = BruteForceNeighbors().fit(features)
+    predictions = np.empty(rows.shape[0])
+    for position, row in enumerate(rows):
+        _, indices = searcher.kneighbors(features[row], n_neighbors, exclude_self=True)
+        predictions[position] = target[indices].mean()
+    return r_squared(target[rows], predictions)
+
+
+def heterogeneity_r2(
+    relation: Relation,
+    attribute: AttributeRef,
+    alpha: float = 1e-3,
+    sample_size: Optional[int] = None,
+    random_state: Optional[int] = 0,
+) -> float:
+    """``R²_H``: determination of the truth by a single global regression.
+
+    A ridge regression from the remaining attributes to ``attribute`` is fit
+    on all tuples and evaluated in-sample (matching the paper's use of the
+    measure as a dataset descriptor).  Low values signal heterogeneity.
+    """
+    features, target = _holdout_columns(relation, attribute)
+    model = RidgeRegression(alpha=alpha).fit(features, target)
+    predictions = model.predict(features)
+
+    n = features.shape[0]
+    if sample_size is not None and sample_size < n:
+        rng = np.random.default_rng(random_state)
+        rows = np.sort(rng.choice(n, size=sample_size, replace=False))
+        return r_squared(target[rows], predictions[rows])
+    return r_squared(target, predictions)

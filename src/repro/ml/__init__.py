@@ -1,0 +1,17 @@
+"""Downstream machine-learning applications: kNN classification and pipelines."""
+
+from .applications import (
+    ClusteringApplicationResult,
+    classification_application,
+    classification_without_imputation,
+    clustering_application,
+)
+from .knn_classifier import KNNClassifier
+
+__all__ = [
+    "KNNClassifier",
+    "clustering_application",
+    "classification_application",
+    "classification_without_imputation",
+    "ClusteringApplicationResult",
+]

@@ -1,0 +1,28 @@
+"""Nearest-neighbour search substrate (Formula 1 distance, brute force, KD-tree)."""
+
+from .brute import BruteForceNeighbors
+from .distance import (
+    METRICS,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    paper_euclidean,
+    pairwise_distances,
+)
+from .index import NeighborIndex, NeighborOrderCache
+from .kdtree import KDTreeNeighbors
+
+__all__ = [
+    "BruteForceNeighbors",
+    "KDTreeNeighbors",
+    "NeighborIndex",
+    "NeighborOrderCache",
+    "METRICS",
+    "paper_euclidean",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+    "get_metric",
+    "pairwise_distances",
+]

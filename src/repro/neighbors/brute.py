@@ -1,0 +1,141 @@
+"""Brute-force k-nearest-neighbour search.
+
+This is the reference implementation of ``NN(t, F, k)`` from the paper: an
+exhaustive scan under the configured metric.  It is exact, supports every
+metric, and is the backend the more elaborate KD-tree index is validated
+against in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_float_matrix, check_positive_int
+from ..exceptions import ConfigurationError, NotFittedError
+from .distance import get_metric
+
+__all__ = ["BruteForceNeighbors"]
+
+
+class BruteForceNeighbors:
+    """Exact nearest-neighbour search by exhaustive scan.
+
+    Parameters
+    ----------
+    metric:
+        Name of a metric registered in :mod:`repro.neighbors.distance`;
+        defaults to the paper's normalized Euclidean distance.
+    """
+
+    def __init__(self, metric: str = "paper_euclidean"):
+        self.metric = metric
+        self._metric_fn = get_metric(metric)
+        self._data: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data) -> "BruteForceNeighbors":
+        """Index the reference points (rows of ``data``)."""
+        self._data = as_float_matrix(data, name="data")
+        return self
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed reference points."""
+        self._check_fitted()
+        return self._data.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the indexed points."""
+        self._check_fitted()
+        return self._data.shape[1]
+
+    def _check_fitted(self) -> None:
+        if self._data is None:
+            raise NotFittedError("BruteForceNeighbors must be fitted before querying")
+
+    # ------------------------------------------------------------------ #
+    def kneighbors(
+        self,
+        query,
+        k: int,
+        exclude_self: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Find the ``k`` nearest indexed points for each query.
+
+        Parameters
+        ----------
+        query:
+            One vector or a batch ``(q, m)`` of query points.
+        k:
+            Number of neighbours to return.
+        exclude_self:
+            When True, a reference point at distance exactly zero from the
+            query is skipped once (used when the query itself belongs to the
+            indexed data and should not count as its own neighbour).
+
+        Returns
+        -------
+        (distances, indices):
+            Arrays of shape ``(k,)`` for a single query or ``(q, k)`` for a
+            batch, sorted by increasing distance (ties broken by index for
+            determinism).
+        """
+        self._check_fitted()
+        k = check_positive_int(k, "k")
+        query_array = np.asarray(query, dtype=float)
+        single = query_array.ndim == 1
+
+        available = self.n_points - (1 if exclude_self else 0)
+        if k > available:
+            raise ConfigurationError(
+                f"requested k={k} neighbours but only {available} are available"
+            )
+
+        distances = self._metric_fn(query_array, self._data)
+        if single:
+            distances = distances.reshape(1, -1)
+
+        n_queries = distances.shape[0]
+        out_dist = np.empty((n_queries, k))
+        out_idx = np.empty((n_queries, k), dtype=int)
+        for row in range(n_queries):
+            d = distances[row]
+            order = np.lexsort((np.arange(d.shape[0]), d))
+            if exclude_self:
+                # Skip exactly one zero-distance match (the query itself).
+                if d[order[0]] == 0.0:
+                    order = order[1:]
+            chosen = order[:k]
+            out_dist[row] = d[chosen]
+            out_idx[row] = chosen
+
+        if single:
+            return out_dist[0], out_idx[0]
+        return out_dist, out_idx
+
+    def neighbor_order(self, query, exclude_self: bool = False) -> np.ndarray:
+        """All indexed points ordered by increasing distance from ``query``.
+
+        The adaptive-learning algorithm needs, for each tuple, the full
+        ordering of its neighbours so that the sets ``NN(t, F, ℓ)`` for all
+        ``ℓ`` can be read off as prefixes (the subsumption property of
+        Formula 13).
+        """
+        self._check_fitted()
+        query_array = np.asarray(query, dtype=float)
+        single = query_array.ndim == 1
+        distances = self._metric_fn(query_array, self._data)
+        if single:
+            distances = distances.reshape(1, -1)
+        orders = []
+        for row in range(distances.shape[0]):
+            d = distances[row]
+            order = np.lexsort((np.arange(d.shape[0]), d))
+            if exclude_self and d[order[0]] == 0.0:
+                order = order[1:]
+            orders.append(order)
+        result = np.asarray(orders)
+        return result[0] if single else result

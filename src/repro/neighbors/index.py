@@ -1,0 +1,163 @@
+"""Facade over the neighbour-search backends plus a cached neighbour ordering.
+
+:class:`NeighborIndex` gives the rest of the library a single entry point:
+pick a backend (``"brute"`` or ``"kdtree"``), fit it on the complete
+relation's ``F`` columns, and query ``NN(t, F, k)``.
+
+:class:`NeighborOrderCache` materialises, for each indexed tuple on demand,
+the ordering of the other tuples by distance.  Adaptive learning
+(Algorithm 3) and the incremental computation (Section V-B) both rely on the
+fact that ``NN(t, F, ℓ)`` is a *prefix* of ``NN(t, F, ℓ + h)`` (Formula 13);
+caching the ordering once per tuple makes every prefix available in O(1).
+The cache is lazy and can be capped at a maximum ordering length so that the
+memory cost stays ``O(n · max_length)`` rather than ``O(n²)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_float_matrix, check_positive_int
+from ..exceptions import ConfigurationError, NotFittedError
+from .brute import BruteForceNeighbors
+from .distance import get_metric
+from .kdtree import KDTreeNeighbors
+
+__all__ = ["NeighborIndex", "NeighborOrderCache"]
+
+_BACKENDS = ("brute", "kdtree")
+
+
+class NeighborIndex:
+    """Unified k-nearest-neighbour index.
+
+    Parameters
+    ----------
+    metric:
+        Distance metric name (see :mod:`repro.neighbors.distance`).
+    backend:
+        ``"brute"`` (default, supports every metric) or ``"kdtree"``
+        (Euclidean family only, faster for large ``n``).
+    leaf_size:
+        KD-tree leaf size; ignored by the brute-force backend.
+    """
+
+    def __init__(self, metric: str = "paper_euclidean", backend: str = "brute", leaf_size: int = 32):
+        if backend not in _BACKENDS:
+            raise ConfigurationError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.metric = metric
+        self.backend = backend
+        self.leaf_size = leaf_size
+        if backend == "kdtree":
+            self._impl = KDTreeNeighbors(metric=metric, leaf_size=leaf_size)
+        else:
+            self._impl = BruteForceNeighbors(metric=metric)
+        self._fitted = False
+
+    def fit(self, data) -> "NeighborIndex":
+        """Index the rows of ``data``."""
+        self._impl.fit(as_float_matrix(data, name="data"))
+        self._fitted = True
+        return self
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        self._check_fitted()
+        return self._impl.n_points
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("NeighborIndex must be fitted before querying")
+
+    def kneighbors(self, query, k: int, exclude_self: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+        """``NN(query, F, k)`` — distances and indices of the k nearest points."""
+        self._check_fitted()
+        return self._impl.kneighbors(query, k, exclude_self=exclude_self)
+
+    def kneighbors_indices(self, query, k: int, exclude_self: bool = False) -> np.ndarray:
+        """Indices only, for callers that do not need the distances."""
+        return self.kneighbors(query, k, exclude_self=exclude_self)[1]
+
+
+class NeighborOrderCache:
+    """Per-tuple neighbour orderings, computed lazily and cached.
+
+    Parameters
+    ----------
+    data:
+        Matrix of shape ``(n, m)`` — typically the complete relation
+        restricted to the complete attributes ``F``.
+    metric:
+        Distance metric name.
+    include_self:
+        Whether a tuple counts as its own nearest neighbour (the paper's
+        learning phase includes the tuple itself in ``NN(t_i, F, ℓ)``;
+        the validation step of Algorithm 3 excludes it).
+    max_length:
+        Optional cap on the ordering length kept per tuple; ``None`` keeps
+        the full ordering.  Capping bounds memory at ``O(n · max_length)``.
+    """
+
+    def __init__(
+        self,
+        data,
+        metric: str = "paper_euclidean",
+        include_self: bool = True,
+        max_length: Optional[int] = None,
+    ):
+        self._data = as_float_matrix(data, name="data")
+        self._metric_fn = get_metric(metric)
+        self.metric = metric
+        self.include_self = bool(include_self)
+        if max_length is not None:
+            max_length = check_positive_int(max_length, "max_length")
+            max_length = min(max_length, self.max_neighbors())
+        self.max_length = max_length
+        self._cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._data.shape[0]
+
+    def max_neighbors(self) -> int:
+        """The largest ℓ available from this cache."""
+        return self.n_points if self.include_self else self.n_points - 1
+
+    def _compute_order(self, index: int) -> np.ndarray:
+        distances = self._metric_fn(self._data[index], self._data)
+        order = np.lexsort((np.arange(distances.shape[0]), distances))
+        if not self.include_self:
+            keep = order != index
+            order = order[keep]
+        limit = self.max_length
+        if limit is not None:
+            order = order[:limit]
+        return np.ascontiguousarray(order)
+
+    def order_of(self, index: int) -> np.ndarray:
+        """Tuples ordered by increasing distance from tuple ``index``."""
+        if not 0 <= index < self.n_points:
+            raise ConfigurationError(f"tuple index {index} out of range")
+        cached = self._cache.get(index)
+        if cached is None:
+            cached = self._compute_order(index)
+            self._cache[index] = cached
+        return cached
+
+    def prefix(self, index: int, length: int) -> np.ndarray:
+        """``NN(t_index, F, length)`` as a prefix of the cached ordering."""
+        length = check_positive_int(length, "length")
+        order = self.order_of(index)
+        if length > order.shape[0]:
+            raise ConfigurationError(
+                f"requested {length} neighbours but only {order.shape[0]} are available"
+            )
+        return order[:length]
+
+    def clear(self) -> None:
+        """Drop all cached orderings (frees memory)."""
+        self._cache.clear()

@@ -1,0 +1,20 @@
+"""Regression substrate: ridge, OLS, incremental ridge, Bayesian LR, LOESS."""
+
+from .base import Regressor, design_matrix
+from .bayesian import BayesianLinearRegression
+from .incremental_ridge import IncrementalRidge
+from .linear import DEFAULT_ALPHA, OrdinaryLeastSquares, RidgeRegression, constant_model
+from .loess import LoessRegression, tricube_weights
+
+__all__ = [
+    "Regressor",
+    "design_matrix",
+    "RidgeRegression",
+    "OrdinaryLeastSquares",
+    "IncrementalRidge",
+    "BayesianLinearRegression",
+    "LoessRegression",
+    "tricube_weights",
+    "constant_model",
+    "DEFAULT_ALPHA",
+]

@@ -1,0 +1,90 @@
+"""Common interface for the regression models used throughout the library.
+
+Every regressor exposes ``fit(X, y)`` and ``predict(X)`` plus a
+``coefficients`` property following the paper's parameterisation
+``φ = (φ[C], φ[A1], ..., φ[A_{m-1}])``: the first entry is the intercept
+(constant term) and the remaining entries are the attribute weights.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from .._validation import as_float_matrix, as_float_vector, check_consistent_length
+from ..exceptions import DataError, NotFittedError
+
+__all__ = ["Regressor", "design_matrix"]
+
+
+def design_matrix(X: np.ndarray) -> np.ndarray:
+    """Prepend the constant column of ones: ``(1, t[F])`` from Formula 3."""
+    X = as_float_matrix(X, name="X")
+    return np.hstack([np.ones((X.shape[0], 1)), X])
+
+
+class Regressor(ABC):
+    """Abstract base class for linear-style regressors."""
+
+    def __init__(self) -> None:
+        self._coefficients: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The fitted parameter vector ``φ`` (intercept first)."""
+        self._check_fitted()
+        return self._coefficients.copy()
+
+    @property
+    def intercept(self) -> float:
+        """The constant term ``φ[C]``."""
+        self._check_fitted()
+        return float(self._coefficients[0])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The attribute weights ``φ[A1..A_{m-1}]``."""
+        self._check_fitted()
+        return self._coefficients[1:].copy()
+
+    def is_fitted(self) -> bool:
+        """Whether ``fit`` has been called successfully."""
+        return self._coefficients is not None
+
+    def _check_fitted(self) -> None:
+        if self._coefficients is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before it can be used"
+            )
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def fit(self, X, y) -> "Regressor":
+        """Fit the model on covariates ``X`` (n, d) and targets ``y`` (n,)."""
+
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for covariates ``X`` using ``(1, X) @ φ``."""
+        self._check_fitted()
+        X = as_float_matrix(X, name="X")
+        if X.shape[1] != self._coefficients.shape[0] - 1:
+            raise DataError(
+                f"X has {X.shape[1]} attributes but the model was fitted on "
+                f"{self._coefficients.shape[0] - 1}"
+            )
+        return design_matrix(X) @ self._coefficients
+
+    def predict_one(self, x) -> float:
+        """Predict the target for a single covariate vector."""
+        x = as_float_vector(x, name="x")
+        return float(self.predict(x.reshape(1, -1))[0])
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_xy(X, y):
+        X = as_float_matrix(X, name="X")
+        y = as_float_vector(y, name="y")
+        check_consistent_length(X, y, names=("X", "y"))
+        return X, y

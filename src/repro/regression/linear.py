@@ -1,0 +1,84 @@
+"""Ordinary least squares and ridge regression (Formula 5 of the paper).
+
+The paper learns every individual model with ridge regression
+
+.. math::
+
+    φ_i = (X^\\top X + α E)^{-1} X^\\top Y
+
+where ``X`` carries a leading column of ones (the constant term), ``α`` is
+the regularization strength and ``E`` the identity matrix.  OLS is the
+``α = 0`` special case solved through a pseudo-inverse for numerical
+robustness when the neighbour set is small or collinear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float
+from .base import Regressor, design_matrix
+
+__all__ = ["RidgeRegression", "OrdinaryLeastSquares", "constant_model"]
+
+#: Default regularization strength used across the library (and by the
+#: paper's reference implementation).
+DEFAULT_ALPHA = 1e-3
+
+
+def constant_model(value: float, n_weights: int) -> np.ndarray:
+    """The single-neighbour model of Section III-A2.
+
+    When only one learning neighbour is available the regression cannot be
+    estimated, so the paper fixes ``φ[C] = t_i[A_m]`` and zeroes every weight.
+    """
+    coefficients = np.zeros(n_weights + 1)
+    coefficients[0] = float(value)
+    return coefficients
+
+
+class RidgeRegression(Regressor):
+    """Ridge regression with an unpenalised handling identical to Formula 5.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength ``α`` (>= 0).  ``α = 0`` falls back to a
+        pseudo-inverse solution.
+    """
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        super().__init__()
+        self.alpha = check_positive_float(alpha, "alpha", allow_zero=True)
+
+    def fit(self, X, y) -> "RidgeRegression":
+        """Fit ``φ = (XᵀX + αE)⁻¹ XᵀY`` on the design matrix with intercept."""
+        X, y = self._validate_xy(X, y)
+        design = design_matrix(X)
+        if design.shape[0] == 1:
+            # Single neighbour: fall back to the constant model (Section III-A2).
+            self._coefficients = constant_model(y[0], X.shape[1])
+            return self
+        gram = design.T @ design
+        moment = design.T @ y
+        if self.alpha > 0:
+            gram = gram + self.alpha * np.eye(gram.shape[0])
+            self._coefficients = np.linalg.solve(gram, moment)
+        else:
+            self._coefficients = np.linalg.pinv(gram) @ moment
+        return self
+
+
+class OrdinaryLeastSquares(Regressor):
+    """Unregularised least squares, solved via the Moore–Penrose pseudo-inverse."""
+
+    def fit(self, X, y) -> "OrdinaryLeastSquares":
+        """Fit the least-squares solution of ``(1, X) φ ≈ y``."""
+        X, y = self._validate_xy(X, y)
+        design = design_matrix(X)
+        if design.shape[0] == 1:
+            self._coefficients = constant_model(y[0], X.shape[1])
+            return self
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self._coefficients = solution
+        return self

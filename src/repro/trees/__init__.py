@@ -1,0 +1,6 @@
+"""Tree substrate: CART regression trees and gradient boosting."""
+
+from .gradient_boosting import GradientBoostingRegressor
+from .regression_tree import RegressionTree
+
+__all__ = ["RegressionTree", "GradientBoostingRegressor"]

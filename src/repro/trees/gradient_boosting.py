@@ -1,0 +1,128 @@
+"""Gradient-boosted regression trees — the stand-in for the paper's XGB baseline.
+
+The paper imputes with the R ``xgboost`` library.  Offline, we reproduce the
+same *family* of model: an additive ensemble of shallow regression trees fit
+to the residuals (gradients of the squared loss), with shrinkage and optional
+row/feature subsampling.  The exact split-finding heuristics of XGBoost
+(second-order approximation, histogram binning) are not needed for the
+paper's experiments, which only use the model as a black-box regressor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_consistent_length,
+    check_fraction,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import ConfigurationError, NotFittedError
+from .regression_tree import RegressionTree
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting over CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth:
+        Depth of the individual trees.
+    subsample:
+        Fraction of rows sampled (without replacement) per round.
+    max_features:
+        Number of features evaluated per split (None = all).
+    min_samples_leaf:
+        Minimum samples per leaf of the individual trees.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        max_features: Optional[int] = None,
+        min_samples_leaf: int = 2,
+        random_state=None,
+    ):
+        self.n_estimators = check_positive_int(n_estimators, "n_estimators")
+        self.learning_rate = check_positive_float(learning_rate, "learning_rate")
+        self.max_depth = check_non_negative_int(max_depth, "max_depth")
+        self.subsample = check_fraction(subsample, "subsample", inclusive=True)
+        if self.subsample == 0:
+            raise ConfigurationError("subsample must be positive")
+        self.max_features = max_features
+        self.min_samples_leaf = check_positive_int(min_samples_leaf, "min_samples_leaf")
+        self.random_state = random_state
+        self._trees: List[RegressionTree] = []
+        self._initial_prediction = 0.0
+        self._fitted = False
+        self.train_scores_: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        """Fit the boosted ensemble on ``(X, y)``."""
+        X = as_float_matrix(X, name="X")
+        y = as_float_vector(y, name="y")
+        check_consistent_length(X, y, names=("X", "y"))
+        rng = check_random_state(self.random_state)
+
+        self._trees = []
+        self.train_scores_ = []
+        self._initial_prediction = float(y.mean())
+        current = np.full(y.shape[0], self._initial_prediction)
+
+        n_samples = y.shape[0]
+        sample_size = max(1, int(round(self.subsample * n_samples)))
+
+        for round_index in range(self.n_estimators):
+            residuals = y - current
+            if sample_size < n_samples:
+                rows = rng.choice(n_samples, size=sample_size, replace=False)
+            else:
+                rows = np.arange(n_samples)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[rows], residuals[rows])
+            update = tree.predict(X)
+            current = current + self.learning_rate * update
+            self._trees.append(tree)
+            self.train_scores_.append(float(np.mean((y - current) ** 2)))
+
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict targets by summing the shrunken tree contributions."""
+        if not self._fitted:
+            raise NotFittedError("GradientBoostingRegressor must be fitted before predicting")
+        X = as_float_matrix(X, name="X")
+        predictions = np.full(X.shape[0], self._initial_prediction)
+        for tree in self._trees:
+            predictions += self.learning_rate * tree.predict(X)
+        return predictions
+
+    @property
+    def n_trees(self) -> int:
+        """Number of fitted trees."""
+        return len(self._trees)

@@ -1,0 +1,200 @@
+"""CART regression tree grown with variance-reduction splits.
+
+This is the weak learner behind the gradient-boosting baseline (the paper's
+XGB method, which it runs through the R ``xgboost`` package).  The tree uses
+exact greedy splitting over sorted feature values with the usual depth,
+minimum-samples and minimum-gain stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_consistent_length,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+)
+from ..exceptions import NotFittedError
+
+__all__ = ["RegressionTree"]
+
+
+@dataclass
+class _TreeNode:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """Binary regression tree minimising squared error.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    min_gain:
+        Minimum reduction of the sum of squared errors required to split.
+    max_features:
+        Optional number of random features evaluated per split (None = all);
+        used by ensembles for decorrelation.
+    random_state:
+        Seed for the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_gain: float = 1e-12,
+        max_features: Optional[int] = None,
+        random_state=None,
+    ):
+        self.max_depth = check_non_negative_int(max_depth, "max_depth")
+        self.min_samples_split = check_positive_int(min_samples_split, "min_samples_split")
+        self.min_samples_leaf = check_positive_int(min_samples_leaf, "min_samples_leaf")
+        self.min_gain = check_positive_float(min_gain, "min_gain", allow_zero=True)
+        if max_features is not None:
+            max_features = check_positive_int(max_features, "max_features")
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_TreeNode] = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y) -> "RegressionTree":
+        """Grow the tree on ``(X, y)``."""
+        X = as_float_matrix(X, name="X")
+        y = as_float_vector(y, name="y")
+        check_consistent_length(X, y, names=("X", "y"))
+        self._n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(X, y, depth=0, rng=rng)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _TreeNode:
+        node = _TreeNode(prediction=float(y.mean()))
+        n_samples = y.shape[0]
+        if (
+            depth >= self.max_depth
+            or n_samples < self.min_samples_split
+            or np.allclose(y, y[0])
+        ):
+            return node
+
+        best = self._best_split(X, y, rng)
+        if best is None:
+            return node
+
+        feature, threshold, gain = best
+        if gain < self.min_gain:
+            return node
+
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator):
+        n_samples, n_features = X.shape
+        if self.max_features is not None and self.max_features < n_features:
+            features = rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            features = np.arange(n_features)
+
+        parent_sse = float(np.sum((y - y.mean()) ** 2))
+        best_gain = -np.inf
+        best_feature = -1
+        best_threshold = 0.0
+
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            x_sorted = X[order, feature]
+            y_sorted = y[order]
+            # Prefix sums allow O(1) SSE evaluation at every split position.
+            prefix_sum = np.cumsum(y_sorted)
+            prefix_sq = np.cumsum(y_sorted ** 2)
+            total_sum = prefix_sum[-1]
+            total_sq = prefix_sq[-1]
+            for i in range(self.min_samples_leaf, n_samples - self.min_samples_leaf + 1):
+                if i < n_samples and x_sorted[i - 1] == x_sorted[i]:
+                    continue  # cannot split between identical values
+                if i >= n_samples:
+                    break
+                left_n = i
+                right_n = n_samples - i
+                left_sum = prefix_sum[i - 1]
+                left_sq = prefix_sq[i - 1]
+                right_sum = total_sum - left_sum
+                right_sq = total_sq - left_sq
+                left_sse = left_sq - left_sum ** 2 / left_n
+                right_sse = right_sq - right_sum ** 2 / right_n
+                gain = parent_sse - (left_sse + right_sse)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = int(feature)
+                    best_threshold = float((x_sorted[i - 1] + x_sorted[i]) / 2.0)
+
+        if best_feature < 0:
+            return None
+        return best_feature, best_threshold, best_gain
+
+    # ------------------------------------------------------------------ #
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for the rows of ``X``."""
+        if self._root is None:
+            raise NotFittedError("RegressionTree must be fitted before predicting")
+        X = as_float_matrix(X, name="X")
+        predictions = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if X[i, node.feature] <= node.threshold else node.right
+            predictions[i] = node.prediction
+        return predictions
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        if self._root is None:
+            raise NotFittedError("RegressionTree must be fitted before inspecting it")
+
+        def walk(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the grown tree."""
+        if self._root is None:
+            raise NotFittedError("RegressionTree must be fitted before inspecting it")
+
+        def walk(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)

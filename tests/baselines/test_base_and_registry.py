@@ -1,0 +1,123 @@
+"""Tests for the shared imputer interface and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaseImputer,
+    KNNImputer,
+    MeanImputer,
+    available_methods,
+    figure_comparison_methods,
+    make_imputer,
+    paper_table2_methods,
+)
+from repro.core import IIMImputer
+from repro.data import Relation, inject_missing
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+
+
+@pytest.fixture
+def dirty_relation():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(60, 3))
+    values[:, 2] = values[:, 0] + values[:, 1]
+    relation = Relation(values)
+    return inject_missing(relation, fraction=0.1, random_state=1)
+
+
+class TestBaseImputerProtocol:
+    def test_fit_uses_only_complete_part(self, dirty_relation):
+        imputer = MeanImputer().fit(dirty_relation.dirty)
+        assert imputer.fitted_relation.is_complete()
+        assert imputer.fitted_relation.n_tuples == len(dirty_relation.dirty.complete_rows)
+
+    def test_impute_fills_every_missing_cell(self, dirty_relation):
+        imputed = MeanImputer().fit(dirty_relation.dirty).impute(dirty_relation.dirty)
+        assert imputed.is_complete()
+
+    def test_impute_does_not_change_observed_cells(self, dirty_relation):
+        dirty = dirty_relation.dirty
+        imputed = MeanImputer().fit(dirty).impute(dirty)
+        observed = ~np.isnan(dirty.raw)
+        np.testing.assert_array_equal(imputed.raw[observed], dirty.raw[observed])
+
+    def test_impute_before_fit_raises(self, dirty_relation):
+        with pytest.raises(NotFittedError):
+            MeanImputer().impute(dirty_relation.dirty)
+
+    def test_fit_requires_some_complete_tuple(self):
+        relation = Relation([[np.nan, 1.0], [2.0, np.nan]])
+        with pytest.raises(DataError):
+            MeanImputer().fit(relation)
+
+    def test_fit_on_non_relation_rejected(self):
+        with pytest.raises(DataError):
+            MeanImputer().fit(np.zeros((3, 2)))
+
+    def test_width_mismatch_rejected(self, dirty_relation):
+        imputer = MeanImputer().fit(dirty_relation.dirty)
+        with pytest.raises(DataError):
+            imputer.impute(Relation(np.zeros((3, 5))))
+
+    def test_impute_on_complete_relation_is_identity(self):
+        relation = Relation(np.random.default_rng(0).normal(size=(10, 3)))
+        imputer = MeanImputer().fit(relation)
+        np.testing.assert_array_equal(imputer.impute(relation).raw, relation.raw)
+
+    def test_impute_cells_alignment(self, dirty_relation):
+        imputer = KNNImputer(k=5).fit(dirty_relation.dirty)
+        values = imputer.impute_cells(dirty_relation)
+        assert values.shape == dirty_relation.truth.shape
+        assert np.isfinite(values).all()
+
+    def test_fit_impute_shortcut(self, dirty_relation):
+        imputed = MeanImputer().fit_impute(dirty_relation.dirty)
+        assert imputed.is_complete()
+
+    def test_repr_reports_fit_state(self, dirty_relation):
+        imputer = MeanImputer()
+        assert "unfitted" in repr(imputer)
+        imputer.fit(dirty_relation.dirty)
+        assert "fitted" in repr(imputer)
+
+    def test_multiple_missing_attributes_in_one_tuple(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(40, 4))
+        relation = Relation(values)
+        dirty_values = values.copy()
+        dirty_values[0, 1] = np.nan
+        dirty_values[0, 3] = np.nan
+        dirty = relation.with_values(dirty_values)
+        imputed = KNNImputer(k=3).fit(dirty).impute(dirty)
+        assert imputed.is_complete()
+
+
+class TestRegistry:
+    def test_all_fourteen_methods_available(self):
+        assert len(available_methods()) == 14
+        assert "IIM" in available_methods()
+
+    def test_table2_excludes_iim(self):
+        assert "IIM" not in paper_table2_methods()
+        assert len(paper_table2_methods()) == 13
+
+    def test_figure_methods_subset(self):
+        assert set(figure_comparison_methods()).issubset(set(available_methods()))
+
+    def test_make_imputer_case_insensitive(self):
+        assert isinstance(make_imputer("knn"), KNNImputer)
+        assert isinstance(make_imputer("iim"), IIMImputer)
+
+    def test_make_imputer_forwards_overrides(self):
+        imputer = make_imputer("kNN", k=3)
+        assert imputer.k == 3
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_imputer("deep-learning")
+
+    @pytest.mark.parametrize("name", ["Mean", "kNN", "kNNE", "GLR", "LOESS", "BLR", "PMM", "XGB",
+                                      "IFC", "GMM", "SVD", "ILLS", "ERACER", "IIM"])
+    def test_every_factory_builds_a_base_imputer(self, name):
+        assert isinstance(make_imputer(name), BaseImputer)

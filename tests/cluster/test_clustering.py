@@ -1,0 +1,131 @@
+"""Tests for the clustering substrate: k-means, fuzzy c-means, GMM."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FuzzyCMeans, GaussianMixture, KMeans
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import purity_score
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
+    labels = rng.integers(0, 3, size=300)
+    points = centers[labels] + rng.normal(scale=0.7, size=(300, 2))
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, blobs):
+        points, truth = blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        assert purity_score(truth, model.labels_) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        points, _ = blobs
+        inertia_2 = KMeans(n_clusters=2, random_state=0).fit(points).inertia_
+        inertia_6 = KMeans(n_clusters=6, random_state=0).fit(points).inertia_
+        assert inertia_6 < inertia_2
+
+    def test_predict_assigns_to_nearest_center(self, blobs):
+        points, _ = blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        prediction = model.predict(np.array([[8.0, 8.0]]))
+        center = model.cluster_centers_[prediction[0]]
+        assert np.linalg.norm(center - [8.0, 8.0]) < 1.0
+
+    def test_fit_predict_matches_labels(self, blobs):
+        points, _ = blobs
+        model = KMeans(n_clusters=3, random_state=1)
+        labels = model.fit_predict(points)
+        np.testing.assert_array_equal(labels, model.labels_)
+
+    def test_reproducible_with_seed(self, blobs):
+        points, _ = blobs
+        a = KMeans(n_clusters=3, random_state=5).fit(points).labels_
+        b = KMeans(n_clusters=3, random_state=5).fit(points).labels_
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_clusters_than_points_raises(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans().predict(np.zeros((1, 2)))
+
+    def test_single_cluster(self, blobs):
+        points, _ = blobs
+        model = KMeans(n_clusters=1, random_state=0).fit(points)
+        np.testing.assert_allclose(model.cluster_centers_[0], points.mean(axis=0), atol=1e-6)
+
+
+class TestFuzzyCMeans:
+    def test_memberships_sum_to_one(self, blobs):
+        points, _ = blobs
+        model = FuzzyCMeans(n_clusters=3, random_state=0).fit(points)
+        np.testing.assert_allclose(model.membership_.sum(axis=1), 1.0)
+
+    def test_hard_assignment_recovers_blobs(self, blobs):
+        points, truth = blobs
+        labels = FuzzyCMeans(n_clusters=3, random_state=0).fit_predict(points)
+        assert purity_score(truth, labels) > 0.9
+
+    def test_predict_membership_new_points(self, blobs):
+        points, _ = blobs
+        model = FuzzyCMeans(n_clusters=3, random_state=0).fit(points)
+        membership = model.predict_membership(np.array([[0.0, 0.0], [8.0, 8.0]]))
+        np.testing.assert_allclose(membership.sum(axis=1), 1.0)
+        # Each query should be dominated by one cluster.
+        assert (membership.max(axis=1) > 0.6).all()
+
+    def test_fuzziness_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyCMeans(fuzziness=1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FuzzyCMeans().predict(np.zeros((1, 2)))
+
+
+class TestGaussianMixture:
+    def test_recovers_blob_structure(self, blobs):
+        points, truth = blobs
+        model = GaussianMixture(n_components=3, random_state=0).fit(points)
+        assert purity_score(truth, model.predict(points)) > 0.95
+
+    def test_responsibilities_sum_to_one(self, blobs):
+        points, _ = blobs
+        model = GaussianMixture(n_components=3, random_state=0).fit(points)
+        np.testing.assert_allclose(model.predict_proba(points[:20]).sum(axis=1), 1.0)
+
+    def test_weights_sum_to_one(self, blobs):
+        points, _ = blobs
+        model = GaussianMixture(n_components=3, random_state=0).fit(points)
+        assert model.weights_.sum() == pytest.approx(1.0)
+
+    def test_log_likelihood_improves_over_random_model(self, blobs):
+        points, _ = blobs
+        fitted = GaussianMixture(n_components=3, random_state=0).fit(points)
+        single = GaussianMixture(n_components=1, random_state=0).fit(points)
+        assert fitted.score(points) > single.score(points)
+
+    def test_diag_covariance_supported(self, blobs):
+        points, truth = blobs
+        model = GaussianMixture(n_components=3, covariance_type="diag", random_state=0).fit(points)
+        assert purity_score(truth, model.predict(points)) > 0.9
+
+    def test_sample_shape(self, blobs):
+        points, _ = blobs
+        model = GaussianMixture(n_components=3, random_state=0).fit(points)
+        assert model.sample(25, random_state=1).shape == (25, 2)
+
+    def test_invalid_covariance_type(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMixture(covariance_type="spherical")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianMixture().predict(np.zeros((1, 2)))

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, Schema, load_dataset, make_two_street_example
+from repro.data.missing import inject_missing
+
+
+@pytest.fixture
+def figure1_relation() -> Relation:
+    """The paper's running example (Figure 1): 8 complete tuples, 2 attributes."""
+    return make_two_street_example()
+
+
+@pytest.fixture
+def small_linear_relation() -> Relation:
+    """A tiny, exactly linear relation: A3 = 2*A1 - A2 + 1."""
+    rng = np.random.default_rng(7)
+    a1 = rng.uniform(-5, 5, size=60)
+    a2 = rng.uniform(-5, 5, size=60)
+    a3 = 2 * a1 - a2 + 1
+    return Relation(np.column_stack([a1, a2, a3]), Schema(["A1", "A2", "A3"]))
+
+
+@pytest.fixture
+def asf_small() -> Relation:
+    """A small ASF-like heterogeneous dataset."""
+    return load_dataset("asf", size=200)
+
+
+@pytest.fixture
+def ca_small() -> Relation:
+    """A small CA-like sparse high-dimensional dataset."""
+    return load_dataset("ca", size=220)
+
+
+@pytest.fixture
+def asf_injection(asf_small):
+    """ASF-like data with 5% of the tuples made incomplete."""
+    return inject_missing(asf_small, fraction=0.05, random_state=0)

@@ -1,0 +1,106 @@
+"""Tests for adaptive learning (Algorithm 3) and its incremental computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import adaptive_learning, learn_individual_models
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def figure1_arrays(figure1_relation):
+    values = figure1_relation.raw
+    return values[:, :1], values[:, 1]
+
+
+@pytest.fixture
+def heterogeneous_arrays():
+    rng = np.random.default_rng(0)
+    x = np.sort(rng.uniform(0, 10, size=120)).reshape(-1, 1)
+    # Two regimes with different slopes (heterogeneity).
+    y = np.where(x[:, 0] < 5, 2.0 * x[:, 0], 20.0 - 1.5 * x[:, 0])
+    y += rng.normal(scale=0.05, size=120)
+    return x, y
+
+
+class TestAdaptiveLearning:
+    def test_selects_per_tuple_ell_from_candidates(self, figure1_arrays):
+        features, target = figure1_arrays
+        result = adaptive_learning(features, target, validation_neighbors=3,
+                                   include_global=False)
+        assert set(result.chosen_ell).issubset(set(result.candidates.tolist()))
+        assert result.models.parameters.shape == (8, 2)
+
+    def test_costs_shape_matches_candidates(self, figure1_arrays):
+        features, target = figure1_arrays
+        result = adaptive_learning(features, target, validation_neighbors=3,
+                                   include_global=False)
+        assert result.costs.shape == (8, result.candidates.shape[0])
+
+    def test_paper_example_4_cost_selection(self, figure1_arrays):
+        # For tuple t2 the minimum validation cost is attained at ℓ = 4.
+        features, target = figure1_arrays
+        result = adaptive_learning(features, target, validation_neighbors=3,
+                                   include_global=False)
+        assert result.chosen_ell[1] == 4
+        np.testing.assert_allclose(result.models.parameters[1], [5.56, -0.87], atol=0.02)
+
+    def test_chosen_model_matches_fixed_learning_at_that_ell(self, figure1_arrays):
+        features, target = figure1_arrays
+        result = adaptive_learning(features, target, validation_neighbors=3,
+                                   include_global=False)
+        for i, ell in enumerate(result.chosen_ell):
+            fixed = learn_individual_models(features, target, int(ell))
+            np.testing.assert_allclose(result.models.parameters[i], fixed.parameters[i], atol=1e-8)
+
+    def test_incremental_equals_straightforward(self, heterogeneous_arrays):
+        features, target = heterogeneous_arrays
+        kwargs = dict(validation_neighbors=5, stepping=7)
+        a = adaptive_learning(features, target, incremental=True, **kwargs)
+        b = adaptive_learning(features, target, incremental=False, **kwargs)
+        np.testing.assert_array_equal(a.chosen_ell, b.chosen_ell)
+        np.testing.assert_allclose(a.models.parameters, b.models.parameters, atol=1e-7)
+        np.testing.assert_allclose(a.costs, b.costs, rtol=1e-6)
+
+    def test_stepping_reduces_candidate_count(self, heterogeneous_arrays):
+        features, target = heterogeneous_arrays
+        fine = adaptive_learning(features, target, stepping=1, max_ell=40, include_global=False)
+        coarse = adaptive_learning(features, target, stepping=10, max_ell=40, include_global=False)
+        assert coarse.candidates.shape[0] < fine.candidates.shape[0]
+
+    def test_prefers_local_models_on_heterogeneous_data(self, heterogeneous_arrays):
+        # With two regimes of ~60 tuples each, the selected ℓ should stay well
+        # below n for the vast majority of tuples (picking ℓ=n would mix regimes).
+        features, target = heterogeneous_arrays
+        result = adaptive_learning(features, target, validation_neighbors=10, stepping=5)
+        assert np.median(result.chosen_ell) < 80
+
+    def test_global_candidate_appended(self, heterogeneous_arrays):
+        features, target = heterogeneous_arrays
+        result = adaptive_learning(
+            features, target, stepping=10, max_ell=30, include_global=True
+        )
+        assert result.candidates[-1] == features.shape[0]
+
+    def test_global_candidate_not_duplicated(self, figure1_arrays):
+        features, target = figure1_arrays
+        result = adaptive_learning(features, target, stepping=1, include_global=True)
+        assert (result.candidates == 8).sum() == 1
+
+    def test_explicit_candidates(self, heterogeneous_arrays):
+        features, target = heterogeneous_arrays
+        result = adaptive_learning(
+            features, target, candidates=[2, 10, 30], include_global=False
+        )
+        np.testing.assert_array_equal(result.candidates, [2, 10, 30])
+
+    def test_empty_candidates_rejected(self, heterogeneous_arrays):
+        features, target = heterogeneous_arrays
+        with pytest.raises(ConfigurationError):
+            adaptive_learning(features, target, candidates=[])
+
+    def test_validation_counts_recorded(self, heterogeneous_arrays):
+        features, target = heterogeneous_arrays
+        result = adaptive_learning(features, target, validation_neighbors=5, stepping=10)
+        assert result.validation_counts.sum() > 0
+        assert result.validation_counts.shape == (120,)

@@ -1,0 +1,77 @@
+"""Tests for the candidate-combination schemes (Formulas 10-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    COMBINERS,
+    candidate_vote_weights,
+    combine_distance,
+    combine_uniform,
+    combine_voting,
+    get_combiner,
+)
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestVoteWeights:
+    def test_weights_sum_to_one(self):
+        weights = candidate_vote_weights(np.array([1.0, 1.2, 5.0]))
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_agreeing_candidates_get_higher_weight(self):
+        # Formula 11/12: the outlying candidate receives the lowest weight.
+        weights = candidate_vote_weights(np.array([1.0, 1.1, 9.0]))
+        assert weights[2] == weights.min()
+        assert weights[0] > weights[2]
+        assert weights[1] > weights[2]
+
+    def test_single_candidate_full_weight(self):
+        np.testing.assert_array_equal(candidate_vote_weights(np.array([3.0])), [1.0])
+
+    def test_identical_candidates_uniform_weights(self):
+        weights = candidate_vote_weights(np.array([2.0, 2.0, 2.0]))
+        np.testing.assert_allclose(weights, 1.0 / 3.0)
+
+    def test_paper_example_3_weights(self):
+        # Candidates 1.19, 1.21, 1.19 -> weights 50/125, 25/125, 50/125.
+        weights = candidate_vote_weights(np.array([1.19, 1.21, 1.19]))
+        np.testing.assert_allclose(weights, [0.4, 0.2, 0.4], atol=1e-9)
+
+
+class TestCombiners:
+    def test_voting_matches_paper_example_3(self):
+        value = combine_voting(np.array([1.19, 1.21, 1.19]))
+        assert value == pytest.approx(1.194, abs=1e-3)
+
+    def test_uniform_is_plain_mean(self):
+        assert combine_uniform(np.array([1.0, 2.0, 6.0])) == pytest.approx(3.0)
+
+    def test_voting_between_min_and_max(self):
+        candidates = np.array([0.5, 2.0, 10.0])
+        value = combine_voting(candidates)
+        assert candidates.min() <= value <= candidates.max()
+
+    def test_distance_combiner_prefers_close_neighbor(self):
+        candidates = np.array([1.0, 5.0])
+        value = combine_distance(candidates, np.array([0.1, 10.0]))
+        assert value < 2.0
+
+    def test_distance_combiner_zero_distance_takes_all(self):
+        value = combine_distance(np.array([1.0, 5.0]), np.array([0.0, 1.0]))
+        assert value == pytest.approx(1.0)
+
+    def test_distance_combiner_requires_distances(self):
+        with pytest.raises(DataError):
+            combine_distance(np.array([1.0, 2.0]))
+
+    def test_distance_combiner_alignment_checked(self):
+        with pytest.raises(DataError):
+            combine_distance(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_registry_contains_three_schemes(self):
+        assert set(COMBINERS) == {"voting", "uniform", "distance"}
+
+    def test_get_combiner_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_combiner("median")

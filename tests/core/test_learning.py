@@ -1,0 +1,130 @@
+"""Tests for the individual-model learning phase (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_ell_values, learn_individual_models, learn_models_for_candidates
+from repro.core.learning import IndividualModels
+from repro.exceptions import ConfigurationError
+from repro.neighbors import NeighborOrderCache
+from repro.regression import RidgeRegression
+
+
+@pytest.fixture
+def figure1_arrays(figure1_relation):
+    values = figure1_relation.raw
+    return values[:, :1], values[:, 1]
+
+
+class TestLearnIndividualModels:
+    def test_one_model_per_tuple(self, figure1_arrays):
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=4)
+        assert models.n_models == 8
+        assert models.parameters.shape == (8, 2)
+
+    def test_paper_example_2_parameters(self, figure1_arrays):
+        # Phi from Example 2: phi_1 = phi_2 = (5.56, -0.87), phi_8 = (-4.36, 1.11).
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=4)
+        np.testing.assert_allclose(models[0], [5.56, -0.87], atol=0.02)
+        np.testing.assert_allclose(models[1], [5.56, -0.87], atol=0.02)
+        np.testing.assert_allclose(models[7], [-4.36, 1.11], atol=0.02)
+
+    def test_ell_one_gives_constant_models(self, figure1_arrays):
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=1)
+        np.testing.assert_allclose(models.parameters[:, 0], target)
+        np.testing.assert_allclose(models.parameters[:, 1], 0.0)
+
+    def test_ell_n_gives_global_model_for_all(self, figure1_arrays):
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=8)
+        global_model = RidgeRegression(alpha=1e-3).fit(features, target)
+        for i in range(8):
+            np.testing.assert_allclose(models[i], global_model.coefficients, atol=1e-9)
+
+    def test_ell_exceeding_n_rejected(self, figure1_arrays):
+        features, target = figure1_arrays
+        with pytest.raises(ConfigurationError):
+            learn_individual_models(features, target, ell=9)
+
+    def test_learning_neighbors_recorded(self, figure1_arrays):
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=3)
+        assert (models.learning_neighbors == 3).all()
+
+    def test_predict_applies_selected_models(self, figure1_arrays):
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=4)
+        candidates = models.predict([4, 3, 5], np.array([5.0]))
+        # Example 3: t5 and t6 suggest ~1.19, t4 suggests ~1.21 (the paper
+        # rounds the parameters to two decimals, hence the loose tolerance).
+        np.testing.assert_allclose(candidates, [1.19, 1.21, 1.19], atol=0.05)
+
+
+class TestCandidateEllValues:
+    def test_stepping_one_covers_all(self):
+        np.testing.assert_array_equal(candidate_ell_values(5), [1, 2, 3, 4, 5])
+
+    def test_stepping_three_matches_paper_example_5(self):
+        np.testing.assert_array_equal(candidate_ell_values(8, stepping=3), [1, 4, 7])
+
+    def test_max_ell_cap(self):
+        np.testing.assert_array_equal(candidate_ell_values(100, stepping=10, max_ell=35),
+                                      [1, 11, 21, 31])
+
+
+class TestLearnModelsForCandidates:
+    def test_incremental_matches_from_scratch(self, figure1_arrays):
+        features, target = figure1_arrays
+        candidates = [1, 3, 5, 8]
+        incremental = learn_models_for_candidates(features, target, candidates, incremental=True)
+        scratch = learn_models_for_candidates(features, target, candidates, incremental=False)
+        np.testing.assert_allclose(incremental, scratch, atol=1e-8)
+
+    def test_incremental_matches_on_random_data(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(40, 3))
+        target = rng.normal(size=40)
+        candidates = list(range(1, 41, 4))
+        incremental = learn_models_for_candidates(features, target, candidates, incremental=True)
+        scratch = learn_models_for_candidates(features, target, candidates, incremental=False)
+        np.testing.assert_allclose(incremental, scratch, atol=1e-7)
+
+    def test_each_candidate_row_matches_single_ell_learning(self, figure1_arrays):
+        features, target = figure1_arrays
+        candidates = [2, 4, 6]
+        stacked = learn_models_for_candidates(features, target, candidates)
+        for c, ell in enumerate(candidates):
+            single = learn_individual_models(features, target, ell)
+            np.testing.assert_allclose(stacked[c], single.parameters, atol=1e-8)
+
+    def test_candidates_must_increase(self, figure1_arrays):
+        features, target = figure1_arrays
+        with pytest.raises(ConfigurationError):
+            learn_models_for_candidates(features, target, [3, 2])
+
+    def test_candidates_out_of_range_rejected(self, figure1_arrays):
+        features, target = figure1_arrays
+        with pytest.raises(ConfigurationError):
+            learn_models_for_candidates(features, target, [0, 4])
+
+    def test_shared_order_cache_supported(self, figure1_arrays):
+        features, target = figure1_arrays
+        cache = NeighborOrderCache(features, include_self=True)
+        result = learn_models_for_candidates(features, target, [2, 4], order_cache=cache)
+        assert result.shape == (2, 8, 2)
+
+
+class TestIndividualModelsContainer:
+    def test_alignment_validation(self):
+        with pytest.raises(ConfigurationError):
+            IndividualModels(np.zeros((3, 2)), np.zeros(2))
+
+    def test_getitem_returns_copy(self, figure1_arrays):
+        features, target = figure1_arrays
+        models = learn_individual_models(features, target, ell=2)
+        row = models[0]
+        row[:] = 0
+        assert not np.allclose(models[0], 0)

@@ -1,0 +1,69 @@
+"""Propositions 1 and 2: IIM subsumes kNN (ℓ=1) and GLR (ℓ=n)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GLRImputer, KNNImputer
+from repro.core import IIMImputer
+from repro.data import Relation, inject_missing, load_dataset
+
+
+@pytest.fixture(params=["asf", "ca", "ccpp"])
+def injection(request):
+    relation = load_dataset(request.param, size=150)
+    return inject_missing(relation, fraction=0.08, random_state=0)
+
+
+class TestProposition1SubsumeKNN:
+    """IIM with ℓ=1 and uniform combination weights equals kNN imputation."""
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_equals_knn_for_various_k(self, injection, k):
+        iim = IIMImputer(k=k, learning="fixed", learning_neighbors=1, combination="uniform")
+        knn = KNNImputer(k=k, weighting="uniform")
+        iim_values = iim.fit(injection.dirty).impute_cells(injection)
+        knn_values = knn.fit(injection.dirty).impute_cells(injection)
+        np.testing.assert_allclose(iim_values, knn_values, rtol=1e-10)
+
+    def test_voting_weights_generally_differ_from_knn(self, injection):
+        # With the paper's voting weights the equality no longer holds in
+        # general (the weights are not uniform), confirming the proposition's
+        # requirement of uniform weights.
+        iim = IIMImputer(k=5, learning="fixed", learning_neighbors=1, combination="voting")
+        knn = KNNImputer(k=5)
+        iim_values = iim.fit(injection.dirty).impute_cells(injection)
+        knn_values = knn.fit(injection.dirty).impute_cells(injection)
+        assert not np.allclose(iim_values, knn_values)
+
+
+class TestProposition2SubsumeGLR:
+    """IIM with ℓ = n (all complete tuples) equals GLR imputation."""
+
+    def test_equals_glr(self, injection):
+        n_complete = injection.dirty.complete_part().n_tuples
+        iim = IIMImputer(k=5, learning="fixed", learning_neighbors=n_complete)
+        glr = GLRImputer()
+        iim_values = iim.fit(injection.dirty).impute_cells(injection)
+        glr_values = glr.fit(injection.dirty).impute_cells(injection)
+        np.testing.assert_allclose(iim_values, glr_values, rtol=1e-8)
+
+    def test_equality_holds_regardless_of_k(self, injection):
+        n_complete = injection.dirty.complete_part().n_tuples
+        glr_values = GLRImputer().fit(injection.dirty).impute_cells(injection)
+        for k in (1, 4, 9):
+            iim = IIMImputer(k=k, learning="fixed", learning_neighbors=n_complete)
+            iim_values = iim.fit(injection.dirty).impute_cells(injection)
+            np.testing.assert_allclose(iim_values, glr_values, rtol=1e-8)
+
+    def test_equality_on_figure1_example(self, figure1_relation):
+        # Blank tx's A2 in a relation extended with tx = (5, 1.8).
+        values = np.vstack([figure1_relation.raw, [5.0, 1.8]])
+        relation = Relation(values, figure1_relation.schema)
+        from repro.data.missing import inject_missing_cells
+
+        injection = inject_missing_cells(relation, [(8, "A2")])
+        iim = IIMImputer(k=3, learning="fixed", learning_neighbors=8)
+        glr = GLRImputer()
+        iim_value = iim.fit(injection.dirty).impute_cells(injection)[0]
+        glr_value = glr.fit(injection.dirty).impute_cells(injection)[0]
+        assert iim_value == pytest.approx(glr_value, rel=1e-9)

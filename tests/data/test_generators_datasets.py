@@ -1,0 +1,137 @@
+"""Tests for the synthetic generators and the named dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    dataset_names,
+    dataset_summary,
+    load_dataset,
+    make_classification_relation,
+    make_heterogeneous_regression,
+    make_homogeneous_regression,
+    make_piecewise_curve,
+    make_sparse_highdim,
+    make_two_street_example,
+)
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.metrics import heterogeneity_r2, sparsity_r2
+
+
+class TestGenerators:
+    def test_heterogeneous_shape(self):
+        rel = make_heterogeneous_regression(100, 5, random_state=0)
+        assert rel.shape == (100, 5)
+        assert rel.is_complete()
+
+    def test_heterogeneous_deterministic(self):
+        a = make_heterogeneous_regression(50, 4, random_state=3)
+        b = make_heterogeneous_regression(50, 4, random_state=3)
+        np.testing.assert_array_equal(a.raw, b.raw)
+
+    def test_heterogeneous_requires_two_attributes(self):
+        with pytest.raises(ConfigurationError):
+            make_heterogeneous_regression(50, 1)
+
+    def test_heterogeneity_property_holds(self):
+        # With a large regime offset the global regression should explain the
+        # data much worse than on homogeneous data of the same size.
+        hetero = make_heterogeneous_regression(
+            400, 5, n_regimes=4, regime_offset=1.5, noise=0.02, random_state=1
+        )
+        homo = make_homogeneous_regression(400, 5, noise=0.02, random_state=1)
+        r2_hetero = heterogeneity_r2(hetero, 4)
+        r2_homo = heterogeneity_r2(homo, 4)
+        assert r2_homo > 0.9
+        assert r2_hetero < r2_homo
+
+    def test_homogeneous_shape(self):
+        rel = make_homogeneous_regression(80, 4, random_state=0)
+        assert rel.shape == (80, 4)
+
+    def test_sparse_highdim_sparsity_property(self):
+        rel = make_sparse_highdim(400, 9, random_state=0)
+        # Neighbour value-sharing on the small-scale target is poor while a
+        # global regression explains it well (the paper's CA profile).
+        r2_s = sparsity_r2(rel, 8, sample_size=200)
+        r2_h = heterogeneity_r2(rel, 8)
+        assert r2_h > 0.8
+        assert r2_s < 0.5
+
+    def test_sparse_highdim_needs_three_attributes(self):
+        with pytest.raises(ConfigurationError):
+            make_sparse_highdim(100, 2)
+
+    def test_piecewise_curve_two_attributes(self):
+        rel = make_piecewise_curve(200, random_state=0)
+        assert rel.n_attributes == 2
+        # Monotone: sort by x, the y column must be non-decreasing up to noise.
+        values = rel.raw[np.argsort(rel.raw[:, 0])]
+        assert np.mean(np.diff(values[:, 1]) >= -0.5) > 0.95
+
+    def test_classification_relation_labels_and_missing(self):
+        rel = make_classification_relation(
+            120, 5, n_classes=3, missing_fraction=0.05, random_state=0
+        )
+        assert rel.labels is not None
+        assert set(np.unique(rel.labels)).issubset({0, 1, 2})
+        assert rel.n_missing_cells > 0
+        assert rel.complete_part().n_tuples > 0
+
+    def test_classification_relation_without_missing(self):
+        rel = make_classification_relation(50, 4, random_state=0)
+        assert rel.is_complete()
+
+    def test_two_street_example_matches_figure1(self):
+        rel = make_two_street_example()
+        assert rel.shape == (8, 2)
+        assert rel.raw[0, 1] == pytest.approx(5.8)
+        assert rel.raw[4, 0] == pytest.approx(6.8)
+
+
+class TestDatasetRegistry:
+    def test_all_nine_datasets_registered(self):
+        assert set(dataset_names()) == {
+            "asf", "ccs", "ccpp", "sn", "phase", "ca", "da", "mam", "hep",
+        }
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    @pytest.mark.parametrize("name", ["asf", "ccs", "ccpp", "phase", "ca", "da", "sn"])
+    def test_numeric_datasets_are_complete(self, name):
+        rel = load_dataset(name, size=120)
+        assert rel.is_complete()
+        assert rel.n_tuples == 120
+        assert rel.n_attributes == DATASETS[name].n_attributes
+
+    @pytest.mark.parametrize("name", ["mam", "hep"])
+    def test_labelled_datasets_have_missing_and_labels(self, name):
+        rel = load_dataset(name, size=120)
+        assert rel.labels is not None
+        assert rel.n_missing_cells > 0
+
+    def test_size_override(self):
+        rel = load_dataset("asf", size=77)
+        assert rel.n_tuples == 77
+
+    def test_default_sizes_match_paper(self):
+        assert DATASETS["asf"].n_tuples == 1500
+        assert DATASETS["ca"].n_tuples == 20000
+        assert DATASETS["sn"].n_tuples == 100000
+        assert DATASETS["hep"].n_tuples == 200
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("ccs", size=100, random_state=5)
+        b = load_dataset("ccs", size=100, random_state=5)
+        np.testing.assert_array_equal(a.raw, b.raw)
+
+    def test_dataset_summary_structure(self):
+        summary = dataset_summary()
+        assert summary["asf"]["n_attributes"] == 6
+        assert summary["hep"]["has_labels"] is True
+
+    def test_relation_name_matches_dataset(self):
+        assert load_dataset("phase", size=50).name == "phase"

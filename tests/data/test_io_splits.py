@@ -1,0 +1,114 @@
+"""Tests for CSV I/O and the train/test / k-fold splitters."""
+
+import numpy as np
+import pytest
+
+from repro.data import KFold, Relation, StratifiedKFold, read_csv, train_test_split, write_csv
+from repro.exceptions import DataError
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_values(self, tmp_path):
+        rel = Relation([[1.5, 2.0], [3.25, np.nan]], schema=["x", "y"], name="demo")
+        path = write_csv(rel, tmp_path / "demo.csv")
+        loaded = read_csv(path)
+        np.testing.assert_allclose(loaded.raw[0], [1.5, 2.0])
+        assert np.isnan(loaded.raw[1, 1])
+        assert loaded.schema.attributes == ("x", "y")
+
+    def test_roundtrip_with_labels(self, tmp_path):
+        rel = Relation([[1.0], [2.0]], schema=["x"], labels=[0, 1])
+        path = write_csv(rel, tmp_path / "labelled.csv")
+        loaded = read_csv(path, label_column="label")
+        assert loaded.labels.tolist() == [0, 1]
+        assert loaded.n_attributes == 1
+
+    def test_missing_tokens_parsed(self, tmp_path):
+        path = tmp_path / "tokens.csv"
+        path.write_text("a,b\n1.0,?\nNA,2.0\n3.0,nan\n")
+        loaded = read_csv(path)
+        assert loaded.n_missing_cells == 3
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        loaded = read_csv(path, has_header=False)
+        assert loaded.schema.attributes == ("A1", "A2")
+        assert loaded.n_tuples == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            read_csv(tmp_path / "absent.csv")
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1.0,2.0\n3.0\n")
+        with pytest.raises(DataError):
+            read_csv(path)
+
+    def test_non_numeric_cell_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1.0,hello\n")
+        with pytest.raises(DataError):
+            read_csv(path)
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        rel = Relation(np.arange(40, dtype=float).reshape(20, 2))
+        split = train_test_split(rel, test_fraction=0.25, random_state=0)
+        assert split.test.n_tuples == 5
+        assert split.train.n_tuples == 15
+
+    def test_partition_is_disjoint_and_covering(self):
+        rel = Relation(np.arange(40, dtype=float).reshape(20, 2))
+        split = train_test_split(rel, test_fraction=0.3, random_state=1)
+        combined = np.sort(np.concatenate([split.train_indices, split.test_indices]))
+        np.testing.assert_array_equal(combined, np.arange(20))
+
+    def test_degenerate_fraction_raises(self):
+        rel = Relation(np.arange(4, dtype=float).reshape(2, 2))
+        with pytest.raises(DataError):
+            train_test_split(rel, test_fraction=0.01)
+
+
+class TestKFold:
+    def test_folds_cover_all_rows(self):
+        folds = list(KFold(n_splits=4, random_state=0).split(22))
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(22))
+
+    def test_train_and_test_disjoint(self):
+        for train, test in KFold(n_splits=3, random_state=0).split(15):
+            assert not set(train) & set(test)
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(DataError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_two_splits_minimum(self):
+        with pytest.raises(DataError):
+            KFold(n_splits=1)
+
+    def test_split_relation_yields_relations(self):
+        rel = Relation(np.arange(20, dtype=float).reshape(10, 2))
+        for train, test in KFold(n_splits=5, random_state=0).split_relation(rel):
+            assert train.n_tuples + test.n_tuples == 10
+
+
+class TestStratifiedKFold:
+    def test_every_fold_contains_both_classes(self):
+        labels = np.array([0] * 30 + [1] * 10)
+        for _, test in StratifiedKFold(n_splits=5, random_state=0).split(labels):
+            assert set(labels[test]) == {0, 1}
+
+    def test_folds_cover_all_rows(self):
+        labels = np.array([0, 1] * 15)
+        folds = list(StratifiedKFold(n_splits=3, random_state=0).split(labels))
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(30))
+
+    def test_split_relation_requires_labels(self):
+        rel = Relation(np.arange(20, dtype=float).reshape(10, 2))
+        with pytest.raises(DataError):
+            list(StratifiedKFold().split_relation(rel))

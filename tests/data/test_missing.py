@@ -1,0 +1,146 @@
+"""Tests for missing-value injection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Relation,
+    inject_missing,
+    inject_missing_attribute,
+    inject_missing_cells,
+    inject_missing_clustered,
+    load_dataset,
+)
+from repro.exceptions import MissingValueError
+
+
+@pytest.fixture
+def complete_relation():
+    rng = np.random.default_rng(0)
+    return Relation(rng.normal(size=(100, 4)))
+
+
+class TestInjectMissing:
+    def test_fraction_of_tuples_made_incomplete(self, complete_relation):
+        result = inject_missing(complete_relation, fraction=0.1, random_state=0)
+        assert len(result) == 10
+        assert len(result.dirty.incomplete_rows) == 10
+
+    def test_truth_matches_original_values(self, complete_relation):
+        result = inject_missing(complete_relation, fraction=0.1, random_state=0)
+        original = complete_relation.raw
+        for cell in result.cells:
+            assert original[cell.row, cell.attribute] == pytest.approx(cell.true_value)
+
+    def test_dirty_cells_are_nan(self, complete_relation):
+        result = inject_missing(complete_relation, fraction=0.1, random_state=0)
+        dirty = result.dirty.raw
+        assert np.isnan(dirty[result.rows, result.attributes]).all()
+
+    def test_one_missing_cell_per_tuple(self, complete_relation):
+        result = inject_missing(complete_relation, fraction=0.2, random_state=1)
+        per_row = np.isnan(result.dirty.raw).sum(axis=1)
+        assert per_row.max() == 1
+
+    def test_reproducible_with_seed(self, complete_relation):
+        a = inject_missing(complete_relation, fraction=0.1, random_state=42)
+        b = inject_missing(complete_relation, fraction=0.1, random_state=42)
+        assert [(c.row, c.attribute) for c in a.cells] == [(c.row, c.attribute) for c in b.cells]
+
+    def test_attribute_restriction(self, complete_relation):
+        result = inject_missing(
+            complete_relation, fraction=0.1, attributes=["A2"], random_state=0
+        )
+        assert set(result.attributes.tolist()) == {1}
+
+    def test_requires_complete_relation(self, complete_relation):
+        dirty = inject_missing(complete_relation, fraction=0.1, random_state=0).dirty
+        with pytest.raises(MissingValueError):
+            inject_missing(dirty, fraction=0.1)
+
+    def test_fraction_bounds_validated(self, complete_relation):
+        with pytest.raises(Exception):
+            inject_missing(complete_relation, fraction=1.5)
+
+    def test_original_relation_untouched(self, complete_relation):
+        before = complete_relation.raw.copy()
+        inject_missing(complete_relation, fraction=0.1, random_state=0)
+        np.testing.assert_array_equal(complete_relation.raw, before)
+
+
+class TestInjectMissingAttribute:
+    def test_all_cells_on_requested_attribute(self, complete_relation):
+        result = inject_missing_attribute(complete_relation, "A3", 15, random_state=0)
+        assert set(result.attributes.tolist()) == {2}
+        assert len(result) == 15
+
+    def test_too_many_incomplete_raises(self, complete_relation):
+        with pytest.raises(MissingValueError):
+            inject_missing_attribute(complete_relation, "A1", 100, random_state=0)
+
+
+class TestInjectMissingCells:
+    def test_exact_cells_removed(self, complete_relation):
+        result = inject_missing_cells(complete_relation, [(0, "A1"), (3, 2)])
+        assert {(c.row, c.attribute) for c in result.cells} == {(0, 0), (3, 2)}
+
+    def test_duplicate_cells_deduplicated(self, complete_relation):
+        result = inject_missing_cells(complete_relation, [(0, 0), (0, 0)])
+        assert len(result) == 1
+
+    def test_empty_coordinates_raises(self, complete_relation):
+        with pytest.raises(MissingValueError):
+            inject_missing_cells(complete_relation, [])
+
+    def test_row_out_of_range_raises(self, complete_relation):
+        with pytest.raises(MissingValueError):
+            inject_missing_cells(complete_relation, [(1000, 0)])
+
+
+class TestInjectMissingClustered:
+    def test_total_incomplete_count(self, complete_relation):
+        result = inject_missing_clustered(
+            complete_relation, n_incomplete=12, cluster_size=3, random_state=0
+        )
+        assert len(result) == 12
+
+    def test_cluster_members_are_close(self):
+        relation = load_dataset("asf", size=150)
+        result = inject_missing_clustered(
+            relation, n_incomplete=10, cluster_size=5, attribute=-1, random_state=0
+        )
+        # With cluster_size 5 the incomplete tuples form two tight groups: the
+        # mean distance to the nearest other incomplete tuple must be well
+        # below the dataset's typical pairwise distance.
+        values = relation.raw
+        rows = result.rows
+        incomplete = values[rows]
+        pairwise = np.sqrt(((incomplete[:, None] - incomplete[None, :]) ** 2).mean(axis=2))
+        np.fill_diagonal(pairwise, np.inf)
+        nearest_incomplete = pairwise.min(axis=1).mean()
+        global_pairwise = np.sqrt(((values[::5, None] - values[None, ::5]) ** 2).mean(axis=2))
+        typical = np.median(global_pairwise[global_pairwise > 0])
+        assert nearest_incomplete < typical * 0.5
+
+    def test_cluster_size_one_is_random_injection(self, complete_relation):
+        result = inject_missing_clustered(
+            complete_relation, n_incomplete=5, cluster_size=1, random_state=0
+        )
+        assert len(result) == 5
+
+    def test_fixed_attribute(self, complete_relation):
+        result = inject_missing_clustered(
+            complete_relation, n_incomplete=6, cluster_size=2, attribute="A4", random_state=0
+        )
+        assert set(result.attributes.tolist()) == {3}
+
+    def test_cluster_size_larger_than_total_raises(self, complete_relation):
+        with pytest.raises(MissingValueError):
+            inject_missing_clustered(complete_relation, n_incomplete=2, cluster_size=5)
+
+
+class TestInjectionResult:
+    def test_alignment_of_truth_rows_attributes(self, complete_relation):
+        result = inject_missing(complete_relation, fraction=0.1, random_state=3)
+        assert result.truth.shape == result.rows.shape == result.attributes.shape
+        assert result.truth.shape[0] == len(result)

@@ -1,0 +1,213 @@
+"""Tests for the Relation/Schema relational substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, Schema
+from repro.exceptions import DataError, SchemaError
+
+
+class TestSchema:
+    def test_default_schema_names(self):
+        schema = Schema.default(3)
+        assert schema.attributes == ("A1", "A2", "A3")
+
+    def test_width_and_len(self):
+        schema = Schema(["x", "y"])
+        assert schema.width == 2
+        assert len(schema) == 2
+
+    def test_index_of_by_name_and_index(self):
+        schema = Schema(["x", "y", "z"])
+        assert schema.index_of("y") == 1
+        assert schema.index_of(2) == 2
+
+    def test_index_of_unknown_name_raises(self):
+        schema = Schema(["x", "y"])
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_index_of_out_of_range_raises(self):
+        schema = Schema(["x", "y"])
+        with pytest.raises(SchemaError):
+            schema.index_of(5)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_contains(self):
+        schema = Schema(["x", "y"])
+        assert "x" in schema
+        assert "q" not in schema
+        assert 1 in schema
+        assert 7 not in schema
+
+    def test_complement(self):
+        schema = Schema(["a", "b", "c", "d"])
+        assert schema.complement(["b"]) == [0, 2, 3]
+        assert schema.complement([0, 3]) == [1, 2]
+
+    def test_name_of(self):
+        schema = Schema(["a", "b"])
+        assert schema.name_of(1) == "b"
+
+
+class TestRelationBasics:
+    def test_shape_and_counts(self):
+        rel = Relation([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert rel.shape == (3, 2)
+        assert rel.n_tuples == 3
+        assert rel.n_attributes == 2
+        assert len(rel) == 3
+
+    def test_default_schema_applied(self):
+        rel = Relation([[1.0, 2.0]])
+        assert rel.schema.attributes == ("A1", "A2")
+
+    def test_schema_width_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Relation([[1.0, 2.0]], schema=["only_one"])
+
+    def test_values_returns_copy(self):
+        rel = Relation([[1.0, 2.0]])
+        values = rel.values
+        values[0, 0] = 99.0
+        assert rel.raw[0, 0] == 1.0
+
+    def test_raw_is_read_only(self):
+        rel = Relation([[1.0, 2.0]])
+        with pytest.raises((ValueError, RuntimeError)):
+            rel.raw[0, 0] = 5.0
+
+    def test_labels_roundtrip(self):
+        rel = Relation([[1.0], [2.0]], labels=[0, 1])
+        assert rel.labels.tolist() == [0, 1]
+
+    def test_labels_wrong_length_raises(self):
+        with pytest.raises(DataError):
+            Relation([[1.0], [2.0]], labels=[0])
+
+    def test_column_access_by_name(self):
+        rel = Relation([[1.0, 2.0], [3.0, 4.0]], schema=["x", "y"])
+        np.testing.assert_array_equal(rel.column("y"), [2.0, 4.0])
+
+    def test_columns_access(self):
+        rel = Relation([[1.0, 2.0, 3.0]], schema=["x", "y", "z"])
+        np.testing.assert_array_equal(rel.columns(["z", "x"]), [[3.0, 1.0]])
+
+    def test_row_access(self):
+        rel = Relation([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(rel.row(1), [3.0, 4.0])
+
+    def test_repr_mentions_shape(self):
+        rel = Relation([[1.0, 2.0]])
+        assert "n=1" in repr(rel)
+        assert "m=2" in repr(rel)
+
+
+class TestRelationMissing:
+    def test_missing_mask_and_counts(self):
+        rel = Relation([[1.0, np.nan], [3.0, 4.0]])
+        assert rel.n_missing_cells == 1
+        assert rel.missing_mask[0, 1]
+        assert not rel.is_complete()
+
+    def test_complete_and_incomplete_rows(self):
+        rel = Relation([[1.0, np.nan], [3.0, 4.0], [np.nan, 6.0]])
+        np.testing.assert_array_equal(rel.complete_rows, [1])
+        np.testing.assert_array_equal(rel.incomplete_rows, [0, 2])
+
+    def test_complete_part_drops_incomplete(self):
+        rel = Relation([[1.0, np.nan], [3.0, 4.0]])
+        assert rel.complete_part().n_tuples == 1
+        assert rel.complete_part().is_complete()
+
+    def test_incomplete_part(self):
+        rel = Relation([[1.0, np.nan], [3.0, 4.0]])
+        assert rel.incomplete_part().n_tuples == 1
+
+    def test_drop_incomplete_alias(self):
+        rel = Relation([[1.0, np.nan], [3.0, 4.0]])
+        assert rel.drop_incomplete().n_tuples == 1
+
+    def test_infinite_values_rejected(self):
+        with pytest.raises(DataError):
+            Relation([[np.inf, 1.0]])
+
+
+class TestRelationManipulation:
+    def test_select_rows_preserves_labels(self):
+        rel = Relation([[1.0], [2.0], [3.0]], labels=[0, 1, 0])
+        selected = rel.select_rows([2, 0])
+        np.testing.assert_array_equal(selected.column(0), [3.0, 1.0])
+        assert selected.labels.tolist() == [0, 0]
+
+    def test_select_attributes(self):
+        rel = Relation([[1.0, 2.0, 3.0]], schema=["x", "y", "z"])
+        projected = rel.select_attributes(["z", "x"])
+        assert projected.schema.attributes == ("z", "x")
+        np.testing.assert_array_equal(projected.raw, [[3.0, 1.0]])
+
+    def test_select_attributes_empty_raises(self):
+        rel = Relation([[1.0, 2.0]])
+        with pytest.raises(SchemaError):
+            rel.select_attributes([])
+
+    def test_set_cell_returns_new_relation(self):
+        rel = Relation([[1.0, 2.0]])
+        updated = rel.set_cell(0, "A2", 9.0)
+        assert updated.raw[0, 1] == 9.0
+        assert rel.raw[0, 1] == 2.0
+
+    def test_with_values_keeps_schema(self):
+        rel = Relation([[1.0, 2.0]], schema=["x", "y"])
+        new = rel.with_values(np.array([[5.0, 6.0]]))
+        assert new.schema.attributes == ("x", "y")
+
+    def test_copy_is_independent(self):
+        rel = Relation([[1.0, 2.0]])
+        clone = rel.copy()
+        assert clone.raw is not rel.raw
+        np.testing.assert_array_equal(clone.raw, rel.raw)
+
+    def test_concat(self):
+        a = Relation([[1.0, 2.0]])
+        b = Relation([[3.0, 4.0]])
+        merged = a.concat(b)
+        assert merged.n_tuples == 2
+
+    def test_concat_schema_mismatch_raises(self):
+        a = Relation([[1.0, 2.0]], schema=["x", "y"])
+        b = Relation([[3.0, 4.0]], schema=["u", "v"])
+        with pytest.raises(SchemaError):
+            a.concat(b)
+
+    def test_concat_label_mismatch_raises(self):
+        a = Relation([[1.0]], labels=[0])
+        b = Relation([[2.0]])
+        with pytest.raises(DataError):
+            a.concat(b)
+
+
+class TestRelationStatistics:
+    def test_column_means_skip_missing(self):
+        rel = Relation([[1.0, np.nan], [3.0, 4.0]])
+        means = rel.column_means()
+        assert means[0] == pytest.approx(2.0)
+        assert means[1] == pytest.approx(4.0)
+
+    def test_column_stds_nonnegative(self):
+        rel = Relation([[1.0, 2.0], [3.0, 4.0]])
+        assert (rel.column_stds() >= 0).all()
+
+    def test_summary_keys(self):
+        rel = Relation([[1.0, np.nan]], name="demo")
+        summary = rel.summary()
+        assert summary["name"] == "demo"
+        assert summary["n_missing_cells"] == 1
+        assert summary["n_incomplete_tuples"] == 1

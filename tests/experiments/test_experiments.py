@@ -1,0 +1,161 @@
+"""Tests for the experiment harness, tables, figures, reporting and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data import inject_missing, load_dataset
+from repro.experiments import (
+    PROFILES,
+    compare_methods,
+    default_method_overrides,
+    figure8,
+    figure9,
+    figure11,
+    figure12,
+    figure13,
+    format_series,
+    format_table,
+    get_profile,
+    run_method_on_injection,
+    table5,
+    table6,
+    table7,
+)
+from repro.baselines import make_imputer
+
+SMOKE = PROFILES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def small_injection():
+    relation = load_dataset("asf", size=150)
+    return inject_missing(relation, fraction=0.08, random_state=0)
+
+
+class TestHarness:
+    def test_run_method_records_timings_and_error(self, small_injection):
+        run = run_method_on_injection(make_imputer("kNN", k=5), small_injection)
+        assert not run.failed
+        assert run.rms > 0
+        assert run.fit_seconds >= 0
+        assert run.impute_seconds > 0
+        assert run.n_imputed == len(small_injection)
+
+    def test_failed_method_is_recorded_not_raised(self, small_injection):
+        # SVD is undefined for fewer than 2 complete attributes; force a
+        # failure by running it on a two-attribute projection.
+        relation = load_dataset("sn", size=120)
+        injection = inject_missing(relation, fraction=0.1, random_state=0)
+        run = run_method_on_injection(make_imputer("SVD"), injection)
+        assert run.failed
+        assert np.isnan(run.rms)
+
+    def test_compare_methods_collects_all(self, small_injection):
+        comparison = compare_methods(small_injection, ["Mean", "kNN", "GLR"], dataset_name="asf")
+        assert set(comparison.runs) == {"Mean", "kNN", "GLR"}
+        assert comparison.best_method() in {"Mean", "kNN", "GLR"}
+        assert comparison.ranking()[0] == comparison.best_method()
+
+    def test_default_overrides_align_k(self):
+        overrides = default_method_overrides(SMOKE)
+        assert overrides["kNN"]["k"] == SMOKE.default_k
+        assert overrides["IIM"]["k"] == SMOKE.default_k
+
+
+class TestProfiles:
+    def test_three_profiles_registered(self):
+        assert set(PROFILES) == {"smoke", "bench", "paper"}
+
+    def test_paper_profile_matches_published_sizes(self):
+        paper = PROFILES["paper"]
+        assert paper.dataset_sizes["asf"] == 1500
+        assert paper.dataset_sizes["sn"] == 100000
+        assert paper.asf_incomplete == 100
+        assert paper.ca_incomplete == 1000
+
+    def test_get_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert get_profile().name == "smoke"
+        monkeypatch.delenv("REPRO_PROFILE")
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert get_profile().name == "paper"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("gigantic")
+
+
+class TestTables:
+    def test_table5_structure(self):
+        result = table5(methods=["kNN", "GLR", "Mean"], datasets=("asf", "ca"), profile=SMOKE)
+        assert set(result.rows) == {"asf", "ca"}
+        assert result.rms("asf", "kNN") > 0
+        assert "Table V" in result.render()
+        # The dataset profile measures are attached for every dataset.
+        assert -1.0 <= result.heterogeneity["ca"] <= 1.0
+
+    def test_table5_shape_glr_beats_knn_on_sparse_ca(self):
+        result = table5(methods=["kNN", "GLR"], datasets=("ca",), profile=SMOKE)
+        assert result.rms("ca", "GLR") < result.rms("ca", "kNN")
+
+    def test_table6_per_attribute_rows(self):
+        result = table6(methods=["kNN", "GLR"], attributes=("A1", "A6"), profile=SMOKE)
+        assert set(result.rows) == {"A1", "A6"}
+        assert "Table VI" in result.render()
+
+    def test_table7_structure(self):
+        result = table7(
+            methods=["Mean", "kNN"],
+            clustering_datasets=("asf",),
+            classification_datasets=("mam",),
+            profile=SMOKE,
+        )
+        assert "Missing" in result.clustering["asf"]
+        assert 0.0 <= result.clustering["asf"]["kNN"] <= 1.0
+        assert 0.0 <= result.classification["mam"]["Mean"] <= 1.0
+        assert "Table VII" in result.render()
+
+
+class TestFigures:
+    def test_figure9_series_lengths(self):
+        result = figure9(methods=["kNN", "IIM"], profile=SMOKE)
+        assert len(result.x_values) == len(result.rms_series("kNN"))
+        assert len(result.x_values) == len(result.time_series("IIM"))
+        assert "RMS" in result.render()
+
+    def test_figure8_cluster_sweep(self):
+        result = figure8(methods=["kNN", "GLR"], profile=SMOKE)
+        assert result.x_values == SMOKE.cluster_sizes
+
+    def test_figure11_contains_fixed_and_adaptive(self):
+        results = figure11(datasets=("asf",), profile=SMOKE)
+        asf = results["asf"]
+        assert "Fixed l" in asf.rms
+        assert "Adaptive" in asf.rms
+        # The adaptive series is a constant reference line.
+        assert len(set(np.round(asf.rms["Adaptive"], 12))) == 1
+
+    def test_figure12_reports_both_variants(self):
+        results = figure12(datasets=("ca",), profile=SMOKE, stepping=20)
+        ca = results["ca"]
+        assert set(ca.seconds) == {"Straightforward", "Incremental"}
+        assert len(ca.x_values) == len(SMOKE.scalability_tuple_counts)
+
+    def test_figure13_rms_and_times(self):
+        result = figure13(profile=SMOKE)
+        assert result.x_values == SMOKE.stepping_values
+        assert set(result.seconds) == {"Straightforward", "Incremental"}
+        assert all(np.isfinite(result.rms["IIM"]))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [["x", 1.23456], ["y", float("nan")]], title="T")
+        assert "T" in text
+        assert "1.235" in text
+        assert "-" in text
+
+    def test_format_series(self):
+        text = format_series("k", [1, 2], {"kNN": [0.5, 0.25]})
+        assert "kNN" in text
+        assert "0.250" in text

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    IIMImputer,
+    available_methods,
+    inject_missing,
+    load_dataset,
+    make_imputer,
+    rms_error,
+)
+from repro.data import inject_missing_clustered, write_csv, read_csv
+from repro.experiments import PROFILES, compare_methods, default_method_overrides
+from repro.ml import classification_application, clustering_application
+
+
+SMOKE = PROFILES["smoke"]
+
+
+class TestFullImputationPipeline:
+    def test_all_fourteen_methods_run_on_one_dataset(self):
+        relation = load_dataset("ccs", size=180)
+        injection = inject_missing(relation, fraction=0.05, random_state=0)
+        overrides = default_method_overrides(SMOKE)
+        overrides["XGB"] = {"n_estimators": 10}
+        comparison = compare_methods(
+            injection, available_methods(), dataset_name="ccs", method_overrides=overrides
+        )
+        succeeded = [m for m, run in comparison.runs.items() if not run.failed]
+        assert len(succeeded) == 14
+        assert all(comparison.rms_of(m) > 0 for m in succeeded)
+
+    def test_iim_beats_mean_on_every_numeric_dataset(self):
+        for name in ("asf", "ccs", "ccpp", "phase", "da"):
+            relation = load_dataset(name, size=200)
+            injection = inject_missing(relation, fraction=0.05, random_state=1)
+            iim = IIMImputer(k=5, learning="adaptive", stepping=10,
+                             max_learning_neighbors=60, validation_neighbors=15)
+            mean = make_imputer("Mean")
+            iim_rms = rms_error(injection.truth, iim.fit(injection.dirty).impute_cells(injection))
+            mean_rms = rms_error(injection.truth, mean.fit(injection.dirty).impute_cells(injection))
+            assert iim_rms < mean_rms, name
+
+    def test_clustered_missing_pipeline(self):
+        relation = load_dataset("asf", size=200)
+        injection = inject_missing_clustered(
+            relation, n_incomplete=20, cluster_size=5, attribute=-1, random_state=0
+        )
+        iim = IIMImputer(k=5, learning="fixed", learning_neighbors=20)
+        values = iim.fit(injection.dirty).impute_cells(injection)
+        assert np.isfinite(values).all()
+
+    def test_csv_roundtrip_then_impute(self, tmp_path):
+        relation = load_dataset("ccpp", size=150)
+        injection = inject_missing(relation, fraction=0.1, random_state=0)
+        path = write_csv(injection.dirty, tmp_path / "dirty.csv")
+        loaded = read_csv(path)
+        assert loaded.n_missing_cells == len(injection)
+        imputed = make_imputer("kNN").fit(loaded).impute(loaded)
+        assert imputed.is_complete()
+
+    def test_downstream_applications_end_to_end(self):
+        clustering_relation = load_dataset("asf", size=200)
+        outcome = clustering_application(
+            clustering_relation, make_imputer("kNN"), n_clusters=4, random_state=0
+        )
+        assert 0.0 <= outcome.purity <= 1.0
+
+        classification_relation = load_dataset("hep", size=120)
+        f1 = classification_application(classification_relation, make_imputer("Mean"))
+        assert 0.0 <= f1 <= 1.0
+
+    def test_public_api_quickstart_snippet(self):
+        # Mirrors the README quickstart so documentation stays honest.
+        from repro import IIMImputer, load_dataset, inject_missing, rms_error
+
+        relation = load_dataset("asf", size=300)
+        injection = inject_missing(relation, fraction=0.05, random_state=0)
+        imputer = IIMImputer(k=10, learning="adaptive", stepping=10, max_learning_neighbors=50)
+        imputed = imputer.fit(injection.dirty).impute(injection.dirty)
+        error = rms_error(
+            injection.truth, imputed.raw[injection.rows, injection.attributes]
+        )
+        assert np.isfinite(error)
+        assert imputed.is_complete()
+
+
+class TestRobustness:
+    def test_tiny_relation(self):
+        relation = load_dataset("ccs", size=12)
+        injection = inject_missing(relation, fraction=0.1, random_state=0)
+        for method in ("Mean", "kNN", "GLR", "IIM"):
+            imputer = make_imputer(method, **({"k": 2} if method in ("kNN", "IIM") else {}))
+            values = imputer.fit(injection.dirty).impute_cells(injection)
+            assert np.isfinite(values).all()
+
+    def test_many_missing_attributes_per_tuple(self):
+        rng = np.random.default_rng(0)
+        from repro.data import Relation
+
+        values = rng.normal(size=(80, 5))
+        dirty_values = values.copy()
+        dirty_values[:10, 1] = np.nan
+        dirty_values[:10, 3] = np.nan
+        dirty_values[5:15, 4] = np.nan
+        relation = Relation(dirty_values)
+        for method in ("kNN", "GLR", "IIM"):
+            imputer = make_imputer(method, **({"k": 5} if method in ("kNN", "IIM") else {}))
+            imputed = imputer.fit(relation).impute(relation)
+            assert imputed.is_complete()

@@ -1,0 +1,149 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, load_dataset
+from repro.exceptions import DataError
+from repro.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    contingency_matrix,
+    f1_score,
+    heterogeneity_r2,
+    mean_absolute_error,
+    normalized_mutual_information,
+    normalized_rms_error,
+    precision_recall_f1,
+    purity_score,
+    r_squared,
+    rms_error,
+    sparsity_r2,
+)
+
+
+class TestErrorMetrics:
+    def test_rms_error_zero_for_perfect_imputation(self):
+        assert rms_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_rms_error_known_value(self):
+        assert rms_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([0.0, 0.0], [3.0, -4.0]) == pytest.approx(3.5)
+
+    def test_rms_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        truth = rng.normal(size=50)
+        imputed = truth + rng.normal(size=50)
+        assert rms_error(truth, imputed) >= mean_absolute_error(truth, imputed)
+
+    def test_normalized_rms(self):
+        truth = np.array([0.0, 10.0])
+        assert normalized_rms_error(truth, truth + 1.0) == pytest.approx(1.0 / 5.0)
+
+    def test_nan_imputation_rejected(self):
+        with pytest.raises(DataError):
+            rms_error([1.0], [np.nan])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            rms_error([1.0, 2.0], [1.0])
+
+
+class TestDetermination:
+    def test_r_squared_perfect(self):
+        assert r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r_squared_of_mean_predictor_is_zero(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r_squared(truth, np.full(4, truth.mean())) == pytest.approx(0.0)
+
+    def test_r_squared_can_be_negative(self):
+        assert r_squared([1.0, 2.0, 3.0], [3.0, 2.0, -1.0]) < 0
+
+    def test_sparsity_r2_high_for_dense_clustered_data(self):
+        rel = load_dataset("asf", size=200)
+        assert sparsity_r2(rel, rel.n_attributes - 1) > 0.7
+
+    def test_sparsity_r2_low_for_sparse_data(self):
+        rel = load_dataset("ca", size=300)
+        assert sparsity_r2(rel, rel.n_attributes - 1) < 0.5
+
+    def test_heterogeneity_r2_high_for_linear_data(self):
+        rel = load_dataset("phase", size=300)
+        assert heterogeneity_r2(rel, rel.n_attributes - 1) > 0.85
+
+    def test_heterogeneity_r2_lower_for_heterogeneous_data(self):
+        asf = load_dataset("asf", size=400)
+        phase = load_dataset("phase", size=400)
+        assert heterogeneity_r2(asf, asf.n_attributes - 1) < heterogeneity_r2(
+            phase, phase.n_attributes - 1
+        )
+
+    def test_profiling_requires_complete_relation(self):
+        rel = Relation([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(DataError):
+            sparsity_r2(rel, 1)
+
+
+class TestClusteringMetrics:
+    def test_purity_perfect_match(self):
+        assert purity_score([0, 0, 1, 1], [5, 5, 7, 7]) == 1.0
+
+    def test_purity_random_half(self):
+        assert purity_score([0, 1, 0, 1], [0, 0, 0, 0]) == pytest.approx(0.5)
+
+    def test_purity_invariant_to_label_names(self):
+        a = purity_score([0, 0, 1, 1], [1, 1, 0, 0])
+        b = purity_score(["x", "x", "y", "y"], ["b", "b", "a", "a"])
+        assert a == b == 1.0
+
+    def test_contingency_matrix_counts(self):
+        matrix = contingency_matrix([0, 0, 1], [0, 1, 1])
+        assert matrix.sum() == 3
+        assert matrix.shape == (2, 2)
+
+    def test_nmi_perfect_and_independent(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+        low = normalized_mutual_information([0, 1, 0, 1, 0, 1, 0, 1], [0, 0, 1, 1, 0, 0, 1, 1])
+        assert low < 0.2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            purity_score([0, 1], [0])
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+
+    def test_confusion_matrix_diagonal_for_perfect(self):
+        matrix = confusion_matrix([0, 1, 2], [0, 1, 2])
+        np.testing.assert_array_equal(matrix, np.eye(3, dtype=int))
+
+    def test_precision_recall_f1_binary(self):
+        truth = [1, 1, 1, 0, 0, 0]
+        predicted = [1, 1, 0, 1, 0, 0]
+        stats = precision_recall_f1(truth, predicted)[1]
+        assert stats["precision"] == pytest.approx(2 / 3)
+        assert stats["recall"] == pytest.approx(2 / 3)
+        assert stats["f1"] == pytest.approx(2 / 3)
+
+    def test_f1_perfect(self):
+        assert f1_score([0, 1, 0], [0, 1, 0]) == 1.0
+
+    def test_f1_weighted_vs_macro(self):
+        truth = [0] * 90 + [1] * 10
+        predicted = [0] * 100
+        weighted = f1_score(truth, predicted, average="weighted")
+        macro = f1_score(truth, predicted, average="macro")
+        assert weighted > macro
+
+    def test_f1_binary_requires_two_classes(self):
+        with pytest.raises(DataError):
+            f1_score([0, 0], [0, 0], average="binary")
+
+    def test_unknown_average_rejected(self):
+        with pytest.raises(DataError):
+            f1_score([0, 1], [0, 1], average="median")

@@ -1,0 +1,72 @@
+"""Tests for the distance metrics (Formula 1 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.neighbors import (
+    METRICS,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    paper_euclidean,
+    pairwise_distances,
+)
+
+
+class TestPaperEuclidean:
+    def test_matches_formula_1(self):
+        # d = sqrt(sum (x-y)^2 / |F|)
+        query = np.array([1.0, 2.0])
+        data = np.array([[4.0, 6.0]])
+        expected = np.sqrt(((3.0**2) + (4.0**2)) / 2)
+        assert paper_euclidean(query, data)[0] == pytest.approx(expected)
+
+    def test_zero_distance_to_itself(self):
+        point = np.array([1.0, -2.0, 3.0])
+        assert paper_euclidean(point, point.reshape(1, -1))[0] == 0.0
+
+    def test_batch_shape(self):
+        queries = np.zeros((3, 2))
+        data = np.ones((5, 2))
+        assert paper_euclidean(queries, data).shape == (3, 5)
+
+    def test_scaling_relationship_with_euclidean(self):
+        rng = np.random.default_rng(0)
+        query = rng.normal(size=4)
+        data = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(
+            paper_euclidean(query, data) * np.sqrt(4), euclidean(query, data)
+        )
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DataError):
+            paper_euclidean(np.array([1.0, 2.0]), np.array([[1.0, 2.0, 3.0]]))
+
+
+class TestOtherMetrics:
+    def test_manhattan(self):
+        assert manhattan(np.array([0.0, 0.0]), np.array([[1.0, -2.0]]))[0] == pytest.approx(3.0)
+
+    def test_chebyshev(self):
+        assert chebyshev(np.array([0.0, 0.0]), np.array([[1.0, -2.0]]))[0] == pytest.approx(2.0)
+
+    def test_metric_registry_lookup(self):
+        for name in METRICS:
+            assert callable(get_metric(name))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_metric("cosine")
+
+
+class TestPairwise:
+    def test_pairwise_matrix_properties(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(10, 3))
+        matrix = pairwise_distances(data)
+        assert matrix.shape == (10, 10)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert (matrix >= 0).all()

@@ -1,0 +1,104 @@
+"""Tests for Bayesian linear regression and LOESS."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.regression import BayesianLinearRegression, LoessRegression, tricube_weights
+
+
+@pytest.fixture
+def noisy_linear():
+    rng = np.random.default_rng(5)
+    X = rng.uniform(-3, 3, size=(120, 2))
+    y = 1.0 + 2.0 * X[:, 0] - 1.5 * X[:, 1] + rng.normal(scale=0.2, size=120)
+    return X, y
+
+
+class TestBayesianLinearRegression:
+    def test_posterior_mean_close_to_truth(self, noisy_linear):
+        X, y = noisy_linear
+        model = BayesianLinearRegression(sample=False).fit(X, y)
+        np.testing.assert_allclose(model.coefficients, [1.0, 2.0, -1.5], atol=0.15)
+
+    def test_deterministic_prediction_without_sampling(self, noisy_linear):
+        X, y = noisy_linear
+        model = BayesianLinearRegression(sample=False).fit(X, y)
+        np.testing.assert_array_equal(model.predict(X[:5]), model.predict(X[:5]))
+
+    def test_sampling_prediction_varies(self, noisy_linear):
+        X, y = noisy_linear
+        model = BayesianLinearRegression(sample=True, random_state=0).fit(X, y)
+        a = model.predict(X[:5])
+        b = model.predict(X[:5])
+        assert not np.allclose(a, b)
+
+    def test_sampling_reproducible_with_seed(self, noisy_linear):
+        X, y = noisy_linear
+        a = BayesianLinearRegression(sample=True, random_state=11).fit(X, y).predict(X[:5])
+        b = BayesianLinearRegression(sample=True, random_state=11).fit(X, y).predict(X[:5])
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_variance_estimate_positive(self, noisy_linear):
+        X, y = noisy_linear
+        model = BayesianLinearRegression().fit(X, y)
+        assert model.noise_variance > 0
+        assert model.noise_variance == pytest.approx(0.04, rel=0.6)
+
+    def test_covariance_is_positive_semidefinite(self, noisy_linear):
+        X, y = noisy_linear
+        model = BayesianLinearRegression().fit(X, y)
+        eigenvalues = np.linalg.eigvalsh(model.coefficient_covariance)
+        assert (eigenvalues >= -1e-12).all()
+
+    def test_sampled_coefficients_near_mean(self, noisy_linear):
+        X, y = noisy_linear
+        model = BayesianLinearRegression(random_state=0).fit(X, y)
+        draws = np.array([model.sample_coefficients() for _ in range(200)])
+        np.testing.assert_allclose(draws.mean(axis=0), model.coefficients, atol=0.05)
+
+
+class TestTricubeWeights:
+    def test_weights_decrease_with_distance(self):
+        weights = tricube_weights(np.array([0.0, 0.5, 1.0]))
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_all_equal_distances_give_uniform_weights(self):
+        np.testing.assert_array_equal(tricube_weights(np.zeros(4)), np.ones(4))
+
+    def test_weights_positive(self):
+        assert (tricube_weights(np.array([0.1, 5.0, 10.0])) > 0).all()
+
+
+class TestLoess:
+    def test_interpolates_smooth_function(self):
+        rng = np.random.default_rng(2)
+        X = np.sort(rng.uniform(0, 10, size=200)).reshape(-1, 1)
+        y = np.sin(X[:, 0]) + rng.normal(scale=0.05, size=200)
+        model = LoessRegression(n_neighbors=25).fit(X, y)
+        grid = np.linspace(1, 9, 20).reshape(-1, 1)
+        predictions = model.predict(grid)
+        np.testing.assert_allclose(predictions, np.sin(grid[:, 0]), atol=0.15)
+
+    def test_beats_global_line_on_curved_data(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(-3, 3, size=(300, 1))
+        y = X[:, 0] ** 2
+        model = LoessRegression(n_neighbors=30).fit(X, y)
+        grid = np.array([[-2.0], [0.0], [2.0]])
+        np.testing.assert_allclose(model.predict(grid), [4.0, 0.0, 4.0], atol=0.5)
+
+    def test_predict_one(self, noisy_linear):
+        X, y = noisy_linear
+        model = LoessRegression(n_neighbors=20).fit(X, y)
+        assert model.predict_one(X[0]) == pytest.approx(model.predict(X[:1])[0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LoessRegression().predict([[0.0]])
+
+    def test_neighbors_capped_at_data_size(self):
+        X = np.arange(5.0).reshape(-1, 1)
+        y = 2 * np.arange(5.0)
+        model = LoessRegression(n_neighbors=50).fit(X, y)
+        assert model.predict_one([2.0]) == pytest.approx(4.0, abs=0.2)

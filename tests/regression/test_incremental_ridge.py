@@ -1,0 +1,90 @@
+"""Tests for the incremental U/V ridge computation (Proposition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, NotFittedError
+from repro.regression import IncrementalRidge, RidgeRegression
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(50, 4))
+    y = X @ np.array([1.0, -2.0, 0.5, 2.0]) + 3.0 + rng.normal(scale=0.1, size=50)
+    return X, y
+
+
+class TestIncrementalRidge:
+    def test_matches_batch_ridge_after_single_partial_fit(self, data):
+        X, y = data
+        incremental = IncrementalRidge(n_features=4, alpha=1e-3).partial_fit(X, y)
+        batch = RidgeRegression(alpha=1e-3).fit(X, y)
+        np.testing.assert_allclose(incremental.solve(), batch.coefficients, rtol=1e-9)
+
+    def test_matches_batch_ridge_when_grown_incrementally(self, data):
+        X, y = data
+        incremental = IncrementalRidge(n_features=4, alpha=1e-3)
+        for start in range(0, 50, 7):
+            incremental.partial_fit(X[start : start + 7], y[start : start + 7])
+        batch = RidgeRegression(alpha=1e-3).fit(X, y)
+        np.testing.assert_allclose(incremental.solve(), batch.coefficients, rtol=1e-8)
+
+    def test_every_prefix_matches_from_scratch(self, data):
+        # The core claim of Proposition 3: for every ℓ, the incrementally
+        # maintained U/V give the same model as refitting from scratch.
+        X, y = data
+        incremental = IncrementalRidge(n_features=4, alpha=1e-3)
+        for ell in range(1, 21):
+            incremental.add_row(X[ell - 1], y[ell - 1])
+            batch = RidgeRegression(alpha=1e-3).fit(X[:ell], y[:ell])
+            np.testing.assert_allclose(incremental.solve(), batch.coefficients, rtol=1e-7)
+
+    def test_single_row_constant_model(self):
+        incremental = IncrementalRidge(n_features=2).add_row([1.0, 2.0], 5.0)
+        np.testing.assert_array_equal(incremental.solve(), [5.0, 0.0, 0.0])
+
+    def test_paper_example_6(self):
+        # Example 6: incrementally extending t1's neighbours from {t1,t2,t3}
+        # to {t1,t2,t3,t4} yields phi ~= (5.56, -0.87).
+        incremental = IncrementalRidge(n_features=1, alpha=1e-3)
+        incremental.partial_fit([[0.0], [0.8], [1.9]], [5.8, 4.6, 3.8])
+        phi3 = incremental.solve()
+        assert phi3[0] == pytest.approx(5.66, abs=0.02)
+        assert phi3[1] == pytest.approx(-1.03, abs=0.02)
+        incremental.partial_fit([[2.9]], [3.2])
+        phi4 = incremental.solve()
+        assert phi4[0] == pytest.approx(5.56, abs=0.02)
+        assert phi4[1] == pytest.approx(-0.87, abs=0.02)
+
+    def test_u_v_accumulate(self, data):
+        X, y = data
+        incremental = IncrementalRidge(n_features=4)
+        incremental.partial_fit(X[:10], y[:10])
+        u_before = incremental.U
+        incremental.partial_fit(X[10:20], y[10:20])
+        assert not np.allclose(u_before, incremental.U)
+        assert incremental.n_rows == 20
+
+    def test_predict(self, data):
+        X, y = data
+        incremental = IncrementalRidge(n_features=4).partial_fit(X, y)
+        batch = RidgeRegression().fit(X, y)
+        np.testing.assert_allclose(incremental.predict(X[:3]), batch.predict(X[:3]), rtol=1e-8)
+
+    def test_copy_is_independent(self, data):
+        X, y = data
+        original = IncrementalRidge(n_features=4).partial_fit(X[:10], y[:10])
+        clone = original.copy()
+        clone.partial_fit(X[10:20], y[10:20])
+        assert original.n_rows == 10
+        assert clone.n_rows == 20
+
+    def test_solve_without_rows_raises(self):
+        with pytest.raises(NotFittedError):
+            IncrementalRidge(n_features=2).solve()
+
+    def test_wrong_feature_width_raises(self):
+        incremental = IncrementalRidge(n_features=2)
+        with pytest.raises(DataError):
+            incremental.partial_fit(np.zeros((2, 3)), np.zeros(2))

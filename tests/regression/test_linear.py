@@ -1,0 +1,116 @@
+"""Tests for ridge regression, OLS and the shared regressor interface."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, NotFittedError
+from repro.regression import (
+    OrdinaryLeastSquares,
+    RidgeRegression,
+    constant_model,
+    design_matrix,
+)
+
+
+@pytest.fixture
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(80, 3))
+    coefficients = np.array([1.5, -2.0, 0.5, 3.0])  # intercept first
+    y = design_matrix(X) @ coefficients
+    return X, y, coefficients
+
+
+class TestDesignMatrix:
+    def test_prepends_ones(self):
+        X = np.array([[2.0, 3.0]])
+        np.testing.assert_array_equal(design_matrix(X), [[1.0, 2.0, 3.0]])
+
+
+class TestRidgeRegression:
+    def test_recovers_exact_linear_relation(self, linear_data):
+        X, y, coefficients = linear_data
+        model = RidgeRegression(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(model.coefficients, coefficients, atol=1e-8)
+
+    def test_small_alpha_close_to_exact(self, linear_data):
+        X, y, coefficients = linear_data
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        np.testing.assert_allclose(model.coefficients, coefficients, atol=1e-3)
+
+    def test_predict_matches_manual_formula(self, linear_data):
+        X, y, _ = linear_data
+        model = RidgeRegression().fit(X, y)
+        expected = design_matrix(X[:5]) @ model.coefficients
+        np.testing.assert_allclose(model.predict(X[:5]), expected)
+
+    def test_predict_one(self, linear_data):
+        X, y, _ = linear_data
+        model = RidgeRegression().fit(X, y)
+        assert model.predict_one(X[0]) == pytest.approx(model.predict(X[:1])[0])
+
+    def test_single_row_uses_constant_model(self):
+        model = RidgeRegression().fit(np.array([[1.0, 2.0]]), np.array([7.0]))
+        np.testing.assert_array_equal(model.coefficients, [7.0, 0.0, 0.0])
+        assert model.predict_one([100.0, -50.0]) == pytest.approx(7.0)
+
+    def test_regularization_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 2))
+        y = X @ np.array([5.0, -5.0]) + rng.normal(scale=0.1, size=30)
+        small = RidgeRegression(alpha=1e-6).fit(X, y)
+        large = RidgeRegression(alpha=1e3).fit(X, y)
+        assert np.linalg.norm(large.weights) < np.linalg.norm(small.weights)
+
+    def test_collinear_features_do_not_crash(self):
+        X = np.column_stack([np.arange(10.0), np.arange(10.0) * 2])
+        y = np.arange(10.0)
+        model = RidgeRegression(alpha=1e-3).fit(X, y)
+        assert np.isfinite(model.coefficients).all()
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            RidgeRegression().predict([[1.0]])
+
+    def test_wrong_width_predict_raises(self, linear_data):
+        X, y, _ = linear_data
+        model = RidgeRegression().fit(X, y)
+        with pytest.raises(DataError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(DataError):
+            RidgeRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_paper_example_phi_1(self):
+        # Example 2 / 6 of the paper: the model of t1 learned over its 4
+        # nearest neighbours {t1..t4} has phi ~= (5.56, -0.87).
+        X = np.array([[0.0], [0.8], [1.9], [2.9]])
+        y = np.array([5.8, 4.6, 3.8, 3.2])
+        model = RidgeRegression(alpha=1e-3).fit(X, y)
+        assert model.coefficients[0] == pytest.approx(5.56, abs=0.01)
+        assert model.coefficients[1] == pytest.approx(-0.87, abs=0.01)
+
+
+class TestOrdinaryLeastSquares:
+    def test_matches_ridge_without_regularization(self, linear_data):
+        X, y, _ = linear_data
+        ols = OrdinaryLeastSquares().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ols.coefficients, ridge.coefficients, atol=1e-8)
+
+    def test_single_row_constant(self):
+        model = OrdinaryLeastSquares().fit(np.array([[3.0]]), np.array([2.5]))
+        np.testing.assert_array_equal(model.coefficients, [2.5, 0.0])
+
+    def test_intercept_and_weights_accessors(self, linear_data):
+        X, y, coefficients = linear_data
+        model = OrdinaryLeastSquares().fit(X, y)
+        assert model.intercept == pytest.approx(coefficients[0])
+        np.testing.assert_allclose(model.weights, coefficients[1:], atol=1e-8)
+
+
+class TestConstantModel:
+    def test_shape_and_values(self):
+        phi = constant_model(4.2, 3)
+        np.testing.assert_array_equal(phi, [4.2, 0.0, 0.0, 0.0])

@@ -1,0 +1,108 @@
+"""Tests for the CART regression tree and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.trees import GradientBoostingRegressor, RegressionTree
+
+
+@pytest.fixture
+def step_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 10, size=(300, 1))
+    y = np.where(X[:, 0] < 5, 1.0, 5.0) + rng.normal(scale=0.05, size=300)
+    return X, y
+
+
+@pytest.fixture
+def friedman_like():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, size=(400, 3))
+    y = X[:, 0] ** 2 + 2 * np.sin(X[:, 1]) + X[:, 2] + rng.normal(scale=0.1, size=400)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_learns_step_function(self, step_data):
+        X, y = step_data
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.predict(np.array([[2.0]]))[0] == pytest.approx(1.0, abs=0.2)
+        assert tree.predict(np.array([[8.0]]))[0] == pytest.approx(5.0, abs=0.2)
+
+    def test_depth_zero_predicts_mean(self, step_data):
+        X, y = step_data
+        tree = RegressionTree(max_depth=0).fit(X, y)
+        assert tree.predict(np.array([[3.0]]))[0] == pytest.approx(y.mean())
+        assert tree.n_leaves() == 1
+
+    def test_deeper_tree_fits_training_data_better(self, friedman_like):
+        X, y = friedman_like
+        shallow = RegressionTree(max_depth=2).fit(X, y)
+        deep = RegressionTree(max_depth=6).fit(X, y)
+        mse_shallow = np.mean((shallow.predict(X) - y) ** 2)
+        mse_deep = np.mean((deep.predict(X) - y) ** 2)
+        assert mse_deep < mse_shallow
+
+    def test_depth_respects_limit(self, friedman_like):
+        X, y = friedman_like
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf_respected(self, step_data):
+        X, y = step_data
+        tree = RegressionTree(max_depth=8, min_samples_leaf=50).fit(X, y)
+        # With 300 points and >=50 per leaf there can be at most 6 leaves.
+        assert tree.n_leaves() <= 6
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20.0).reshape(-1, 1)
+        y = np.full(20, 3.0)
+        tree = RegressionTree(max_depth=5).fit(X, y)
+        assert tree.n_leaves() == 1
+        assert tree.predict(np.array([[100.0]]))[0] == pytest.approx(3.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_max_features_subsampling_runs(self, friedman_like):
+        X, y = friedman_like
+        tree = RegressionTree(max_depth=4, max_features=1, random_state=0).fit(X, y)
+        assert np.isfinite(tree.predict(X[:10])).all()
+
+
+class TestGradientBoosting:
+    def test_outperforms_single_tree(self, friedman_like):
+        X, y = friedman_like
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        boost = GradientBoostingRegressor(n_estimators=60, max_depth=3, random_state=0).fit(X, y)
+        mse_tree = np.mean((tree.predict(X) - y) ** 2)
+        mse_boost = np.mean((boost.predict(X) - y) ** 2)
+        assert mse_boost < mse_tree
+
+    def test_training_loss_decreases(self, friedman_like):
+        X, y = friedman_like
+        boost = GradientBoostingRegressor(n_estimators=40, random_state=0).fit(X, y)
+        scores = boost.train_scores_
+        assert scores[-1] < scores[0]
+
+    def test_n_trees_matches_estimators(self, step_data):
+        X, y = step_data
+        boost = GradientBoostingRegressor(n_estimators=15, random_state=0).fit(X, y)
+        assert boost.n_trees == 15
+
+    def test_reproducible_with_seed(self, step_data):
+        X, y = step_data
+        a = GradientBoostingRegressor(n_estimators=10, subsample=0.7, random_state=3).fit(X, y)
+        b = GradientBoostingRegressor(n_estimators=10, subsample=0.7, random_state=3).fit(X, y)
+        np.testing.assert_allclose(a.predict(X[:5]), b.predict(X[:5]))
+
+    def test_subsample_fraction_used(self, step_data):
+        X, y = step_data
+        boost = GradientBoostingRegressor(n_estimators=5, subsample=0.5, random_state=0).fit(X, y)
+        assert np.isfinite(boost.predict(X[:5])).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
