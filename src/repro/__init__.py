@@ -16,6 +16,27 @@ Quickstart
 >>> imputer = IIMImputer(k=10, learning="adaptive", stepping=10, max_learning_neighbors=50)
 >>> imputed = imputer.fit(injection.dirty).impute(injection.dirty)
 >>> error = rms_error(injection.truth, imputed.raw[injection.rows, injection.attributes])
+
+Kernel backends
+---------------
+The IIM hot paths — neighbour search, per-candidate model learning
+(Algorithm 3 / Proposition 3), validation-cost accumulation and batch
+imputation — run on **vectorized batch kernels** by default: pairwise
+distance blocks with ``argpartition`` top-k, prefix-sum (``cumsum``) U/V
+statistics solved by one stacked ``np.linalg.solve``, and batched candidate
+combination.  The original per-tuple Python loops are retained as an
+executable reference backend, selectable through :mod:`repro.config`:
+
+>>> import repro
+>>> repro.set_backend("loop")        # process-wide          # doctest: +SKIP
+>>> with repro.use_backend("loop"):  # temporarily           # doctest: +SKIP
+...     IIMImputer(k=10).fit(injection.dirty).impute(injection.dirty)
+>>> IIMImputer(k=10, backend="loop")  # per-instance         # doctest: +SKIP
+
+The ``REPRO_BACKEND`` environment variable sets the initial default.  The
+test suite asserts both backends agree to ``rtol = 1e-9``;
+``benchmarks/test_perf_kernels.py`` tracks their relative wall-clock in
+``BENCH_kernels.json``.
 """
 
 from .baselines import (
@@ -35,6 +56,7 @@ from .baselines import (
     available_methods,
     make_imputer,
 )
+from .config import BACKENDS, get_backend, resolve_backend, set_backend, use_backend
 from .core import (
     IIMImputer,
     IndividualModels,
@@ -74,6 +96,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # Configuration
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
     # Core method
     "IIMImputer",
     "IndividualModels",

@@ -1,0 +1,92 @@
+"""Global configuration knobs for the library.
+
+The hot paths of IIM (neighbour search, per-candidate model learning, the
+validation step of adaptive learning and batch imputation) exist in two
+implementations:
+
+* ``"vectorized"`` — batched numpy kernels that process whole blocks of
+  tuples per array operation (the default; see the design notes in
+  :mod:`repro.core.learning`);
+* ``"loop"`` — the original per-tuple Python loops, kept as an executable
+  reference.  The test suite asserts that both backends produce the same
+  results to within ``rtol = 1e-9``.
+
+The active backend is selected, in decreasing priority, by
+
+1. an explicit ``backend=...`` argument on the function or class,
+2. the process-wide knob set through :func:`set_backend` /
+   :func:`use_backend`,
+3. the ``REPRO_BACKEND`` environment variable read at import time,
+4. the ``"vectorized"`` default.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+]
+
+#: Recognised kernel backends.
+BACKENDS = ("vectorized", "loop")
+
+#: Backend used when neither an argument nor :func:`set_backend` selects one.
+DEFAULT_BACKEND = "vectorized"
+
+
+def _validate(name: str) -> str:
+    key = str(name).lower()
+    if key not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available backends: {sorted(BACKENDS)}"
+        )
+    return key
+
+
+# Read but not validated here: a typo'd REPRO_BACKEND should fail at first
+# use with a clear error, not break ``import repro`` itself.
+_current_backend = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
+
+
+def get_backend() -> str:
+    """The process-wide kernel backend (``"vectorized"`` or ``"loop"``)."""
+    return _validate(_current_backend)
+
+
+def set_backend(name: str) -> str:
+    """Select the process-wide kernel backend; returns the previous one."""
+    global _current_backend
+    previous = _current_backend
+    _current_backend = _validate(name)
+    return previous
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager that temporarily selects a kernel backend.
+
+    >>> from repro.config import use_backend
+    >>> with use_backend("loop"):
+    ...     pass  # everything inside runs on the reference loops
+    """
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def resolve_backend(backend=None) -> str:
+    """Resolve an optional per-call ``backend`` argument against the knob."""
+    if backend is None:
+        return get_backend()
+    return _validate(backend)

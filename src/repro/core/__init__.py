@@ -2,11 +2,17 @@
 
 from .adaptive import AdaptiveLearningResult, adaptive_learning
 from .combine import (
+    BATCH_COMBINERS,
     COMBINERS,
     candidate_vote_weights,
+    candidate_vote_weights_batch,
     combine_distance,
+    combine_distance_batch,
     combine_uniform,
+    combine_uniform_batch,
     combine_voting,
+    combine_voting_batch,
+    get_batch_combiner,
     get_combiner,
 )
 from .iim import IIMImputer
@@ -30,9 +36,15 @@ __all__ = [
     "impute_with_individual_models",
     "ImputationTrace",
     "candidate_vote_weights",
+    "candidate_vote_weights_batch",
     "combine_voting",
     "combine_uniform",
     "combine_distance",
+    "combine_voting_batch",
+    "combine_uniform_batch",
+    "combine_distance_batch",
     "get_combiner",
+    "get_batch_combiner",
     "COMBINERS",
+    "BATCH_COMBINERS",
 ]

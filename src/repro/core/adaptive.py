@@ -24,9 +24,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .._validation import check_positive_float, check_positive_int
+from ..config import resolve_backend
 from ..exceptions import ConfigurationError
 from ..neighbors import NeighborOrderCache
-from ..regression import DEFAULT_ALPHA, RidgeRegression
+from ..neighbors.brute import drop_self_rows
+from ..regression import DEFAULT_ALPHA, RidgeRegression, batched_design
 from .learning import IndividualModels, candidate_ell_values, learn_models_for_candidates
 
 __all__ = ["AdaptiveLearningResult", "adaptive_learning"]
@@ -69,6 +71,7 @@ def adaptive_learning(
     metric: str = "paper_euclidean",
     incremental: bool = True,
     include_global: bool = True,
+    backend: Optional[str] = None,
 ) -> AdaptiveLearningResult:
     """Algorithm 3: select a per-tuple ``ℓ`` by validating against complete tuples.
 
@@ -99,6 +102,13 @@ def adaptive_learning(
         to the candidate set, even when ``max_ell``/``stepping`` would skip
         it.  Because the ``ℓ = n`` model is the same for every tuple it is
         learned once, so this costs one extra ridge fit regardless of ``n``.
+    backend:
+        ``"vectorized"``, ``"loop"``, or ``None`` to follow the global knob
+        of :mod:`repro.config`.  The vectorized backend batches the
+        per-candidate learning (see :func:`learn_models_for_candidates`) and
+        replaces the validator double loop of step 2 with one scatter-add
+        over the flattened (validation tuple, model owner) pairs.  Both
+        backends agree to ``rtol = 1e-9``.
     """
     features = np.asarray(features, dtype=float)
     target = np.asarray(target, dtype=float).ravel()
@@ -128,6 +138,7 @@ def adaptive_learning(
         max_length=max(max_candidate, min(n, validation_neighbors + 1)),
     )
 
+    backend = resolve_backend(backend)
     all_parameters = learn_models_for_candidates(
         features,
         target,
@@ -136,6 +147,7 @@ def adaptive_learning(
         metric=metric,
         incremental=incremental,
         order_cache=learn_cache,
+        backend=backend,
     )  # shape (L, n, d + 1)
 
     if global_candidate:
@@ -144,32 +156,15 @@ def adaptive_learning(
         all_parameters = np.concatenate([all_parameters, global_parameters], axis=0)
         candidate_array = np.concatenate([candidate_array, [n]])
 
-    n_candidates = candidate_array.shape[0]
-    costs = np.zeros((n, n_candidates))
-    validation_counts = np.zeros(n, dtype=int)
-
-    # Gather, for every model owner i, the validation tuples j that count it
-    # among their k nearest neighbours (excluding j itself).
     k = min(validation_neighbors, n - 1) if n > 1 else 0
-    validators = [[] for _ in range(n)]
-    if k > 0:
-        for j in range(n):
-            order = learn_cache.order_of(j)
-            neighbors = [idx for idx in order if idx != j][:k]
-            for i in neighbors:
-                validators[i].append(j)
-
-    designs = np.hstack([np.ones((n, 1)), features])
-    for i in range(n):
-        rows = validators[i]
-        if not rows:
-            continue
-        validation_counts[i] = len(rows)
-        # Predictions of tuple i's candidate models on its validation tuples:
-        # (v, d+1) @ (d+1, L) -> (v, L)
-        predictions = designs[rows] @ all_parameters[:, i, :].T
-        errors = (target[rows, None] - predictions) ** 2
-        costs[i] = errors.sum(axis=0)
+    if backend == "vectorized":
+        costs, validation_counts = _validation_costs_vectorized(
+            features, target, all_parameters, learn_cache, k
+        )
+    else:
+        costs, validation_counts = _validation_costs_loop(
+            features, target, all_parameters, learn_cache, k
+        )
 
     # Per-tuple argmin; unvalidated tuples use the globally best candidate.
     chosen_positions = np.argmin(costs, axis=1)
@@ -187,3 +182,90 @@ def adaptive_learning(
         costs=costs,
         validation_counts=validation_counts,
     )
+
+
+def _validation_costs_loop(
+    features: np.ndarray,
+    target: np.ndarray,
+    all_parameters: np.ndarray,
+    learn_cache: NeighborOrderCache,
+    k: int,
+):
+    """Reference implementation of Algorithm 3's validation step (lines 3–8)."""
+    n = features.shape[0]
+    n_candidates = all_parameters.shape[0]
+    costs = np.zeros((n, n_candidates))
+    validation_counts = np.zeros(n, dtype=int)
+
+    # Gather, for every model owner i, the validation tuples j that count it
+    # among their k nearest neighbours (excluding j itself).
+    validators = [[] for _ in range(n)]
+    if k > 0:
+        for j in range(n):
+            order = learn_cache.order_of(j)
+            neighbors = [idx for idx in order if idx != j][:k]
+            for i in neighbors:
+                validators[i].append(j)
+
+    designs = batched_design(features)
+    for i in range(n):
+        rows = validators[i]
+        if not rows:
+            continue
+        validation_counts[i] = len(rows)
+        # Predictions of tuple i's candidate models on its validation tuples:
+        # (v, d+1) @ (d+1, L) -> (v, L)
+        predictions = designs[rows] @ all_parameters[:, i, :].T
+        errors = (target[rows, None] - predictions) ** 2
+        costs[i] = errors.sum(axis=0)
+    return costs, validation_counts
+
+
+def _validation_costs_vectorized(
+    features: np.ndarray,
+    target: np.ndarray,
+    all_parameters: np.ndarray,
+    learn_cache: NeighborOrderCache,
+    k: int,
+    pair_chunk: int = 65536,
+):
+    """Batched validation step: one scatter-add over all (j, i) pairs.
+
+    Every validation tuple ``j`` charges its squared imputation error under
+    ``φ^{(ℓ)}_i`` to ``cost[i][ℓ]`` for each of its ``k`` nearest neighbour
+    models ``i``; the whole double loop collapses into an ``einsum`` over
+    flattened (j, i) pairs followed by a scatter-add on the cost matrix.
+    """
+    n = features.shape[0]
+    n_candidates = all_parameters.shape[0]
+    costs = np.zeros((n, n_candidates))
+    if k <= 0:
+        return costs, np.zeros(n, dtype=int)
+
+    # First k non-self neighbours of every validation tuple j, read off the
+    # cached ordering matrix (include_self=True, so the self entry must be
+    # dropped — it may sit anywhere among zero-distance ties).
+    orders = learn_cache.order_matrix()[:, : k + 1]
+    owners = drop_self_rows(orders, np.arange(n))[:, :k]  # (n, k)
+
+    j_idx = np.repeat(np.arange(n), k)
+    i_idx = owners.ravel()
+    designs = batched_design(features)
+
+    for start in range(0, j_idx.shape[0], pair_chunk):
+        stop = min(start + pair_chunk, j_idx.shape[0])
+        j_block = j_idx[start:stop]
+        i_block = i_idx[start:stop]
+        # (pairs, L): prediction of owner i's candidate models on tuple j.
+        predictions = np.einsum(
+            "pc,lpc->pl", designs[j_block], all_parameters[:, i_block, :]
+        )
+        errors = (target[j_block, None] - predictions) ** 2
+        # Scatter-add per candidate column (bincount beats np.add.at here).
+        for position in range(n_candidates):
+            costs[:, position] += np.bincount(
+                i_block, weights=errors[:, position], minlength=n
+            )
+
+    validation_counts = np.bincount(i_idx, minlength=n)
+    return costs, validation_counts.astype(int)

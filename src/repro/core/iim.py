@@ -33,12 +33,13 @@ from .._validation import (
     check_positive_int,
 )
 from ..baselines.base import BaseImputer
+from ..config import resolve_backend
 from ..exceptions import ConfigurationError
 from ..neighbors import BruteForceNeighbors
 from ..regression import DEFAULT_ALPHA
 from .adaptive import AdaptiveLearningResult, adaptive_learning
-from .combine import COMBINERS, get_combiner
-from .imputation import impute_one
+from .combine import COMBINERS
+from .imputation import impute_with_individual_models
 from .learning import IndividualModels, learn_individual_models
 
 __all__ = ["IIMImputer"]
@@ -79,6 +80,10 @@ class IIMImputer(BaseImputer):
         ``"uniform"`` or ``"distance"``.
     metric:
         Distance metric for all neighbour searches.
+    backend:
+        Kernel backend for learning and imputation: ``"vectorized"``,
+        ``"loop"``, or ``None`` (default) to follow the global knob of
+        :mod:`repro.config`.
     """
 
     name = "IIM"
@@ -96,6 +101,7 @@ class IIMImputer(BaseImputer):
         alpha: float = DEFAULT_ALPHA,
         combination: str = "voting",
         metric: str = "paper_euclidean",
+        backend: Optional[str] = None,
     ):
         super().__init__()
         self.k = check_positive_int(k, "k")
@@ -121,6 +127,7 @@ class IIMImputer(BaseImputer):
         self.alpha = check_positive_float(alpha, "alpha", allow_zero=True)
         self.combination = check_in_choices(combination, "combination", tuple(COMBINERS))
         self.metric = metric
+        self.backend = None if backend is None else resolve_backend(backend)
         # Per-incomplete-attribute learned models, keyed by the target column.
         self._models: Dict[int, IndividualModels] = {}
         self._adaptive_results: Dict[int, AdaptiveLearningResult] = {}
@@ -149,7 +156,8 @@ class IIMImputer(BaseImputer):
         if self.learning == "fixed":
             ell = min(self.learning_neighbors, n)
             models = learn_individual_models(
-                features, target, ell, alpha=self.alpha, metric=self.metric
+                features, target, ell, alpha=self.alpha, metric=self.metric,
+                backend=self.backend,
             )
         else:
             validation_k = self.validation_neighbors or self.k
@@ -163,6 +171,7 @@ class IIMImputer(BaseImputer):
                 metric=self.metric,
                 incremental=self.incremental,
                 include_global=self.include_global,
+                backend=self.backend,
             )
             self._adaptive_results[target_index] = result
             models = result.models
@@ -224,16 +233,14 @@ class IIMImputer(BaseImputer):
     ) -> np.ndarray:
         models = self._learn_for_attribute(features, target, target_index)
         k = min(self.k, features.shape[0])
-        searcher = BruteForceNeighbors(metric=self.metric).fit(features)
-        values = np.empty(queries.shape[0])
-        for row in range(queries.shape[0]):
-            values[row] = impute_one(
-                queries[row],
-                models,
-                features,
-                target,
-                k,
-                combination=self.combination,
-                searcher=searcher,
-            )
-        return values
+        searcher = BruteForceNeighbors(metric=self.metric, backend=self.backend).fit(features)
+        return impute_with_individual_models(
+            queries,
+            models,
+            features,
+            target,
+            k,
+            combination=self.combination,
+            searcher=searcher,
+            backend=self.backend,
+        )

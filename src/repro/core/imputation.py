@@ -8,19 +8,28 @@ incomplete tuple ``t_x`` is imputed in three steps:
   ``t^j_x[A_m] = (1, t_x[F]) φ_j`` (Formula 9);
 * (S3) combine the candidates, by default with the voting weights of
   Formulas 11–12.
+
+:func:`impute_with_individual_models` runs the three steps for a whole
+batch of incomplete tuples.  On the default ``"vectorized"`` backend (see
+:mod:`repro.config`) that is one batched k-nearest-neighbour call, one
+``einsum`` producing every candidate of every query, and one batch combiner
+from :mod:`repro.core.combine`; the ``"loop"`` backend applies
+:func:`impute_one` per query as the executable reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from .._validation import as_float_matrix, check_positive_int
+from ..config import resolve_backend
 from ..exceptions import ConfigurationError
 from ..neighbors import BruteForceNeighbors
-from .combine import get_combiner
+from ..regression import batched_design
+from .combine import get_batch_combiner, get_combiner
 from .learning import IndividualModels
 
 __all__ = ["ImputationTrace", "impute_with_individual_models", "impute_one"]
@@ -47,6 +56,7 @@ def impute_one(
     searcher: Optional[BruteForceNeighbors] = None,
     metric: str = "paper_euclidean",
     return_trace: bool = False,
+    backend: Optional[str] = None,
 ):
     """Impute a single incomplete tuple (Algorithm 2).
 
@@ -70,6 +80,9 @@ def impute_one(
         Distance metric (used when ``searcher`` is not supplied).
     return_trace:
         Return an :class:`ImputationTrace` instead of the bare value.
+    backend:
+        Backend for the neighbour search (``"vectorized"``, ``"loop"``, or
+        ``None`` to use the searcher's own setting / the global knob).
     """
     features = as_float_matrix(features, name="features")
     k = check_positive_int(k, "k")
@@ -84,26 +97,11 @@ def impute_one(
     combiner = get_combiner(combination)
 
     query_features = np.asarray(query_features, dtype=float).ravel()
-    distances, neighbor_indices = searcher.kneighbors(query_features, k)
+    distances, neighbor_indices = searcher.kneighbors(query_features, k, backend=backend)
     candidates = models.predict(neighbor_indices, query_features)
-    value = combiner(candidates, distances)
+    value, weights = combiner(candidates, distances)
     if not return_trace:
         return float(value)
-
-    # Recompute the effective weights for the trace (informational only).
-    if combination == "voting":
-        from .combine import candidate_vote_weights
-
-        weights = candidate_vote_weights(candidates)
-    elif combination == "uniform":
-        weights = np.full(candidates.shape[0], 1.0 / candidates.shape[0])
-    else:
-        safe = np.where(distances <= 0, np.nan, distances)
-        if np.isnan(safe).any():
-            weights = np.where(distances <= 0, 1.0, 0.0)
-            weights /= weights.sum()
-        else:
-            weights = (1.0 / safe) / np.sum(1.0 / safe)
     return ImputationTrace(
         value=float(value),
         neighbor_indices=neighbor_indices,
@@ -121,20 +119,51 @@ def impute_with_individual_models(
     k: int,
     combination: str = "voting",
     metric: str = "paper_euclidean",
+    searcher: Optional[BruteForceNeighbors] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
-    """Impute a batch of incomplete tuples with shared models and index."""
+    """Impute a batch of incomplete tuples with shared models and index.
+
+    Parameters
+    ----------
+    searcher:
+        Optional pre-fitted neighbour searcher over ``features``.
+    backend:
+        ``"vectorized"``, ``"loop"``, or ``None`` to follow the global knob.
+    """
     queries = as_float_matrix(queries, name="queries")
     features = as_float_matrix(features, name="features")
-    searcher = BruteForceNeighbors(metric=metric).fit(features)
-    values = np.empty(queries.shape[0])
-    for row in range(queries.shape[0]):
-        values[row] = impute_one(
-            queries[row],
-            models,
-            features,
-            target,
-            k,
-            combination=combination,
-            searcher=searcher,
+    k = check_positive_int(k, "k")
+    if models.n_models != features.shape[0]:
+        raise ConfigurationError("models and features must describe the same tuples")
+    if k > features.shape[0]:
+        raise ConfigurationError(
+            f"k={k} exceeds the number of complete tuples {features.shape[0]}"
         )
+    if searcher is None:
+        searcher = BruteForceNeighbors(metric=metric).fit(features)
+    backend = resolve_backend(backend)
+
+    if backend == "loop":
+        values = np.empty(queries.shape[0])
+        for row in range(queries.shape[0]):
+            values[row] = impute_one(
+                queries[row],
+                models,
+                features,
+                target,
+                k,
+                combination=combination,
+                searcher=searcher,
+                backend=backend,
+            )
+        return values
+
+    # (S1) one batched kNN call for every query.
+    distances, neighbor_indices = searcher.kneighbors(queries, k, backend=backend)
+    # (S2) all candidates at once: (q, p) designs against (q, k, p) models.
+    designs = batched_design(queries)
+    candidates = np.einsum("qp,qkp->qk", designs, models.parameters[neighbor_indices])
+    # (S3) one batch combination.
+    values, _ = get_batch_combiner(combination)(candidates, distances)
     return values

@@ -21,6 +21,11 @@ import numpy as np
 from .._validation import as_float_matrix, as_float_vector
 from ..exceptions import ConfigurationError, DataError
 
+try:  # scipy's compiled pairwise kernels; optional, numpy fallback below.
+    from scipy.spatial.distance import cdist as _cdist
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _cdist = None
+
 __all__ = [
     "paper_euclidean",
     "euclidean",
@@ -63,30 +68,45 @@ def paper_euclidean(query, data) -> np.ndarray:
         batch.
     """
     query, data, single = _prepare(query, data)
-    diff = query[:, None, :] - data[None, :, :]
-    distances = np.sqrt(np.mean(diff * diff, axis=2))
+    if _cdist is not None:
+        # Direct (non-expanded) squared differences, so identical tuples are
+        # at distance exactly 0.0 — the self-exclusion logic relies on it.
+        distances = np.sqrt(_cdist(query, data, "sqeuclidean") / query.shape[1])
+    else:
+        diff = query[:, None, :] - data[None, :, :]
+        # einsum contracts the squared differences without materialising diff².
+        distances = np.sqrt(np.einsum("qnd,qnd->qn", diff, diff) / query.shape[1])
     return distances[0] if single else distances
 
 
 def euclidean(query, data) -> np.ndarray:
     """Standard (non-normalized) Euclidean distance."""
     query, data, single = _prepare(query, data)
-    diff = query[:, None, :] - data[None, :, :]
-    distances = np.sqrt(np.sum(diff * diff, axis=2))
+    if _cdist is not None:
+        distances = np.sqrt(_cdist(query, data, "sqeuclidean"))
+    else:
+        diff = query[:, None, :] - data[None, :, :]
+        distances = np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
     return distances[0] if single else distances
 
 
 def manhattan(query, data) -> np.ndarray:
     """L1 (city-block) distance."""
     query, data, single = _prepare(query, data)
-    distances = np.sum(np.abs(query[:, None, :] - data[None, :, :]), axis=2)
+    if _cdist is not None:
+        distances = _cdist(query, data, "cityblock")
+    else:
+        distances = np.sum(np.abs(query[:, None, :] - data[None, :, :]), axis=2)
     return distances[0] if single else distances
 
 
 def chebyshev(query, data) -> np.ndarray:
     """L-infinity (maximum coordinate difference) distance."""
     query, data, single = _prepare(query, data)
-    distances = np.max(np.abs(query[:, None, :] - data[None, :, :]), axis=2)
+    if _cdist is not None:
+        distances = _cdist(query, data, "chebyshev")
+    else:
+        distances = np.max(np.abs(query[:, None, :] - data[None, :, :]), axis=2)
     return distances[0] if single else distances
 
 

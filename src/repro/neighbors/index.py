@@ -11,6 +11,11 @@ fact that ``NN(t, F, ℓ)`` is a *prefix* of ``NN(t, F, ℓ + h)`` (Formula 13);
 caching the ordering once per tuple makes every prefix available in O(1).
 The cache is lazy and can be capped at a maximum ordering length so that the
 memory cost stays ``O(n · max_length)`` rather than ``O(n²)``.
+
+:meth:`NeighborOrderCache.order_matrix` additionally materialises *all*
+orderings at once as a dense ``(n, max_length)`` matrix, computed block-wise
+from pairwise-distance chunks with a single stable argsort per block — the
+entry point the vectorized learning kernels build on.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ import numpy as np
 
 from .._validation import as_float_matrix, check_positive_int
 from ..exceptions import ConfigurationError, NotFittedError
-from .brute import BruteForceNeighbors
+from .brute import BruteForceNeighbors, drop_self_rows, stable_order, topk_batch
 from .distance import get_metric
 from .kdtree import KDTreeNeighbors
 
@@ -117,6 +122,7 @@ class NeighborOrderCache:
             max_length = min(max_length, self.max_neighbors())
         self.max_length = max_length
         self._cache: Dict[int, np.ndarray] = {}
+        self._matrix: Optional[np.ndarray] = None
 
     @property
     def n_points(self) -> int:
@@ -142,11 +148,55 @@ class NeighborOrderCache:
         """Tuples ordered by increasing distance from tuple ``index``."""
         if not 0 <= index < self.n_points:
             raise ConfigurationError(f"tuple index {index} out of range")
+        if self._matrix is not None:
+            return self._matrix[index]
         cached = self._cache.get(index)
         if cached is None:
             cached = self._compute_order(index)
             self._cache[index] = cached
         return cached
+
+    def order_matrix(self, chunk_size: Optional[int] = None) -> np.ndarray:
+        """All orderings as one ``(n, L)`` matrix (``L`` = effective length).
+
+        The matrix is built block-wise: one pairwise-distance chunk per
+        block, one stable argsort (ties broken by index, exactly like the
+        per-row ``np.lexsort`` of :meth:`order_of`), and — without
+        ``include_self`` — one masked removal of the diagonal entry.  The
+        result is cached, after which :meth:`order_of` and :meth:`prefix`
+        become O(1) row views.
+
+        Parameters
+        ----------
+        chunk_size:
+            Number of query rows per distance block; defaults to a size
+            keeping the ``(chunk, n)`` distance block near ~100k floats
+            (measured fastest: the block plus its argpartition scratch
+            stay cache-resident).
+        """
+        if self._matrix is not None:
+            return self._matrix
+        n = self.n_points
+        length = self.max_neighbors() if self.max_length is None else self.max_length
+        if chunk_size is None:
+            chunk_size = max(32, min(n, 100_000 // max(1, n)))
+        # Without include_self the self entry must be dropped from the kept
+        # prefix, so one extra ordered position is selected per row.
+        select = min(n, length + (0 if self.include_self else 1))
+        out = np.empty((n, length), dtype=int)
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            distances = self._metric_fn(self._data[start:stop], self._data)
+            if select < n:
+                _, order = topk_batch(distances, select)
+            else:
+                order = stable_order(distances)
+            if not self.include_self:
+                order = drop_self_rows(order, np.arange(start, stop))
+            out[start:stop] = order[:, :length]
+        self._matrix = out
+        self._cache.clear()
+        return out
 
     def prefix(self, index: int, length: int) -> np.ndarray:
         """``NN(t_index, F, length)`` as a prefix of the cached ordering."""
@@ -161,3 +211,4 @@ class NeighborOrderCache:
     def clear(self) -> None:
         """Drop all cached orderings (frees memory)."""
         self._cache.clear()
+        self._matrix = None

@@ -1,6 +1,7 @@
-"""Regression substrate: ridge, OLS, incremental ridge, Bayesian LR, LOESS."""
+"""Regression substrate: ridge, OLS, incremental ridge, batched solves, Bayesian LR, LOESS."""
 
 from .base import Regressor, design_matrix
+from .batched import batched_design, batched_ridge_solve
 from .bayesian import BayesianLinearRegression
 from .incremental_ridge import IncrementalRidge
 from .linear import DEFAULT_ALPHA, OrdinaryLeastSquares, RidgeRegression, constant_model
@@ -9,6 +10,8 @@ from .loess import LoessRegression, tricube_weights
 __all__ = [
     "Regressor",
     "design_matrix",
+    "batched_design",
+    "batched_ridge_solve",
     "RidgeRegression",
     "OrdinaryLeastSquares",
     "IncrementalRidge",

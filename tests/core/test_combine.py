@@ -41,25 +41,39 @@ class TestVoteWeights:
 
 class TestCombiners:
     def test_voting_matches_paper_example_3(self):
-        value = combine_voting(np.array([1.19, 1.21, 1.19]))
+        value, weights = combine_voting(np.array([1.19, 1.21, 1.19]))
         assert value == pytest.approx(1.194, abs=1e-3)
+        np.testing.assert_allclose(weights, [0.4, 0.2, 0.4], atol=1e-9)
 
     def test_uniform_is_plain_mean(self):
-        assert combine_uniform(np.array([1.0, 2.0, 6.0])) == pytest.approx(3.0)
+        value, weights = combine_uniform(np.array([1.0, 2.0, 6.0]))
+        assert value == pytest.approx(3.0)
+        np.testing.assert_allclose(weights, 1.0 / 3.0)
 
     def test_voting_between_min_and_max(self):
         candidates = np.array([0.5, 2.0, 10.0])
-        value = combine_voting(candidates)
+        value, _ = combine_voting(candidates)
         assert candidates.min() <= value <= candidates.max()
 
     def test_distance_combiner_prefers_close_neighbor(self):
         candidates = np.array([1.0, 5.0])
-        value = combine_distance(candidates, np.array([0.1, 10.0]))
+        value, _ = combine_distance(candidates, np.array([0.1, 10.0]))
         assert value < 2.0
 
     def test_distance_combiner_zero_distance_takes_all(self):
-        value = combine_distance(np.array([1.0, 5.0]), np.array([0.0, 1.0]))
+        value, weights = combine_distance(np.array([1.0, 5.0]), np.array([0.0, 1.0]))
         assert value == pytest.approx(1.0)
+        np.testing.assert_allclose(weights, [1.0, 0.0])
+
+    def test_combiner_value_matches_weighted_candidates(self):
+        # The returned weights are exactly the ones that produced the value,
+        # so callers (e.g. the imputation trace) can reuse them directly.
+        candidates = np.array([0.8, 1.4, 1.1, 7.0])
+        distances = np.array([0.2, 0.4, 0.9, 1.5])
+        for name, combiner in COMBINERS.items():
+            value, weights = combiner(candidates, distances)
+            assert weights.sum() == pytest.approx(1.0)
+            assert value == pytest.approx(float(candidates @ weights))
 
     def test_distance_combiner_requires_distances(self):
         with pytest.raises(DataError):

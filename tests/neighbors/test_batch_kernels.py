@@ -1,0 +1,122 @@
+"""Batch neighbour-search kernels vs. the reference loops.
+
+Covers the exact-equivalence of the vectorized top-k (including tie repair
+at the ``argpartition`` boundary), the batched self-exclusion, the
+rectangular ``neighbor_order`` batch contract (regression test for the
+ragged-array bug with ``exclude_self=True``), and the bulk
+:meth:`NeighborOrderCache.order_matrix`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.neighbors import BruteForceNeighbors, NeighborOrderCache
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    points = rng.normal(size=(40, 3))
+    points[9] = points[4]  # duplicate -> zero-distance tie
+    points[23] = points[4]
+    return points
+
+
+class TestBatchKneighbors:
+    @pytest.mark.parametrize("exclude_self", [False, True])
+    @pytest.mark.parametrize("k", [1, 3, 39])
+    def test_matches_loop_backend(self, data, exclude_self, k):
+        searcher = BruteForceNeighbors().fit(data)
+        queries = np.vstack([data[:6], data.mean(axis=0)])
+        d_loop, i_loop = searcher.kneighbors(
+            queries, k, exclude_self=exclude_self, backend="loop"
+        )
+        d_fast, i_fast = searcher.kneighbors(
+            queries, k, exclude_self=exclude_self, backend="vectorized"
+        )
+        np.testing.assert_array_equal(i_fast, i_loop)
+        np.testing.assert_array_equal(d_fast, d_loop)
+
+    def test_tie_break_by_index(self):
+        # Three indexed points all at the same distance from the query: the
+        # top-2 must be the two smallest indices, whichever backend runs.
+        points = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [5.0, 5.0]])
+        searcher = BruteForceNeighbors(metric="euclidean").fit(points)
+        for backend in ("loop", "vectorized"):
+            _, idx = searcher.kneighbors(np.zeros((1, 2)), 2, backend=backend)
+            np.testing.assert_array_equal(idx[0], [0, 1])
+
+    def test_boundary_tie_repair_matches_full_sort(self):
+        # Many duplicate distances straddling the partition boundary.
+        points = np.zeros((12, 2))
+        points[:8, 0] = 1.0  # eight points at distance 1
+        points[8:, 0] = 2.0
+        searcher = BruteForceNeighbors(metric="euclidean").fit(points)
+        query = np.zeros((1, 2))
+        for k in (2, 5, 8):
+            _, idx = searcher.kneighbors(query, k, backend="vectorized")
+            np.testing.assert_array_equal(idx[0], np.arange(k))
+
+
+class TestNeighborOrderBatch:
+    @pytest.mark.parametrize("backend", ["loop", "vectorized"])
+    def test_exclude_self_mixed_batch_is_rectangular(self, data, backend):
+        # Regression test: a batch mixing queries that ARE indexed points
+        # with queries that are NOT used to produce a ragged list that
+        # np.asarray mangled into an object array.  Rows without a
+        # zero-distance match are trimmed of their farthest neighbour so the
+        # result is a dense (q, n - 1) integer matrix.
+        searcher = BruteForceNeighbors().fit(data)
+        queries = np.vstack([data[5], data.mean(axis=0) + 10.0, data[17]])
+        order = searcher.neighbor_order(queries, exclude_self=True, backend=backend)
+        assert order.dtype != object
+        assert order.shape == (3, data.shape[0] - 1)
+        # Member rows drop themselves; the foreign row keeps its n-1 nearest.
+        assert 5 not in order[0]
+        assert 17 not in order[2]
+        full = searcher.neighbor_order(queries[1], backend=backend)
+        np.testing.assert_array_equal(order[1], full[:-1])
+
+    @pytest.mark.parametrize("exclude_self", [False, True])
+    def test_backends_agree(self, data, exclude_self):
+        searcher = BruteForceNeighbors().fit(data)
+        queries = np.vstack([data[:5], data[:2] + 0.5])
+        loop = searcher.neighbor_order(queries, exclude_self=exclude_self, backend="loop")
+        fast = searcher.neighbor_order(
+            queries, exclude_self=exclude_self, backend="vectorized"
+        )
+        np.testing.assert_array_equal(fast, loop)
+
+    def test_single_query_keeps_natural_length(self, data):
+        searcher = BruteForceNeighbors().fit(data)
+        n = data.shape[0]
+        for backend in ("loop", "vectorized"):
+            member = searcher.neighbor_order(data[3], exclude_self=True, backend=backend)
+            foreign = searcher.neighbor_order(
+                data.mean(axis=0) + 10.0, exclude_self=True, backend=backend
+            )
+            assert member.shape == (n - 1,)
+            assert foreign.shape == (n,)
+
+
+class TestOrderMatrix:
+    @pytest.mark.parametrize("include_self", [True, False])
+    def test_matches_per_row_orders(self, data, include_self):
+        lazy = NeighborOrderCache(data, include_self=include_self)
+        bulk = NeighborOrderCache(data, include_self=include_self)
+        matrix = bulk.order_matrix(chunk_size=7)
+        assert matrix.shape == (data.shape[0], lazy.max_neighbors())
+        for i in range(data.shape[0]):
+            np.testing.assert_array_equal(matrix[i], lazy.order_of(i))
+
+    def test_respects_max_length_and_feeds_prefix(self, data):
+        cache = NeighborOrderCache(data, include_self=True, max_length=9)
+        matrix = cache.order_matrix()
+        assert matrix.shape == (data.shape[0], 9)
+        np.testing.assert_array_equal(cache.prefix(4, 6), matrix[4, :6])
+
+    def test_clear_drops_matrix(self, data):
+        cache = NeighborOrderCache(data, max_length=5)
+        cache.order_matrix()
+        cache.clear()
+        assert cache._matrix is None

@@ -69,16 +69,18 @@ class TestCombinationProperties:
     @settings(max_examples=60, deadline=None)
     def test_combined_value_within_candidate_range(self, candidates):
         for combiner in (combine_voting, combine_uniform):
-            value = combiner(candidates)
+            value, weights = combiner(candidates)
             assert candidates.min() - 1e-9 <= value <= candidates.max() + 1e-9
+            assert weights.sum() == pytest.approx(1.0)
 
     @given(hnp.arrays(np.float64, st.integers(2, 8),
                       elements=st.floats(-100, 100, allow_nan=False, width=64)),
            st.floats(-50, 50, allow_nan=False))
     @settings(max_examples=40, deadline=None)
     def test_voting_translation_equivariance(self, candidates, shift):
-        shifted = combine_voting(candidates + shift)
-        assert shifted == pytest.approx(combine_voting(candidates) + shift, abs=1e-6)
+        shifted, _ = combine_voting(candidates + shift)
+        base, _ = combine_voting(candidates)
+        assert shifted == pytest.approx(base + shift, abs=1e-6)
 
 
 class TestRegressionProperties:
@@ -87,7 +89,12 @@ class TestRegressionProperties:
     def test_ridge_reproduces_exact_linear_data(self, X):
         coefficients = np.arange(1, X.shape[1] + 2, dtype=float)
         y = coefficients[0] + X @ coefficients[1:]
-        assume(np.linalg.matrix_rank(np.hstack([np.ones((X.shape[0], 1)), X])) == X.shape[1] + 1)
+        design = np.hstack([np.ones((X.shape[0], 1)), X])
+        assume(np.linalg.matrix_rank(design) == X.shape[1] + 1)
+        # The α = 0 path solves through the pseudo-inverse of the Gram
+        # matrix, whose conditioning is the design's squared; keep the
+        # exact-reproduction claim to examples where it can hold in float64.
+        assume(np.linalg.cond(design) < 1e5)
         model = RidgeRegression(alpha=0.0).fit(X, y)
         np.testing.assert_allclose(model.predict(X), y, atol=1e-4)
 
