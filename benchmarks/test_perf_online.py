@@ -1,0 +1,127 @@
+"""Online engine benchmark: incremental append+serve vs. cold refit.
+
+Replays the SN and CA datasets as streaming append/query traces (see
+:mod:`repro.experiments.streaming`) under adaptive and fixed learning, and
+writes the per-round latencies and aggregate speedups to
+``BENCH_online.json`` at the repository root so the online performance
+trajectory is tracked across PRs.
+
+The acceptance bar: across the whole trace, incremental append+refresh must
+be faster than refitting from scratch every round, and both sides must
+report (numerically) identical RMS errors — the engine is an optimisation,
+not an approximation.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.streaming import run_streaming
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_online.json"
+
+
+def test_online_engine_speedup(profile, record_result):
+    report = {
+        "profile": profile.name,
+        "unit": "seconds per trace (appends + queries)",
+        "scenarios": {},
+    }
+
+    # Streaming traces replay more tuples than the static experiments: the
+    # incremental win scales with the store-to-neighbourhood ratio, so the
+    # candidate grid is capped at a paper-typical ℓ* range (≤ 25) and the
+    # profile's dataset sizes are stretched 2–2.5×.
+    common = dict(
+        n_rounds=12,
+        initial_fraction=0.5,
+        max_learning_neighbors=min(25, profile.iim_max_learning_neighbors),
+    )
+    scenarios = (
+        (
+            "sn_adaptive",
+            dict(dataset="sn", learning="adaptive",
+                 size=int(2.5 * profile.dataset_sizes["sn"]), **common),
+        ),
+        (
+            "ca_adaptive",
+            dict(dataset="ca", learning="adaptive",
+                 size=2 * profile.dataset_sizes["ca"], **common),
+        ),
+        (
+            "sn_fixed",
+            dict(dataset="sn", learning="fixed",
+                 learning_neighbors=profile.default_k,
+                 size=2 * profile.dataset_sizes["sn"], **common),
+        ),
+    )
+    for name, kwargs in scenarios:
+        start = time.perf_counter()
+        result = run_streaming(profile=profile, random_state=0, **kwargs)
+        elapsed = time.perf_counter() - start
+        entry = result.as_dict()
+        entry["trace_wall_seconds"] = elapsed
+        report["scenarios"][name] = entry
+
+        # Equivalence: the engine must score exactly like the cold refits.
+        assert result.max_rms_gap <= 1e-9 * max(
+            r.rms_cold for r in result.rounds
+        ), f"{name}: online RMS diverged from cold refit"
+
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    record_result(
+        "online",
+        "\n".join(
+            f"{name}: online {entry['online_seconds']:.4f}s, "
+            f"cold {entry['cold_seconds']:.4f}s, "
+            f"speedup {entry['speedup']:.1f}x "
+            f"({entry['engine_stats']['incremental_refreshes']} incremental / "
+            f"{entry['engine_stats']['full_refreshes']} full refreshes)"
+            for name, entry in report["scenarios"].items()
+        ),
+    )
+
+    # The acceptance bar: incremental maintenance beats cold refits on every
+    # scenario of the trace (per-round jitter is tolerated; the aggregate
+    # must win).
+    for name, entry in report["scenarios"].items():
+        assert entry["speedup"] > 1.0, (
+            f"{name}: online trace ({entry['online_seconds']:.4f}s) not faster "
+            f"than cold refits ({entry['cold_seconds']:.4f}s)"
+        )
+
+
+def test_online_snapshot_roundtrip_cost(profile, record_result, tmp_path):
+    """Snapshot/restore latency at profile scale (informational)."""
+    from repro.online import OnlineImputationEngine
+
+    result_dir = tmp_path / "engine"
+    from repro.data import load_dataset
+
+    relation = load_dataset("sn", size=profile.dataset_sizes["sn"])
+    engine = OnlineImputationEngine(
+        k=profile.default_k,
+        learning="adaptive",
+        stepping=profile.iim_stepping,
+        max_learning_neighbors=profile.iim_max_learning_neighbors,
+    )
+    engine.append(relation.raw)
+    queries = relation.raw[: profile.default_k].copy()
+    queries[:, -1] = np.nan
+    warm = engine.impute_batch(queries)
+
+    start = time.perf_counter()
+    engine.snapshot(result_dir)
+    save_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = OnlineImputationEngine.load(result_dir)
+    load_seconds = time.perf_counter() - start
+
+    assert np.array_equal(warm, restored.impute_batch(queries))
+    record_result(
+        "online_snapshot",
+        f"snapshot {save_seconds * 1000:.1f} ms, restore {load_seconds * 1000:.1f} ms "
+        f"(store of {engine.n_tuples} tuples)",
+    )

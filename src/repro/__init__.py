@@ -37,6 +37,33 @@ The ``REPRO_BACKEND`` environment variable sets the initial default.  The
 test suite asserts both backends agree to ``rtol = 1e-9``;
 ``benchmarks/test_perf_kernels.py`` tracks their relative wall-clock in
 ``BENCH_kernels.json``.
+
+Online imputation
+-----------------
+:mod:`repro.online` turns the batch method into a long-lived service.
+:class:`~repro.online.OnlineImputationEngine` wraps :class:`IIMImputer`
+behind ``append(rows)`` / ``impute_batch(queries)`` / ``snapshot(path)``:
+appends fold new tuples into the neighbour index by a sorted merge and
+relearn only the per-tuple models whose neighbourhood actually changed
+(Proposition 3 through the batched kernels), while queries are served from
+an LRU cache of per-attribute model states — always equal (``rtol = 1e-9``)
+to a cold ``IIMImputer`` refit over the same tuples.
+
+>>> from repro.online import OnlineImputationEngine          # doctest: +SKIP
+>>> engine = OnlineImputationEngine(k=10, learning="adaptive",
+...                                 max_learning_neighbors=50)  # doctest: +SKIP
+>>> engine.append(new_complete_rows)                         # doctest: +SKIP
+>>> filled = engine.impute_batch(rows_with_nans)             # doctest: +SKIP
+>>> engine.snapshot("artifacts/engine")                      # doctest: +SKIP
+
+Engine knobs (per-attribute model cache size, lazy/eager refresh policy)
+live in :mod:`repro.config` next to the backend knob.  Fitted state —
+engines via ``snapshot``/``load``, every imputer via ``save``/``load`` on
+:class:`~repro.baselines.base.BaseImputer` — persists as ``.npz`` arrays
+plus a JSON manifest (:mod:`repro.online.artifacts`) and restores
+bit-for-bit.  ``python -m repro.online`` replays a CSV trace against the
+engine; ``benchmarks/test_perf_online.py`` tracks the incremental-vs-cold
+speedup in ``BENCH_online.json``.
 """
 
 from .baselines import (
@@ -91,6 +118,7 @@ from .metrics import (
     rms_error,
     sparsity_r2,
 )
+from .online import OnlineImputationEngine
 
 __version__ = "1.0.0"
 
@@ -107,6 +135,8 @@ __all__ = [
     "IndividualModels",
     "learn_individual_models",
     "adaptive_learning",
+    # Online serving
+    "OnlineImputationEngine",
     # Baselines
     "MeanImputer",
     "KNNImputer",

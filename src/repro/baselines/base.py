@@ -27,14 +27,16 @@ cell.
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..data.missing import InjectionResult
 from ..data.relation import Relation
-from ..exceptions import DataError, NotFittedError
+from ..exceptions import ConfigurationError, DataError, NotFittedError
 
 __all__ = ["BaseImputer", "AttributeImputationTask"]
 
@@ -212,6 +214,76 @@ class BaseImputer(ABC):
                 )
             values[task.rows, task.target_index] = imputed
         return relation.with_values(values)
+
+    # ------------------------------------------------------------------ #
+    # Artifact persistence (see repro.online.artifacts)
+    # ------------------------------------------------------------------ #
+    def get_params(self) -> Dict[str, object]:
+        """Constructor parameters, introspected from ``__init__``.
+
+        Relies on the library-wide convention that every constructor stores
+        each argument under an attribute of the same name; a subclass that
+        deviates must override this method.
+        """
+        params: Dict[str, object] = {}
+        signature = inspect.signature(type(self).__init__)
+        for name, parameter in signature.parameters.items():
+            if name == "self" or parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            if not hasattr(self, name):
+                raise ConfigurationError(
+                    f"{type(self).__name__} does not store constructor argument "
+                    f"{name!r} as an attribute; override get_params()"
+                )
+            params[name] = getattr(self, name)
+        return params
+
+    def _artifact_payload(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Extra fitted state to persist: ``(manifest metadata, arrays)``.
+
+        The default persists nothing beyond the fitted relation; subclasses
+        with expensive derived state (e.g. IIM's learned per-tuple models)
+        override this together with :meth:`_restore_payload`.
+        """
+        return {}, {}
+
+    def _restore_payload(
+        self, metadata: Dict[str, object], arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Rebuild derived state after a load.
+
+        The default re-runs the (deterministic) offline learning hook over
+        the restored relation, which reproduces the original fitted state
+        exactly for every method in this library.
+        """
+        del metadata, arrays
+        self._fit(self._fitted_relation)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize the fitted imputer to an artifact directory.
+
+        The artifact is an ``.npz`` array file plus a JSON manifest (see
+        :mod:`repro.online.artifacts`); :meth:`load` restores an imputer
+        whose subsequent imputations are bit-identical to this one's.
+        """
+        from ..online.artifacts import save_imputer
+
+        return save_imputer(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BaseImputer":
+        """Restore an imputer saved with :meth:`save`.
+
+        Called on :class:`BaseImputer` it restores whatever class the
+        artifact stores; called on a subclass it additionally checks the
+        stored class matches.
+        """
+        from ..online.artifacts import load_imputer
+
+        return load_imputer(path, None if cls is BaseImputer else cls)
 
     # ------------------------------------------------------------------ #
     # Convenience entry points used by the experiment harness

@@ -18,12 +18,27 @@ The active backend is selected, in decreasing priority, by
    :func:`use_backend`,
 3. the ``REPRO_BACKEND`` environment variable read at import time,
 4. the ``"vectorized"`` default.
+
+The module also holds the process-wide defaults of the online imputation
+engine (:mod:`repro.online`):
+
+* the **model cache size** — how many per-attribute model states the engine
+  keeps resident (LRU-evicted beyond that; ``None`` keeps all of them) —
+  settable through :func:`set_online_model_cache_size` or the
+  ``REPRO_ONLINE_CACHE_SIZE`` environment variable (``none``/``0`` =
+  unbounded);
+* the **refresh policy** — ``"lazy"`` (appends are folded into the cached
+  model states on the next imputation touching them, so consecutive appends
+  batch into one refresh) or ``"eager"`` (every append refreshes all cached
+  states immediately) — settable through :func:`set_online_refresh_policy`
+  or the ``REPRO_ONLINE_REFRESH`` environment variable.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import Optional
 
 from .exceptions import ConfigurationError
 
@@ -34,6 +49,15 @@ __all__ = [
     "set_backend",
     "use_backend",
     "resolve_backend",
+    "ONLINE_REFRESH_POLICIES",
+    "DEFAULT_ONLINE_MODEL_CACHE_SIZE",
+    "DEFAULT_ONLINE_REFRESH_POLICY",
+    "get_online_model_cache_size",
+    "set_online_model_cache_size",
+    "resolve_online_model_cache_size",
+    "get_online_refresh_policy",
+    "set_online_refresh_policy",
+    "resolve_online_refresh_policy",
 ]
 
 #: Recognised kernel backends.
@@ -90,3 +114,104 @@ def resolve_backend(backend=None) -> str:
     if backend is None:
         return get_backend()
     return _validate(backend)
+
+
+# --------------------------------------------------------------------------- #
+# Online engine knobs
+# --------------------------------------------------------------------------- #
+
+#: Recognised refresh policies of :class:`repro.online.OnlineImputationEngine`.
+ONLINE_REFRESH_POLICIES = ("lazy", "eager")
+
+#: Per-attribute model states the engine keeps resident by default.
+DEFAULT_ONLINE_MODEL_CACHE_SIZE: Optional[int] = 8
+
+#: Refresh policy used when neither an argument nor the knob selects one.
+DEFAULT_ONLINE_REFRESH_POLICY = "lazy"
+
+
+def _validate_cache_size(size) -> Optional[int]:
+    if size is None:
+        return None
+    if isinstance(size, str):
+        key = size.strip().lower()
+        if key in ("none", "unbounded", ""):
+            return None
+        try:
+            size = int(key)
+        except ValueError:
+            raise ConfigurationError(
+                f"model cache size must be a positive integer or 'none', got {size!r}"
+            ) from None
+    if isinstance(size, bool) or not isinstance(size, int):
+        raise ConfigurationError(
+            f"model cache size must be a positive integer or None, got {size!r}"
+        )
+    if size == 0:
+        return None
+    if size < 0:
+        raise ConfigurationError(f"model cache size must be positive, got {size}")
+    return size
+
+
+def _validate_refresh_policy(policy) -> str:
+    key = str(policy).lower()
+    if key not in ONLINE_REFRESH_POLICIES:
+        raise ConfigurationError(
+            f"unknown refresh policy {policy!r}; available policies: "
+            f"{sorted(ONLINE_REFRESH_POLICIES)}"
+        )
+    return key
+
+
+# Like REPRO_BACKEND, the environment values are validated at first use.
+_online_model_cache_size = os.environ.get(
+    "REPRO_ONLINE_CACHE_SIZE", DEFAULT_ONLINE_MODEL_CACHE_SIZE
+)
+_online_refresh_policy = os.environ.get(
+    "REPRO_ONLINE_REFRESH", DEFAULT_ONLINE_REFRESH_POLICY
+)
+
+
+def get_online_model_cache_size() -> Optional[int]:
+    """The process-wide engine model cache size (``None`` = unbounded)."""
+    return _validate_cache_size(_online_model_cache_size)
+
+
+def set_online_model_cache_size(size) -> Optional[int]:
+    """Select the process-wide model cache size; returns the previous one."""
+    global _online_model_cache_size
+    previous = _online_model_cache_size
+    _online_model_cache_size = _validate_cache_size(size)
+    return previous
+
+
+def resolve_online_model_cache_size(size=None) -> Optional[int]:
+    """Resolve an optional per-engine cache size against the knob.
+
+    The sentinel ``"default"`` (what the engine constructor uses) defers to
+    the process-wide knob; ``None`` explicitly selects an unbounded cache.
+    """
+    if isinstance(size, str) and size == "default":
+        return get_online_model_cache_size()
+    return _validate_cache_size(size)
+
+
+def get_online_refresh_policy() -> str:
+    """The process-wide engine refresh policy (``"lazy"`` or ``"eager"``)."""
+    return _validate_refresh_policy(_online_refresh_policy)
+
+
+def set_online_refresh_policy(policy) -> str:
+    """Select the process-wide refresh policy; returns the previous one."""
+    global _online_refresh_policy
+    previous = _online_refresh_policy
+    _online_refresh_policy = _validate_refresh_policy(policy)
+    return previous
+
+
+def resolve_online_refresh_policy(policy=None) -> str:
+    """Resolve an optional per-engine refresh policy against the knob."""
+    if policy is None:
+        return get_online_refresh_policy()
+    return _validate_refresh_policy(policy)

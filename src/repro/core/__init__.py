@@ -20,6 +20,7 @@ from .imputation import ImputationTrace, impute_one, impute_with_individual_mode
 from .learning import (
     IndividualModels,
     candidate_ell_values,
+    learn_candidate_models_for_rows,
     learn_individual_models,
     learn_models_for_candidates,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "IndividualModels",
     "learn_individual_models",
     "learn_models_for_candidates",
+    "learn_candidate_models_for_rows",
     "candidate_ell_values",
     "adaptive_learning",
     "AdaptiveLearningResult",

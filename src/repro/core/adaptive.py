@@ -31,7 +31,52 @@ from ..neighbors.brute import drop_self_rows
 from ..regression import DEFAULT_ALPHA, RidgeRegression, batched_design
 from .learning import IndividualModels, candidate_ell_values, learn_models_for_candidates
 
-__all__ = ["AdaptiveLearningResult", "adaptive_learning"]
+__all__ = [
+    "AdaptiveLearningResult",
+    "adaptive_learning",
+    "scatter_validation_costs",
+    "VALIDATION_PAIR_CHUNK",
+]
+
+#: Flattened (validation tuple, model owner) pairs processed per block of
+#: the vectorized validation kernel.  The online engine's partial cost
+#: rebuilds share this kernel, so stale and fresh rows accumulate their
+#: sums in the same order.
+VALIDATION_PAIR_CHUNK = 65536
+
+
+def scatter_validation_costs(
+    costs: np.ndarray,
+    j_idx: np.ndarray,
+    i_idx: np.ndarray,
+    designs: np.ndarray,
+    target: np.ndarray,
+    all_parameters: np.ndarray,
+    pair_chunk: int = VALIDATION_PAIR_CHUNK,
+) -> None:
+    """Accumulate squared validation errors onto ``costs`` (in place).
+
+    For every flattened pair ``(j_idx[p], i_idx[p])`` — validation tuple
+    ``j`` charging model owner ``i`` — the squared error of imputing
+    ``target[j]`` with each of owner ``i``'s candidate models is added to
+    ``costs[i]``: one ``einsum`` per pair block, one ``bincount`` per
+    candidate column.
+    """
+    n, n_candidates = costs.shape
+    for start in range(0, j_idx.shape[0], pair_chunk):
+        stop = min(start + pair_chunk, j_idx.shape[0])
+        j_block = j_idx[start:stop]
+        i_block = i_idx[start:stop]
+        # (pairs, L): prediction of owner i's candidate models on tuple j.
+        predictions = np.einsum(
+            "pc,lpc->pl", designs[j_block], all_parameters[:, i_block, :]
+        )
+        errors = (target[j_block, None] - predictions) ** 2
+        # Scatter-add per candidate column (bincount beats np.add.at here).
+        for position in range(n_candidates):
+            costs[:, position] += np.bincount(
+                i_block, weights=errors[:, position], minlength=n
+            )
 
 
 @dataclass
@@ -58,6 +103,10 @@ class AdaptiveLearningResult:
     chosen_ell: np.ndarray
     costs: np.ndarray
     validation_counts: np.ndarray
+    #: Per-candidate parameters ``(len(candidates), n, m)``; only populated
+    #: when ``keep_candidate_models=True`` (the online engine keeps them so
+    #: appends can refresh a subset of tuples without relearning the rest).
+    all_parameters: Optional[np.ndarray] = None
 
 
 def adaptive_learning(
@@ -72,6 +121,8 @@ def adaptive_learning(
     incremental: bool = True,
     include_global: bool = True,
     backend: Optional[str] = None,
+    order_cache: Optional[NeighborOrderCache] = None,
+    keep_candidate_models: bool = False,
 ) -> AdaptiveLearningResult:
     """Algorithm 3: select a per-tuple ``ℓ`` by validating against complete tuples.
 
@@ -109,6 +160,16 @@ def adaptive_learning(
         replaces the validator double loop of step 2 with one scatter-add
         over the flattened (validation tuple, model owner) pairs.  Both
         backends agree to ``rtol = 1e-9``.
+    order_cache:
+        Optional pre-built neighbour ordering over ``features`` (with
+        ``include_self=True`` and an effective length of at least
+        ``max(max(candidates), min(n, validation_neighbors + 1))``); one is
+        created on the fly when omitted.  The online engine passes its
+        incrementally-maintained cache here so a full relearn reuses it.
+    keep_candidate_models:
+        Retain the full per-candidate parameter stack on the result's
+        ``all_parameters`` (costs one ``(L, n, m)`` array; needed by callers
+        that later refresh a subset of tuples incrementally).
     """
     features = np.asarray(features, dtype=float)
     target = np.asarray(target, dtype=float).ravel()
@@ -131,12 +192,22 @@ def adaptive_learning(
     # Shared neighbour ordering (self included) reused for both the learning
     # of Φ(ℓ) and, with the self removed, the validation neighbour lookups.
     max_candidate = int(candidate_array.max())
-    learn_cache = NeighborOrderCache(
-        features,
-        metric=metric,
-        include_self=True,
-        max_length=max(max_candidate, min(n, validation_neighbors + 1)),
-    )
+    needed_length = max(max_candidate, min(n, validation_neighbors + 1))
+    if order_cache is None:
+        learn_cache = NeighborOrderCache(
+            features, metric=metric, include_self=True, max_length=needed_length
+        )
+    else:
+        if not order_cache.include_self:
+            raise ConfigurationError(
+                "adaptive_learning requires an order_cache with include_self=True"
+            )
+        if order_cache.effective_length() < needed_length:
+            raise ConfigurationError(
+                f"order_cache keeps {order_cache.effective_length()} neighbours "
+                f"but adaptive learning needs {needed_length}"
+            )
+        learn_cache = order_cache
 
     backend = resolve_backend(backend)
     all_parameters = learn_models_for_candidates(
@@ -181,6 +252,7 @@ def adaptive_learning(
         chosen_ell=chosen_ell,
         costs=costs,
         validation_counts=validation_counts,
+        all_parameters=all_parameters if keep_candidate_models else None,
     )
 
 
@@ -227,14 +299,15 @@ def _validation_costs_vectorized(
     all_parameters: np.ndarray,
     learn_cache: NeighborOrderCache,
     k: int,
-    pair_chunk: int = 65536,
+    pair_chunk: int = VALIDATION_PAIR_CHUNK,
 ):
     """Batched validation step: one scatter-add over all (j, i) pairs.
 
     Every validation tuple ``j`` charges its squared imputation error under
     ``φ^{(ℓ)}_i`` to ``cost[i][ℓ]`` for each of its ``k`` nearest neighbour
     models ``i``; the whole double loop collapses into an ``einsum`` over
-    flattened (j, i) pairs followed by a scatter-add on the cost matrix.
+    flattened (j, i) pairs followed by a scatter-add on the cost matrix
+    (:func:`scatter_validation_costs`).
     """
     n = features.shape[0]
     n_candidates = all_parameters.shape[0]
@@ -251,21 +324,9 @@ def _validation_costs_vectorized(
     j_idx = np.repeat(np.arange(n), k)
     i_idx = owners.ravel()
     designs = batched_design(features)
-
-    for start in range(0, j_idx.shape[0], pair_chunk):
-        stop = min(start + pair_chunk, j_idx.shape[0])
-        j_block = j_idx[start:stop]
-        i_block = i_idx[start:stop]
-        # (pairs, L): prediction of owner i's candidate models on tuple j.
-        predictions = np.einsum(
-            "pc,lpc->pl", designs[j_block], all_parameters[:, i_block, :]
-        )
-        errors = (target[j_block, None] - predictions) ** 2
-        # Scatter-add per candidate column (bincount beats np.add.at here).
-        for position in range(n_candidates):
-            costs[:, position] += np.bincount(
-                i_block, weights=errors[:, position], minlength=n
-            )
+    scatter_validation_costs(
+        costs, j_idx, i_idx, designs, target, all_parameters, pair_chunk
+    )
 
     validation_counts = np.bincount(i_idx, minlength=n)
     return costs, validation_counts.astype(int)

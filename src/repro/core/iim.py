@@ -221,6 +221,30 @@ class IIMImputer(BaseImputer):
         )
 
     # ------------------------------------------------------------------ #
+    # Artifact persistence
+    # ------------------------------------------------------------------ #
+    def _artifact_payload(self):
+        # Persist the lazily-learned per-attribute models so a restored
+        # imputer serves imputations without relearning.  The adaptive
+        # diagnostics (costs, counts) are derivable and not persisted.
+        metadata = {"model_attributes": sorted(self._models)}
+        arrays = {}
+        for target_index, models in self._models.items():
+            arrays[f"models_{target_index}_parameters"] = models.parameters
+            arrays[f"models_{target_index}_ell"] = models.learning_neighbors
+        return metadata, arrays
+
+    def _restore_payload(self, metadata, arrays):
+        self._models = {}
+        self._adaptive_results = {}
+        for target_index in metadata.get("model_attributes", []):
+            target_index = int(target_index)
+            self._models[target_index] = IndividualModels(
+                arrays[f"models_{target_index}_parameters"],
+                arrays[f"models_{target_index}_ell"],
+            )
+
+    # ------------------------------------------------------------------ #
     # Imputation phase
     # ------------------------------------------------------------------ #
     def _impute_attribute(

@@ -57,6 +57,7 @@ __all__ = [
     "IndividualModels",
     "learn_individual_models",
     "learn_models_for_candidates",
+    "learn_candidate_models_for_rows",
     "candidate_ell_values",
 ]
 
@@ -266,6 +267,69 @@ def learn_models_for_candidates(
     return all_parameters
 
 
+def learn_candidate_models_for_rows(
+    features,
+    target,
+    candidates: Sequence[int],
+    orders,
+    alpha: float = DEFAULT_ALPHA,
+    incremental: bool = True,
+) -> np.ndarray:
+    """Learn ``Φ(ℓ)`` for an explicit subset of tuples given their orderings.
+
+    This is the *incremental refresh* entry point of Proposition 3: a caller
+    that maintains per-tuple neighbour orderings (e.g. the online engine's
+    :meth:`~repro.neighbors.NeighborOrderCache.append`) can re-learn the
+    candidate models of just the affected tuples — the same batched
+    prefix-sum kernel that :func:`learn_models_for_candidates` runs over the
+    whole relation, at a cost proportional to the refreshed subset.
+
+    Parameters
+    ----------
+    features, target:
+        The *full* complete data (all ``n`` tuples), as in
+        :func:`learn_models_for_candidates`; ``orders`` indexes into it.
+    candidates:
+        Strictly increasing candidate ``ℓ`` values.
+    orders:
+        Array of shape ``(r, >= max(candidates))``: the neighbour ordering
+        (self included, as in the learning phase) of each tuple to refresh.
+    alpha:
+        Ridge regularization strength.
+    incremental:
+        Grow the U/V statistics across candidates (Proposition 3) or rebuild
+        them per candidate.
+
+    Returns
+    -------
+    numpy.ndarray
+        Parameters of shape ``(len(candidates), r, m)``, aligned with the
+        rows of ``orders``.
+    """
+    features, target = _validate_inputs(features, target)
+    n = features.shape[0]
+    candidates = np.asarray(list(candidates), dtype=int)
+    if candidates.size == 0:
+        raise ConfigurationError("candidates must contain at least one ℓ value")
+    if np.any(candidates < 1) or np.any(candidates > n):
+        raise ConfigurationError(f"candidate ℓ values must lie in [1, {n}]")
+    if np.any(np.diff(candidates) <= 0):
+        raise ConfigurationError("candidate ℓ values must be strictly increasing")
+    alpha = check_positive_float(alpha, "alpha", allow_zero=True)
+
+    orders = np.asarray(orders, dtype=int)
+    if orders.ndim != 2:
+        raise ConfigurationError("orders must be a 2-D (rows, neighbours) array")
+    max_ell = int(candidates.max())
+    if orders.shape[1] < max_ell:
+        raise ConfigurationError(
+            f"requested {max_ell} neighbours but only {orders.shape[1]} are available"
+        )
+    return _candidate_models_from_orders(
+        features, target, candidates, alpha, orders[:, :max_ell], incremental
+    )
+
+
 def _chunk_rows(
     n: int, max_ell: int, n_candidates: int, width: int, budget_floats: int = 4_000_000
 ) -> int:
@@ -282,7 +346,27 @@ def _candidate_models_vectorized(
     order_cache: NeighborOrderCache,
     incremental: bool,
 ) -> np.ndarray:
-    """Batch kernel behind :func:`learn_models_for_candidates`.
+    """Batch kernel behind :func:`learn_models_for_candidates`."""
+    max_ell = int(candidates.max())
+    orders = order_cache.order_matrix()
+    if orders.shape[1] < max_ell:
+        raise ConfigurationError(
+            f"requested {max_ell} neighbours but only {orders.shape[1]} are available"
+        )
+    return _candidate_models_from_orders(
+        features, target, candidates, alpha, orders[:, :max_ell], incremental
+    )
+
+
+def _candidate_models_from_orders(
+    features: np.ndarray,
+    target: np.ndarray,
+    candidates: np.ndarray,
+    alpha: float,
+    orders: np.ndarray,
+    incremental: bool,
+) -> np.ndarray:
+    """Candidate learning over explicit ``(rows, max_ell)`` orderings.
 
     For each block of tuples the candidate Gram/moment statistics are built
     from the neighbour-ordered design rows — per-segment batched GEMMs
@@ -290,17 +374,12 @@ def _candidate_models_vectorized(
     (Proposition 3) when ``incremental``, or from scratch per candidate when
     not — and solved as one stacked ridge system.
     """
-    n, d = features.shape
+    d = features.shape[1]
     p = d + 1
-    max_ell = int(candidates.max())
+    n = orders.shape[0]
+    max_ell = orders.shape[1]
     n_candidates = candidates.shape[0]
 
-    orders = order_cache.order_matrix()
-    if orders.shape[1] < max_ell:
-        raise ConfigurationError(
-            f"requested {max_ell} neighbours but only {orders.shape[1]} are available"
-        )
-    orders = orders[:, :max_ell]
     all_parameters = np.empty((n_candidates, n, p))
 
     chunk = _chunk_rows(n, max_ell, n_candidates, p)

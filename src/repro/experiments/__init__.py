@@ -22,6 +22,7 @@ from .harness import (
 )
 from .reporting import format_matrix, format_series, format_table
 from .settings import PROFILES, ScaleProfile, get_profile
+from .streaming import StreamingResult, StreamingRound, run_streaming
 from .tables import (
     TABLE5_DATASETS,
     TABLE6_ATTRIBUTES,
@@ -64,4 +65,7 @@ __all__ = [
     "format_table",
     "format_matrix",
     "format_series",
+    "StreamingRound",
+    "StreamingResult",
+    "run_streaming",
 ]

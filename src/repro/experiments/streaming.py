@@ -1,0 +1,258 @@
+"""Streaming scenario: a relation replayed as an append/query trace.
+
+The paper evaluates IIM on static tables; this scenario drives the *online*
+engine the way a production deployment would see data: an initial store,
+then rounds of "a batch of new complete tuples arrives, then a batch of
+incomplete tuples must be imputed".  Each round is measured twice:
+
+* **online** — :class:`~repro.online.OnlineImputationEngine` absorbs the
+  appends incrementally and serves the queries from its warm model cache;
+* **cold** — a fresh :class:`~repro.core.iim.IIMImputer` is refitted from
+  scratch over the same cumulative store and imputes the same queries (the
+  baseline the paper's incremental computation is compared against).
+
+Both must produce the same imputations (``rtol = 1e-9``; asserted in the
+test suite); the interesting numbers are the per-round latencies and their
+ratio, which ``benchmarks/test_perf_online.py`` records in
+``BENCH_online.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.iim import IIMImputer
+from ..data import load_dataset
+from ..data.relation import Relation
+from ..exceptions import ExperimentError
+from ..metrics import rms_error
+from ..online import OnlineImputationEngine
+from .settings import ScaleProfile, get_profile
+
+__all__ = ["StreamingRound", "StreamingResult", "run_streaming"]
+
+
+@dataclass
+class StreamingRound:
+    """Latency and error of one append+query round."""
+
+    round_index: int
+    n_store: int
+    n_appended: int
+    n_queries: int
+    online_seconds: float
+    cold_seconds: float
+    rms_online: float
+    rms_cold: float
+
+    @property
+    def speedup(self) -> float:
+        """Cold-refit time over online time for this round."""
+        return self.cold_seconds / self.online_seconds
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of a full streaming replay."""
+
+    dataset: str
+    learning: str
+    initial_store: int
+    rounds: List[StreamingRound] = field(default_factory=list)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def online_seconds(self) -> float:
+        """Total online (append + impute) time across rounds."""
+        return sum(r.online_seconds for r in self.rounds)
+
+    @property
+    def cold_seconds(self) -> float:
+        """Total cold (refit + impute) time across rounds."""
+        return sum(r.cold_seconds for r in self.rounds)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate cold/online wall-clock ratio."""
+        return self.cold_seconds / self.online_seconds
+
+    @property
+    def max_rms_gap(self) -> float:
+        """Largest |rms_online − rms_cold| across rounds (≈ 0 by equivalence)."""
+        return max(abs(r.rms_online - r.rms_cold) for r in self.rounds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reporting."""
+        return {
+            "dataset": self.dataset,
+            "learning": self.learning,
+            "initial_store": self.initial_store,
+            "online_seconds": self.online_seconds,
+            "cold_seconds": self.cold_seconds,
+            "speedup": self.speedup,
+            "max_rms_gap": self.max_rms_gap,
+            "engine_stats": dict(self.engine_stats),
+            "rounds": [
+                {
+                    "round": r.round_index,
+                    "n_store": r.n_store,
+                    "n_appended": r.n_appended,
+                    "n_queries": r.n_queries,
+                    "online_seconds": r.online_seconds,
+                    "cold_seconds": r.cold_seconds,
+                    "speedup": r.speedup,
+                    "rms_online": r.rms_online,
+                    "rms_cold": r.rms_cold,
+                }
+                for r in self.rounds
+            ],
+        }
+
+
+def run_streaming(
+    dataset: str = "sn",
+    profile: Optional[ScaleProfile] = None,
+    size: Optional[int] = None,
+    learning: str = "adaptive",
+    n_rounds: int = 8,
+    initial_fraction: float = 0.4,
+    queries_per_round: Optional[int] = None,
+    refresh_policy: str = "lazy",
+    model_cache_size: Optional[int] = None,
+    random_state: int = 0,
+    run_cold: bool = True,
+    **iim_overrides,
+) -> StreamingResult:
+    """Replay ``dataset`` as a streaming trace and time online vs. cold.
+
+    Parameters
+    ----------
+    dataset:
+        Name of a registered dataset (sized by the profile).
+    profile:
+        Scale profile; defaults to :func:`~repro.experiments.get_profile`.
+    size:
+        Override the profile's dataset size (streaming gains grow with the
+        store-to-neighbourhood ratio, so benchmarks replay more tuples than
+        the static experiments do).
+    learning:
+        IIM learning phase for both the engine and the cold refits.
+    n_rounds:
+        Number of append+query rounds after the initial store.
+    initial_fraction:
+        Fraction of the relation used as the initial store; the remainder is
+        split evenly into the per-round append batches.
+    queries_per_round:
+        Incomplete tuples imputed per round (default: the profile's
+        ``asf_incomplete`` capped at half the initial store).
+    refresh_policy:
+        Engine refresh policy (``"lazy"`` or ``"eager"``).
+    model_cache_size:
+        Engine model cache capacity.  Defaults to ``None`` (unbounded): the
+        scenario queries every attribute, so an LRU smaller than the schema
+        width would evict-and-rebuild each round and measure cache churn
+        instead of incremental maintenance.
+    random_state:
+        Seed for the query cell selection.
+    run_cold:
+        Also time the cold refits (disable for engine-only profiling).
+    iim_overrides:
+        Extra :class:`IIMImputer` constructor arguments (both sides).
+    """
+    profile = profile or get_profile()
+    relation = load_dataset(dataset, size=size or profile.dataset_sizes.get(dataset))
+    values = relation.raw
+    n_total = values.shape[0]
+
+    initial = int(n_total * initial_fraction)
+    if initial < 2 or initial >= n_total:
+        raise ExperimentError(
+            f"initial_fraction={initial_fraction} leaves no room for appends "
+            f"on {n_total} tuples"
+        )
+    batch = (n_total - initial) // n_rounds
+    if batch < 1:
+        raise ExperimentError(
+            f"{n_rounds} rounds do not fit into {n_total - initial} remaining tuples"
+        )
+    if queries_per_round is None:
+        queries_per_round = min(profile.asf_incomplete, initial // 2)
+    queries_per_round = max(1, queries_per_round)
+
+    iim_params = dict(
+        k=profile.default_k,
+        learning=learning,
+        stepping=profile.iim_stepping,
+        max_learning_neighbors=profile.iim_max_learning_neighbors,
+    )
+    if learning == "fixed":
+        iim_params.setdefault("learning_neighbors", profile.default_k)
+    iim_params.update(iim_overrides)
+
+    rng = np.random.default_rng(random_state)
+    engine = OnlineImputationEngine(
+        refresh_policy=refresh_policy,
+        model_cache_size=model_cache_size,
+        **iim_params,
+    )
+    engine.append(values[:initial])
+
+    result = StreamingResult(
+        dataset=dataset, learning=learning, initial_store=initial
+    )
+    offset = initial
+    for round_index in range(n_rounds):
+        stop = offset + batch if round_index < n_rounds - 1 else n_total
+        append_block = values[offset:stop]
+
+        # Queries: tuples sampled from the cumulative store, one attribute
+        # blanked each (the truth is known, so both sides can be scored).
+        query_rows = rng.choice(offset, size=queries_per_round, replace=False)
+        queries = values[query_rows].copy()
+        blanked = rng.integers(0, values.shape[1], size=queries_per_round)
+        truth = queries[np.arange(queries_per_round), blanked].copy()
+        queries[np.arange(queries_per_round), blanked] = np.nan
+
+        start_time = time.perf_counter()
+        engine.append(append_block)
+        online_values = engine.impute_batch(queries)
+        online_seconds = time.perf_counter() - start_time
+        rms_online = rms_error(
+            truth, online_values[np.arange(queries_per_round), blanked]
+        )
+
+        if run_cold:
+            store_relation = Relation(values[:stop].copy(), relation.schema)
+            query_relation = Relation(queries.copy(), relation.schema)
+            start_time = time.perf_counter()
+            cold_imputer = IIMImputer(**iim_params)
+            cold_imputer.fit(store_relation)
+            cold_values = cold_imputer.impute(query_relation).raw
+            cold_seconds = time.perf_counter() - start_time
+            rms_cold = rms_error(
+                truth, cold_values[np.arange(queries_per_round), blanked]
+            )
+        else:
+            cold_seconds = float("nan")
+            rms_cold = float("nan")
+
+        result.rounds.append(
+            StreamingRound(
+                round_index=round_index,
+                n_store=stop,
+                n_appended=stop - offset,
+                n_queries=queries_per_round,
+                online_seconds=online_seconds,
+                cold_seconds=cold_seconds,
+                rms_online=rms_online,
+                rms_cold=rms_cold,
+            )
+        )
+        offset = stop
+
+    result.engine_stats = dict(engine.stats)
+    return result

@@ -10,7 +10,7 @@ from .distance import (
     paper_euclidean,
     pairwise_distances,
 )
-from .index import NeighborIndex, NeighborOrderCache
+from .index import NeighborIndex, NeighborOrderCache, OrderAppendResult
 from .kdtree import KDTreeNeighbors
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "KDTreeNeighbors",
     "NeighborIndex",
     "NeighborOrderCache",
+    "OrderAppendResult",
     "METRICS",
     "paper_euclidean",
     "euclidean",

@@ -16,10 +16,19 @@ memory cost stays ``O(n · max_length)`` rather than ``O(n²)``.
 orderings at once as a dense ``(n, max_length)`` matrix, computed block-wise
 from pairwise-distance chunks with a single stable argsort per block — the
 entry point the vectorized learning kernels build on.
+
+:meth:`NeighborOrderCache.append` grows the cache *incrementally*: new
+tuples are merged into every cached ordering by one sorted merge per row
+(cost ``O(n · (L + b))`` instead of the ``O(n²)`` rebuild), and the result
+reports, per pre-existing tuple, the first ordering position that changed —
+the signal the online engine uses to invalidate only the affected per-tuple
+models.  The merged orderings are exactly those a cold rebuild over the
+grown data would produce (same distance values, same index tie-breaks).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -30,7 +39,7 @@ from .brute import BruteForceNeighbors, drop_self_rows, stable_order, topk_batch
 from .distance import get_metric
 from .kdtree import KDTreeNeighbors
 
-__all__ = ["NeighborIndex", "NeighborOrderCache"]
+__all__ = ["NeighborIndex", "NeighborOrderCache", "OrderAppendResult"]
 
 _BACKENDS = ("brute", "kdtree")
 
@@ -87,6 +96,35 @@ class NeighborIndex:
         return self.kneighbors(query, k, exclude_self=exclude_self)[1]
 
 
+@dataclass
+class OrderAppendResult:
+    """Outcome of one :meth:`NeighborOrderCache.append` call.
+
+    Attributes
+    ----------
+    n_before:
+        Number of indexed tuples before the append.
+    n_appended:
+        Number of tuples added by the append.
+    first_changed:
+        Array of shape ``(n_before,)``: for every pre-existing tuple, the
+        first position of its cached ordering that changed.  A tuple whose
+        ordering merely grew at the tail reports the old effective length; a
+        tuple whose ordering is completely unchanged reports the new
+        effective length (so ``first_changed[i] < ell`` is exactly "the
+        ``ell``-prefix of tuple ``i`` changed").
+    """
+
+    n_before: int
+    n_appended: int
+    first_changed: np.ndarray
+
+    def changed_rows(self, prefix_length: int) -> np.ndarray:
+        """Pre-existing tuples whose first ``prefix_length`` neighbours changed."""
+        prefix_length = check_positive_int(prefix_length, "prefix_length")
+        return np.flatnonzero(self.first_changed < prefix_length)
+
+
 class NeighborOrderCache:
     """Per-tuple neighbour orderings, computed lazily and cached.
 
@@ -104,6 +142,10 @@ class NeighborOrderCache:
     max_length:
         Optional cap on the ordering length kept per tuple; ``None`` keeps
         the full ordering.  Capping bounds memory at ``O(n · max_length)``.
+    keep_distances:
+        Also materialise the distances aligned with the cached orderings
+        (needed by :meth:`append`, which enables it automatically).  Off by
+        default so batch-learning callers pay for the index matrix only.
     """
 
     def __init__(
@@ -112,6 +154,7 @@ class NeighborOrderCache:
         metric: str = "paper_euclidean",
         include_self: bool = True,
         max_length: Optional[int] = None,
+        keep_distances: bool = False,
     ):
         self._data = as_float_matrix(data, name="data")
         self._metric_fn = get_metric(metric)
@@ -119,19 +162,35 @@ class NeighborOrderCache:
         self.include_self = bool(include_self)
         if max_length is not None:
             max_length = check_positive_int(max_length, "max_length")
-            max_length = min(max_length, self.max_neighbors())
-        self.max_length = max_length
+        # The *requested* cap is kept separately so the effective length can
+        # grow back towards it when append() adds tuples to a store that was
+        # smaller than the cap.
+        self._requested_length = max_length
+        self.max_length = None if max_length is None else min(max_length, self.max_neighbors())
+        self.keep_distances = bool(keep_distances)
         self._cache: Dict[int, np.ndarray] = {}
         self._matrix: Optional[np.ndarray] = None
+        self._dists: Optional[np.ndarray] = None
 
     @property
     def n_points(self) -> int:
         """Number of indexed points."""
         return self._data.shape[0]
 
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only view of the indexed points."""
+        view = self._data.view()
+        view.setflags(write=False)
+        return view
+
     def max_neighbors(self) -> int:
         """The largest ℓ available from this cache."""
         return self.n_points if self.include_self else self.n_points - 1
+
+    def effective_length(self) -> int:
+        """The ordering length currently kept per tuple."""
+        return self.max_neighbors() if self.max_length is None else self.max_length
 
     def _compute_order(self, index: int) -> np.ndarray:
         distances = self._metric_fn(self._data[index], self._data)
@@ -177,13 +236,14 @@ class NeighborOrderCache:
         if self._matrix is not None:
             return self._matrix
         n = self.n_points
-        length = self.max_neighbors() if self.max_length is None else self.max_length
+        length = self.effective_length()
         if chunk_size is None:
             chunk_size = max(32, min(n, 100_000 // max(1, n)))
         # Without include_self the self entry must be dropped from the kept
         # prefix, so one extra ordered position is selected per row.
         select = min(n, length + (0 if self.include_self else 1))
         out = np.empty((n, length), dtype=int)
+        out_dists = np.empty((n, length)) if self.keep_distances else None
         for start in range(0, n, chunk_size):
             stop = min(start + chunk_size, n)
             distances = self._metric_fn(self._data[start:stop], self._data)
@@ -193,8 +253,12 @@ class NeighborOrderCache:
                 order = stable_order(distances)
             if not self.include_self:
                 order = drop_self_rows(order, np.arange(start, stop))
-            out[start:stop] = order[:, :length]
+            order = order[:, :length]
+            out[start:stop] = order
+            if out_dists is not None:
+                out_dists[start:stop] = np.take_along_axis(distances, order, axis=1)
         self._matrix = out
+        self._dists = out_dists
         self._cache.clear()
         return out
 
@@ -208,7 +272,148 @@ class NeighborOrderCache:
             )
         return order[:length]
 
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def append(self, rows) -> OrderAppendResult:
+        """Add tuples to the indexed data and update every cached ordering.
+
+        Each pre-existing tuple's ordering is merged with the new candidate
+        distances by one stable row-wise sort over ``L + b`` entries; the new
+        tuples' orderings are computed against the grown store.  Both are
+        *exactly* the orderings a cold rebuild would produce: the per-pair
+        distance values are identical and ties still break by index (old
+        tuples carry smaller indices than appended ones, and the old cached
+        ordering/new candidate block are each already in index order, so a
+        stable sort on distance preserves the lexicographic order).
+
+        The effective ordering length grows back towards the requested
+        ``max_length`` cap as the store grows; a tuple whose cached ordering
+        held *all* points keeps a complete ordering after the merge.
+
+        Returns an :class:`OrderAppendResult` reporting, per pre-existing
+        tuple, the first ordering position that changed.
+        """
+        n_before = self.n_points
+        rows = np.asarray(rows, dtype=float)
+        if rows.size == 0:
+            length = self.effective_length()
+            return OrderAppendResult(
+                n_before, 0, np.full(n_before, length, dtype=int)
+            )
+        rows = as_float_matrix(rows, name="rows")
+        if rows.shape[1] != self._data.shape[1]:
+            raise ConfigurationError(
+                f"appended rows have {rows.shape[1]} attributes, index has "
+                f"{self._data.shape[1]}"
+            )
+        n_appended = rows.shape[0]
+
+        # Materialise the current orderings (and distances) before growing.
+        self.keep_distances = True
+        old_orders = self.order_matrix()
+        old_dists = self._ensure_distances()
+        old_length = old_orders.shape[1]
+
+        data_after = np.vstack([self._data, rows])
+        n_after = n_before + n_appended
+        new_indices = np.arange(n_before, n_after)
+
+        # Distances of the appended rows against the full grown store; the
+        # transpose of its left block is, by metric symmetry, bit-identical
+        # to what a cold rebuild computes for the pre-existing rows.
+        appended_distances = self._metric_fn(rows, data_after)
+
+        self._data = data_after
+        if self._requested_length is not None:
+            self.max_length = min(self._requested_length, self.max_neighbors())
+        new_length = self.effective_length()
+
+        # --- Orderings of the appended tuples (cold path over the full
+        # store, truncated selection exactly like order_matrix()).
+        select = min(n_after, new_length + (0 if self.include_self else 1))
+        if select < n_after:
+            _, appended_order = topk_batch(appended_distances, select)
+        else:
+            appended_order = stable_order(appended_distances)
+        if not self.include_self:
+            appended_order = drop_self_rows(appended_order, new_indices)
+        appended_order = appended_order[:, :new_length]
+        appended_order_dists = np.take_along_axis(
+            appended_distances, appended_order, axis=1
+        )
+
+        # --- Merge the new candidates into every pre-existing ordering.
+        candidate_dists = appended_distances[:, :n_before].T  # (n_before, b)
+        concat_dists = np.hstack([old_dists, candidate_dists])
+        concat_orders = np.hstack(
+            [old_orders, np.broadcast_to(new_indices, (n_before, n_appended))]
+        )
+        merge = np.argsort(concat_dists, axis=1, kind="stable")[:, :new_length]
+        merged_orders = np.take_along_axis(concat_orders, merge, axis=1)
+        merged_dists = np.take_along_axis(concat_dists, merge, axis=1)
+
+        # First changed position per pre-existing tuple (old_length when the
+        # ordering only grew at the tail, new_length when fully unchanged).
+        padded = np.full((n_before, new_length), -1, dtype=int)
+        padded[:, :old_length] = old_orders[:, : min(old_length, new_length)]
+        differs = merged_orders != padded
+        first_changed = np.where(
+            differs.any(axis=1), differs.argmax(axis=1), new_length
+        )
+
+        self._matrix = np.vstack([merged_orders, appended_order])
+        self._dists = np.vstack([merged_dists, appended_order_dists])
+        self._cache.clear()
+        return OrderAppendResult(n_before, n_appended, first_changed)
+
+    def _ensure_distances(self, chunk_size: Optional[int] = None) -> np.ndarray:
+        """Backfill the distance matrix for already-materialised orderings."""
+        if self._dists is not None:
+            return self._dists
+        matrix = self.order_matrix()
+        if self._dists is not None:  # order_matrix built both just now
+            return self._dists
+        n = self.n_points
+        if chunk_size is None:
+            chunk_size = max(32, min(n, 100_000 // max(1, n)))
+        dists = np.empty(matrix.shape)
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            distances = self._metric_fn(self._data[start:stop], self._data)
+            dists[start:stop] = np.take_along_axis(
+                distances, matrix[start:stop], axis=1
+            )
+        self._dists = dists
+        return dists
+
+    def restore_matrix(self, orders: np.ndarray, dists: np.ndarray) -> None:
+        """Install previously materialised orderings (artifact restore path).
+
+        ``orders``/``dists`` must be the arrays a prior :meth:`order_matrix`
+        (possibly followed by :meth:`append` calls) produced for exactly the
+        data this cache was constructed over.
+        """
+        orders = np.asarray(orders, dtype=int)
+        dists = np.asarray(dists, dtype=float)
+        expected = (self.n_points, self.effective_length())
+        if orders.shape != expected or dists.shape != expected:
+            raise ConfigurationError(
+                f"restored ordering matrices must have shape {expected}, got "
+                f"{orders.shape} and {dists.shape}"
+            )
+        self.keep_distances = True
+        self._matrix = orders.copy()
+        self._dists = dists.copy()
+        self._cache.clear()
+
+    @property
+    def order_distances(self) -> Optional[np.ndarray]:
+        """The distances aligned with :meth:`order_matrix` (``None`` until built)."""
+        return self._dists
+
     def clear(self) -> None:
         """Drop all cached orderings (frees memory)."""
         self._cache.clear()
         self._matrix = None
+        self._dists = None

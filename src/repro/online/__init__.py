@@ -1,0 +1,40 @@
+"""Online imputation: streaming appends, incremental maintenance, artifacts.
+
+This package turns the batch reproduction into a long-lived service:
+
+* :class:`OnlineImputationEngine` — wraps :class:`~repro.core.iim.IIMImputer`
+  behind ``append(rows)`` / ``impute_batch(queries)`` / ``snapshot(path)``.
+  Appends update the complete-tuple store and the per-attribute neighbour
+  index incrementally and invalidate only the affected cached per-tuple
+  models (Proposition 3's incremental statistics through the batched
+  kernels); imputation requests are served in batches from an LRU cache of
+  per-attribute model states.
+* :mod:`repro.online.artifacts` — fitted state as ``.npz`` arrays plus a
+  JSON manifest.  Every :class:`~repro.baselines.base.BaseImputer` gains
+  ``save`` / ``load`` through this layer; restoration is bit-for-bit.
+
+Run ``python -m repro.online --help`` for a CSV-trace replay demo.
+
+Engine knobs (cache size, refresh policy) default to the process-wide
+values in :mod:`repro.config`.
+"""
+
+from .artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    load_imputer,
+    read_artifact,
+    save_imputer,
+    write_artifact,
+)
+from .engine import OnlineImputationEngine
+
+__all__ = [
+    "OnlineImputationEngine",
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "write_artifact",
+    "read_artifact",
+    "save_imputer",
+    "load_imputer",
+]

@@ -1,0 +1,250 @@
+"""Artifact persistence: fitted state as ``.npz`` arrays + a JSON manifest.
+
+An *artifact* is a directory holding exactly two files:
+
+* ``manifest.json`` — the artifact format/version, the kind of object stored
+  (``"imputer"`` or ``"engine"``), the constructor parameters needed to
+  rebuild it, and the list of array keys it expects;
+* ``arrays.npz`` — every numpy array of the fitted state, saved without
+  pickling so artifacts are portable across Python versions.
+
+:func:`write_artifact` / :func:`read_artifact` are the generic primitives;
+:func:`save_imputer` / :func:`load_imputer` build the imputer-level layer on
+top of them (every :class:`~repro.baselines.base.BaseImputer` participates
+through its ``save`` / ``load`` hooks, and subclasses persist extra fitted
+state through the ``_artifact_payload`` / ``_restore_payload`` hooks).  The
+online engine's :meth:`~repro.online.OnlineImputationEngine.snapshot` uses
+the same primitives with ``kind="engine"``.
+
+Restoration is bit-for-bit: arrays round-trip through the ``.npz`` binary
+format exactly, so a restored imputer or engine produces imputations
+identical to the original.  A corrupted or version-mismatched manifest
+raises :class:`~repro.exceptions.ConfigurationError` with a clear message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "write_artifact",
+    "read_artifact",
+    "save_imputer",
+    "load_imputer",
+]
+
+#: Identifier written into (and required of) every manifest.
+ARTIFACT_FORMAT = "repro-artifact"
+
+#: Current artifact schema version; bumped on incompatible layout changes.
+ARTIFACT_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+ARRAYS_FILENAME = "arrays.npz"
+
+_PAYLOAD_PREFIX = "payload_"
+
+
+def _jsonify(value):
+    """Convert numpy scalars/arrays nested in manifest values to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return _jsonify(value.tolist())
+    return value
+
+
+def write_artifact(
+    path: Union[str, Path],
+    kind: str,
+    manifest: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+) -> Path:
+    """Write one artifact directory (manifest + arrays) and return its path."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "kind": str(kind),
+        "arrays": sorted(arrays),
+    }
+    document.update(_jsonify(manifest))
+    (path / MANIFEST_FILENAME).write_text(json.dumps(document, indent=2) + "\n")
+    np.savez(path / ARRAYS_FILENAME, **arrays)
+    return path
+
+
+def read_artifact(
+    path: Union[str, Path],
+    expected_kind: Optional[str] = None,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Read one artifact directory back into ``(manifest, arrays)``.
+
+    Raises :class:`ConfigurationError` when the directory, manifest or array
+    file is missing, the manifest is corrupted, the format/version does not
+    match, the stored kind differs from ``expected_kind``, or the array file
+    does not contain exactly the arrays the manifest promises.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    arrays_path = path / ARRAYS_FILENAME
+    if not manifest_path.exists():
+        raise ConfigurationError(f"artifact manifest not found: {manifest_path}")
+    if not arrays_path.exists():
+        raise ConfigurationError(f"artifact array file not found: {arrays_path}")
+
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(
+            f"corrupted artifact manifest {manifest_path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise ConfigurationError(
+            f"corrupted artifact manifest {manifest_path}: expected a JSON object"
+        )
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ConfigurationError(
+            f"{manifest_path} is not a {ARTIFACT_FORMAT} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    if manifest.get("version") != ARTIFACT_VERSION:
+        raise ConfigurationError(
+            f"artifact version mismatch in {manifest_path}: found "
+            f"{manifest.get('version')!r}, this library reads version "
+            f"{ARTIFACT_VERSION}"
+        )
+    if expected_kind is not None and manifest.get("kind") != expected_kind:
+        raise ConfigurationError(
+            f"artifact at {path} holds a {manifest.get('kind')!r}, "
+            f"expected a {expected_kind!r}"
+        )
+
+    with np.load(arrays_path, allow_pickle=False) as stored:
+        arrays = {key: stored[key] for key in stored.files}
+    promised = manifest.get("arrays")
+    if not isinstance(promised, list) or sorted(arrays) != sorted(promised):
+        raise ConfigurationError(
+            f"artifact arrays in {arrays_path} do not match the manifest: "
+            f"stored {sorted(arrays)}, promised {promised}"
+        )
+    return manifest, arrays
+
+
+# --------------------------------------------------------------------------- #
+# Imputer-level layer
+# --------------------------------------------------------------------------- #
+def save_imputer(imputer, path: Union[str, Path]) -> Path:
+    """Serialize a fitted imputer (behind :meth:`BaseImputer.save`)."""
+    from ..baselines.base import BaseImputer
+
+    if not isinstance(imputer, BaseImputer):
+        raise ConfigurationError("save_imputer expects a BaseImputer instance")
+    if not imputer.is_fitted():
+        raise ConfigurationError(
+            f"{type(imputer).__name__} must be fitted before saving"
+        )
+
+    relation = imputer.fitted_relation
+    manifest: Dict[str, object] = {
+        "class": type(imputer).__name__,
+        "method": imputer.name,
+        "params": imputer.get_params(),
+        "schema": list(relation.schema.attributes),
+        "relation_name": relation.name,
+    }
+    arrays: Dict[str, np.ndarray] = {"relation_values": relation.raw.copy()}
+    labels = relation.labels
+    if labels is not None:
+        arrays["relation_labels"] = labels
+
+    payload_meta, payload_arrays = imputer._artifact_payload()
+    manifest["payload"] = payload_meta
+    for key, value in payload_arrays.items():
+        arrays[_PAYLOAD_PREFIX + key] = np.asarray(value)
+    return write_artifact(path, "imputer", manifest, arrays)
+
+
+def _resolve_imputer_class(class_name: str):
+    """Map a stored class name back to the imputer class."""
+    from .. import baselines
+    from ..baselines.base import BaseImputer
+    from ..core import IIMImputer
+
+    candidates = {IIMImputer.__name__: IIMImputer}
+    for attribute in dir(baselines):
+        obj = getattr(baselines, attribute)
+        if isinstance(obj, type) and issubclass(obj, BaseImputer):
+            candidates[obj.__name__] = obj
+    if class_name not in candidates:
+        raise ConfigurationError(
+            f"artifact stores unknown imputer class {class_name!r}; "
+            f"known classes: {sorted(candidates)}"
+        )
+    return candidates[class_name]
+
+
+def load_imputer(path: Union[str, Path], cls=None):
+    """Restore an imputer saved by :func:`save_imputer`.
+
+    Parameters
+    ----------
+    path:
+        The artifact directory.
+    cls:
+        Optional expected class; a stored artifact of a different class
+        raises :class:`ConfigurationError` instead of silently returning the
+        wrong method.
+    """
+    from ..data.relation import Relation, Schema
+
+    manifest, arrays = read_artifact(path, expected_kind="imputer")
+    class_name = manifest.get("class")
+    resolved = _resolve_imputer_class(str(class_name))
+    if cls is not None and resolved is not cls:
+        raise ConfigurationError(
+            f"artifact at {path} stores a {class_name}, expected {cls.__name__}"
+        )
+
+    params = manifest.get("params") or {}
+    if not isinstance(params, dict):
+        raise ConfigurationError(f"corrupted artifact params in {path}: {params!r}")
+    imputer = resolved(**params)
+
+    values = arrays.get("relation_values")
+    if values is None:
+        raise ConfigurationError(f"artifact at {path} is missing relation_values")
+    relation = Relation(
+        values,
+        Schema([str(a) for a in manifest.get("schema", [])]),
+        labels=arrays.get("relation_labels"),
+        name=str(manifest.get("relation_name", "")),
+    )
+    imputer._fitted_relation = relation
+    imputer._complete_values = relation.raw.copy()
+
+    payload_meta = manifest.get("payload") or {}
+    payload_arrays = {
+        key[len(_PAYLOAD_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(_PAYLOAD_PREFIX)
+    }
+    imputer._restore_payload(payload_meta, payload_arrays)
+    return imputer

@@ -1,0 +1,800 @@
+"""The online imputation engine: streaming appends served from warm models.
+
+The batch :class:`~repro.core.iim.IIMImputer` relearns everything from
+scratch on every ``fit``; this module keeps a *long-lived* engine instead:
+
+* :meth:`OnlineImputationEngine.append` adds complete tuples to the
+  engine's store.  Every cached per-attribute model state is maintained
+  **incrementally**: the neighbour index absorbs the new tuples by a sorted
+  merge (:meth:`~repro.neighbors.NeighborOrderCache.append`), only the
+  tuples whose neighbour prefix actually changed have their candidate
+  models relearned (through the batched Proposition 3 kernel
+  :func:`~repro.core.learning.learn_candidate_models_for_rows`), and only
+  the validation-cost rows touched by the append are rebuilt.
+* :meth:`OnlineImputationEngine.impute_batch` serves imputation requests in
+  batches from an LRU cache of per-attribute model states — after any
+  sequence of appends the answers match a cold ``IIMImputer`` refit over the
+  same tuples to ``rtol = 1e-9`` (asserted across fixed/adaptive learning
+  and all three combiners in the test suite).
+* :meth:`OnlineImputationEngine.snapshot` persists the full engine state
+  (store, neighbour orderings, candidate models, validation costs) as an
+  ``.npz`` + JSON-manifest artifact; :meth:`OnlineImputationEngine.load`
+  restores an engine whose subsequent imputations are bit-identical.
+
+Exactness of the incremental maintenance
+----------------------------------------
+Adaptive learning (Algorithm 3) gives every complete tuple ``i`` a cost row
+``cost[i][ℓ]`` summed over the validation tuples ``j`` that count ``i``
+among their ``k`` nearest neighbours.  An append can change that row in
+exactly three ways: (1) ``i``'s own candidate models changed because a new
+tuple entered its learning prefix, (2) some validator ``j`` gained or lost
+``i`` in its top-``k``, or (3) a brand-new tuple validates ``i``.  The
+engine tracks all three through the index's first-changed-position report
+and rebuilds exactly those rows — with the same scatter-add kernel the cold
+path uses, so untouched rows keep values a cold run would reproduce.  The
+``ℓ = n`` global candidate of Proposition 2 changes on *every* append; its
+model (one ridge fit) and cost column are recomputed each refresh.
+
+Structural changes — the candidate ``ℓ`` grid still growing towards
+``max_learning_neighbors``, or the validation ``k`` still clamped by a small
+``n`` — fall back to a full relearn of the affected attribute state.  A
+streaming deployment therefore sets ``max_learning_neighbors`` so the
+candidate grid stabilises once the store outgrows it (the warmup).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_float_matrix
+from ..config import (
+    resolve_online_model_cache_size,
+    resolve_online_refresh_policy,
+)
+from ..core.adaptive import adaptive_learning, scatter_validation_costs
+from ..core.iim import IIMImputer
+from ..core.imputation import impute_with_individual_models
+from ..core.learning import (
+    IndividualModels,
+    candidate_ell_values,
+    learn_candidate_models_for_rows,
+    learn_individual_models,
+)
+from ..data.relation import Relation, Schema
+from ..exceptions import ConfigurationError, DataError, NotFittedError
+from ..neighbors import BruteForceNeighbors, NeighborOrderCache
+from ..neighbors.brute import drop_self_rows
+from ..regression import RidgeRegression, batched_design
+from .artifacts import read_artifact, write_artifact
+
+__all__ = ["OnlineImputationEngine"]
+
+
+class _AttributeState:
+    """Models + incremental maintenance state for one incomplete attribute.
+
+    One state exists per target attribute the engine has served; it owns the
+    attribute's neighbour-order cache (over the complete attributes ``F``),
+    the per-tuple models, and — for adaptive learning — the full candidate
+    parameter stack and validation-cost matrix needed to refresh a subset of
+    tuples without relearning the rest.
+    """
+
+    def __init__(self, engine: "OnlineImputationEngine", target_index: int):
+        self.engine = engine
+        self.target_index = int(target_index)
+        width = engine.n_attributes
+        self.feature_indices = [i for i in range(width) if i != self.target_index]
+
+        self.cache: Optional[NeighborOrderCache] = None
+        self.n_synced = 0
+        self.signature: Optional[Tuple] = None
+        self.models: Optional[IndividualModels] = None
+
+        # Adaptive-learning state (None for fixed-ℓ learning).
+        self.candidates: Optional[np.ndarray] = None  # stepped ℓ grid
+        self.all_parameters: Optional[np.ndarray] = None  # (L, n, p)
+        self.costs: Optional[np.ndarray] = None  # (n, L)
+        self.global_costs: Optional[np.ndarray] = None  # (n,)
+        self.global_params: Optional[np.ndarray] = None  # (p,)
+        self.global_active = False
+        self.owners: Optional[np.ndarray] = None  # (n, k_val)
+        self.counts: Optional[np.ndarray] = None  # (n,)
+
+        # Fixed-learning state.
+        self.parameters: Optional[np.ndarray] = None  # (n, p)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _imputer(self) -> IIMImputer:
+        return self.engine.imputer
+
+    @property
+    def _adaptive(self) -> bool:
+        return self._imputer.learning == "adaptive"
+
+    def _validation_neighbors(self) -> int:
+        imputer = self._imputer
+        return imputer.validation_neighbors or imputer.k
+
+    def _requested_cache_length(self) -> Optional[int]:
+        """The ordering cap, chosen so every refresh prefix stays available."""
+        imputer = self._imputer
+        if not self._adaptive:
+            return imputer.learning_neighbors
+        if imputer.max_learning_neighbors is None:
+            return None
+        return max(imputer.max_learning_neighbors, self._validation_neighbors() + 1)
+
+    def _signature(self, n: int) -> Tuple:
+        """Structural fingerprint; a change forces a full relearn.
+
+        Captures everything that reshapes the state's arrays: the stepped
+        candidate grid (still growing while ``n < max_learning_neighbors``),
+        the effective validation ``k`` (clamped by ``n - 1`` during warmup)
+        and whether the global ``ℓ = n`` candidate participates.
+        """
+        imputer = self._imputer
+        if not self._adaptive:
+            return ("fixed", min(imputer.learning_neighbors, n))
+        candidates = candidate_ell_values(
+            n, stepping=imputer.stepping, max_ell=imputer.max_learning_neighbors
+        )
+        k_val = min(self._validation_neighbors(), n - 1) if n > 1 else 0
+        global_active = (
+            bool(imputer.include_global) and n > 1 and int(candidates.max()) < n
+        )
+        return ("adaptive", tuple(int(c) for c in candidates), k_val, global_active)
+
+    # ------------------------------------------------------------------ #
+    def sync(self) -> None:
+        """Bring the state up to date with the engine's store."""
+        store = self.engine._store_matrix()
+        n = store.shape[0]
+        if self.cache is not None and n == self.n_synced:
+            return
+        features = store[:, self.feature_indices]
+        target = store[:, self.target_index]
+        signature = self._signature(n)
+        if self.cache is None or signature != self.signature:
+            self._full_build(features, target, signature)
+            self.engine.stats["full_refreshes"] += 1
+            self.engine.stats["rows_refreshed"] += n
+        else:
+            refreshed = self._incremental_refresh(features, target)
+            self.engine.stats["incremental_refreshes"] += 1
+            self.engine.stats["rows_refreshed"] += refreshed
+        self.signature = signature
+        self.n_synced = n
+
+    # ------------------------------------------------------------------ #
+    def _full_build(self, features: np.ndarray, target: np.ndarray, signature) -> None:
+        imputer = self._imputer
+        n = features.shape[0]
+        self.cache = NeighborOrderCache(
+            features,
+            metric=imputer.metric,
+            include_self=True,
+            max_length=self._requested_cache_length(),
+            keep_distances=True,
+        )
+        if not self._adaptive:
+            ell = signature[1]
+            self.models = learn_individual_models(
+                features,
+                target,
+                ell,
+                alpha=imputer.alpha,
+                metric=imputer.metric,
+                order_cache=self.cache,
+                backend="vectorized",
+            )
+            self.parameters = self.models.parameters
+            return
+
+        _, stepped, k_val, global_active = signature
+        result = adaptive_learning(
+            features,
+            target,
+            validation_neighbors=self._validation_neighbors(),
+            stepping=imputer.stepping,
+            max_ell=imputer.max_learning_neighbors,
+            alpha=imputer.alpha,
+            metric=imputer.metric,
+            incremental=imputer.incremental,
+            include_global=imputer.include_global,
+            backend="vectorized",
+            order_cache=self.cache,
+            keep_candidate_models=True,
+        )
+        n_stepped = len(stepped)
+        self.candidates = np.asarray(stepped, dtype=int)
+        self.global_active = global_active
+        self.all_parameters = result.all_parameters[:n_stepped].copy()
+        if global_active:
+            self.global_params = result.all_parameters[n_stepped, 0].copy()
+            self.global_costs = result.costs[:, n_stepped].copy()
+        else:
+            self.global_params = None
+            self.global_costs = np.zeros(n)
+        self.costs = result.costs[:, :n_stepped].copy()
+        self.counts = result.validation_counts.astype(int)
+        if k_val > 0:
+            orders = self.cache.order_matrix()[:, : k_val + 1]
+            self.owners = drop_self_rows(orders, np.arange(n))[:, :k_val]
+        else:
+            self.owners = np.empty((n, 0), dtype=int)
+        self.models = result.models
+
+    # ------------------------------------------------------------------ #
+    def _incremental_refresh(self, features: np.ndarray, target: np.ndarray) -> int:
+        """Fold appended tuples into the state; returns #tuples relearned."""
+        imputer = self._imputer
+        n_old = self.n_synced
+        n = features.shape[0]
+        new_rows = np.arange(n_old, n)
+        append_result = self.cache.append(features[n_old:])
+
+        if not self._adaptive:
+            ell = self.signature[1]
+            refresh_rows = np.concatenate(
+                [append_result.changed_rows(ell), new_rows]
+            )
+            orders = self.cache.order_matrix()
+            refreshed = learn_candidate_models_for_rows(
+                features,
+                target,
+                [ell],
+                orders[refresh_rows],
+                alpha=imputer.alpha,
+                incremental=True,
+            )[0]
+            grown = np.empty((n, self.parameters.shape[1]))
+            grown[:n_old] = self.parameters
+            grown[refresh_rows] = refreshed
+            self.parameters = grown
+            self.models = IndividualModels(grown, np.full(n, ell, dtype=int))
+            return int(refresh_rows.shape[0])
+
+        _, stepped, k_val, global_active = self.signature
+        candidates = self.candidates
+        max_candidate = int(candidates.max())
+        n_stepped = candidates.shape[0]
+        p = self.all_parameters.shape[2]
+        orders = self.cache.order_matrix()
+
+        # (1) Relearn candidate models for tuples whose learning prefix
+        #     changed, plus the appended tuples.
+        model_rows = np.concatenate(
+            [append_result.changed_rows(max_candidate), new_rows]
+        )
+        refreshed = learn_candidate_models_for_rows(
+            features,
+            target,
+            candidates,
+            orders[model_rows],
+            alpha=imputer.alpha,
+            incremental=imputer.incremental,
+        )
+        grown = np.empty((n_stepped, n, p))
+        grown[:, :n_old] = self.all_parameters
+        grown[:, model_rows] = refreshed
+        self.all_parameters = grown
+
+        # (2) The global ℓ = n candidate changes on every append.
+        if global_active:
+            self.global_params = (
+                RidgeRegression(alpha=imputer.alpha).fit(features, target).coefficients
+            )
+
+        # (3) Validation bookkeeping: new owner matrix, dirty cost rows.
+        if k_val > 0:
+            owners_new = drop_self_rows(
+                orders[:, : k_val + 1], np.arange(n)
+            )[:, :k_val]
+        else:
+            owners_new = np.empty((n, 0), dtype=int)
+
+        dirty = np.zeros(n, dtype=bool)
+        dirty[model_rows] = True
+        if k_val > 0:
+            validators_changed = append_result.changed_rows(k_val + 1)
+            if validators_changed.size:
+                old_rows = self.owners[validators_changed]
+                new_rows_owners = owners_new[validators_changed]
+                moved = old_rows != new_rows_owners
+                dirty[old_rows[moved]] = True
+                dirty[new_rows_owners[moved]] = True
+            dirty[owners_new[n_old:].ravel()] = True
+        dirty_rows = np.flatnonzero(dirty)
+
+        grown_costs = np.zeros((n, n_stepped))
+        grown_costs[:n_old] = self.costs
+        self.costs = grown_costs
+        designs = batched_design(features)
+        if k_val > 0 and dirty_rows.size:
+            pair_j, pair_pos = np.nonzero(np.isin(owners_new, dirty_rows))
+            pair_i = owners_new[pair_j, pair_pos]
+            self.costs[dirty_rows] = 0.0
+            # The cold validation kernel, restricted to the dirty pairs —
+            # same einsum, same bincount, same accumulation order.
+            scatter_validation_costs(
+                self.costs, pair_j, pair_i, designs, target, self.all_parameters
+            )
+
+        # (4) The global cost column is rebuilt wholesale (its model moved).
+        if global_active and k_val > 0:
+            residuals = (target - designs @ self.global_params) ** 2
+            self.global_costs = np.bincount(
+                owners_new.ravel(),
+                weights=residuals[np.repeat(np.arange(n), k_val)],
+                minlength=n,
+            )
+        else:
+            self.global_costs = np.zeros(n)
+
+        self.counts = (
+            np.bincount(owners_new.ravel(), minlength=n).astype(int)
+            if k_val > 0
+            else np.zeros(n, dtype=int)
+        )
+        self.owners = owners_new
+        self._select(n)
+        return int(model_rows.shape[0])
+
+    def _select(self, n: int) -> None:
+        """Re-run the per-tuple argmin of Algorithm 3 over the cost matrix."""
+        n_stepped = self.candidates.shape[0]
+        if self.global_active:
+            full_costs = np.hstack([self.costs, self.global_costs[:, None]])
+            full_candidates = np.concatenate([self.candidates, [n]])
+        else:
+            full_costs = self.costs
+            full_candidates = self.candidates
+        chosen = np.argmin(full_costs, axis=1)
+        if (self.counts == 0).any():
+            global_best = int(np.argmin(full_costs.sum(axis=0)))
+            chosen = np.where(self.counts == 0, global_best, chosen)
+        chosen_ell = full_candidates[chosen]
+        selected = np.empty((n, self.all_parameters.shape[2]))
+        stepped_mask = chosen < n_stepped
+        rows = np.arange(n)
+        selected[stepped_mask] = self.all_parameters[
+            chosen[stepped_mask], rows[stepped_mask]
+        ]
+        if (~stepped_mask).any():
+            selected[~stepped_mask] = self.global_params
+        self.models = IndividualModels(selected, chosen_ell)
+
+    # ------------------------------------------------------------------ #
+    # Artifact serialization
+    # ------------------------------------------------------------------ #
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {
+            "orders": self.cache.order_matrix(),
+            "order_dists": self.cache.order_distances,
+            "models_parameters": self.models.parameters,
+            "models_ell": self.models.learning_neighbors,
+        }
+        if self._adaptive:
+            arrays.update(
+                candidates=self.candidates,
+                all_parameters=self.all_parameters,
+                costs=self.costs,
+                global_costs=self.global_costs,
+                owners=self.owners,
+                counts=self.counts,
+            )
+            if self.global_params is not None:
+                arrays["global_params"] = self.global_params
+        else:
+            arrays["parameters"] = self.parameters
+        return arrays
+
+    def state_metadata(self) -> Dict[str, object]:
+        return {
+            "target_index": self.target_index,
+            "n_synced": self.n_synced,
+            "signature": list(self.signature),
+            "global_active": self.global_active,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        engine: "OnlineImputationEngine",
+        metadata: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+    ) -> "_AttributeState":
+        state = cls(engine, int(metadata["target_index"]))
+        state.n_synced = int(metadata["n_synced"])
+        signature = metadata["signature"]
+        if signature[0] == "adaptive":
+            state.signature = (
+                "adaptive",
+                tuple(int(c) for c in signature[1]),
+                int(signature[2]),
+                bool(signature[3]),
+            )
+        else:
+            state.signature = ("fixed", int(signature[1]))
+        features = engine._store_matrix()[: state.n_synced, state.feature_indices]
+        state.cache = NeighborOrderCache(
+            features,
+            metric=engine.imputer.metric,
+            include_self=True,
+            max_length=state._requested_cache_length(),
+            keep_distances=True,
+        )
+        state.cache.restore_matrix(arrays["orders"], arrays["order_dists"])
+        state.models = IndividualModels(
+            arrays["models_parameters"], arrays["models_ell"]
+        )
+        if state._adaptive:
+            state.candidates = arrays["candidates"].astype(int)
+            state.all_parameters = arrays["all_parameters"]
+            state.costs = arrays["costs"]
+            state.global_costs = arrays["global_costs"]
+            state.owners = arrays["owners"].astype(int)
+            state.counts = arrays["counts"].astype(int)
+            state.global_active = bool(metadata["global_active"])
+            state.global_params = arrays.get("global_params")
+        else:
+            state.parameters = arrays["parameters"]
+        return state
+
+
+class OnlineImputationEngine:
+    """A long-lived IIM service over a growing store of complete tuples.
+
+    Parameters
+    ----------
+    imputer:
+        An (unfitted) :class:`~repro.core.iim.IIMImputer` carrying the
+        method configuration; alternatively pass its constructor arguments
+        as keyword arguments and the engine builds one.
+    model_cache_size:
+        Maximum number of per-attribute model states kept resident
+        (LRU-evicted beyond that; ``None`` = unbounded).  Defaults to the
+        process-wide knob of :mod:`repro.config`.
+    refresh_policy:
+        ``"lazy"`` (default knob) folds pending appends into a model state
+        on the next imputation touching its attribute, so bursts of appends
+        amortise into one refresh; ``"eager"`` refreshes every cached state
+        inside :meth:`append`.
+
+    Examples
+    --------
+    >>> engine = OnlineImputationEngine(k=5, learning="fixed", learning_neighbors=3)
+    >>> engine.append(complete_rows)                    # doctest: +SKIP
+    >>> filled = engine.impute_batch(rows_with_nans)    # doctest: +SKIP
+    >>> engine.snapshot("artifacts/engine")             # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        imputer: Optional[IIMImputer] = None,
+        *,
+        model_cache_size="default",
+        refresh_policy: Optional[str] = None,
+        **iim_params,
+    ):
+        if imputer is None:
+            imputer = IIMImputer(**iim_params)
+        elif iim_params:
+            raise ConfigurationError(
+                "pass either an imputer instance or IIM keyword arguments, not both"
+            )
+        if not isinstance(imputer, IIMImputer):
+            raise ConfigurationError(
+                f"OnlineImputationEngine wraps an IIMImputer, got {type(imputer).__name__}"
+            )
+        self.imputer = imputer
+        self.model_cache_size = resolve_online_model_cache_size(model_cache_size)
+        self.refresh_policy = resolve_online_refresh_policy(refresh_policy)
+
+        self._schema: Optional[Schema] = None
+        self._buffer: Optional[np.ndarray] = None
+        self._n = 0
+        self._states: "OrderedDict[int, _AttributeState]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "appends": 0,
+            "appended_rows": 0,
+            "impute_batches": 0,
+            "imputed_cells": 0,
+            "full_refreshes": 0,
+            "incremental_refreshes": 0,
+            "rows_refreshed": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Store
+    # ------------------------------------------------------------------ #
+    @property
+    def n_tuples(self) -> int:
+        """Number of complete tuples currently stored."""
+        return self._n
+
+    @property
+    def n_attributes(self) -> int:
+        """Schema width ``m`` (raises before the first append)."""
+        if self._schema is None:
+            raise NotFittedError("the engine has no schema yet; append tuples first")
+        return self._schema.width
+
+    @property
+    def schema(self) -> Schema:
+        """The engine's schema (raises before the first append)."""
+        if self._schema is None:
+            raise NotFittedError("the engine has no schema yet; append tuples first")
+        return self._schema
+
+    def _store_matrix(self) -> np.ndarray:
+        if self._n == 0:
+            raise NotFittedError(
+                "the engine store is empty; append complete tuples first"
+            )
+        return self._buffer[: self._n]
+
+    def store_relation(self, name: str = "") -> Relation:
+        """The current store as a :class:`Relation` (for cold comparisons)."""
+        return Relation(self._store_matrix().copy(), self._schema, name=name)
+
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, *, model_cache_size="default",
+        refresh_policy: Optional[str] = None, **iim_params,
+    ) -> "OnlineImputationEngine":
+        """Build an engine seeded with the complete part of ``relation``."""
+        engine = cls(
+            model_cache_size=model_cache_size,
+            refresh_policy=refresh_policy,
+            **iim_params,
+        )
+        engine.append(relation.complete_part())
+        return engine
+
+    def append(self, rows: Union[np.ndarray, Relation]) -> "OnlineImputationEngine":
+        """Add complete tuples to the store.
+
+        ``rows`` may be an array of shape ``(b, m)`` (or a single tuple of
+        length ``m``) or a :class:`Relation`; tuples containing missing
+        cells are rejected — impute them first, then append the result.
+
+        Under the ``"eager"`` refresh policy every cached model state is
+        updated before the call returns; under ``"lazy"`` the work is
+        deferred (and batched) until the next imputation.
+        """
+        if isinstance(rows, Relation):
+            if self._schema is not None and rows.schema.attributes != self._schema.attributes:
+                raise DataError(
+                    "appended relation schema does not match the engine schema"
+                )
+            schema = rows.schema
+            values = rows.raw.copy()
+        else:
+            values = as_float_matrix(
+                np.atleast_2d(np.asarray(rows, dtype=float)), name="rows",
+                allow_nan=True,
+            )
+            schema = None
+        if np.isnan(values).any():
+            raise DataError(
+                "append accepts complete tuples only; impute missing cells first"
+            )
+        if self._schema is None:
+            self._schema = schema or Schema.default(values.shape[1])
+        elif values.shape[1] != self._schema.width:
+            raise DataError(
+                f"appended rows have {values.shape[1]} attributes, the engine "
+                f"store has {self._schema.width}"
+            )
+
+        b = values.shape[0]
+        if b:
+            self._grow(b)
+            self._buffer[self._n : self._n + b] = values
+            self._n += b
+        self.stats["appends"] += 1
+        self.stats["appended_rows"] += b
+        if self.refresh_policy == "eager" and b:
+            for state in self._states.values():
+                state.sync()
+        return self
+
+    def _grow(self, extra: int) -> None:
+        width = self._schema.width
+        if self._buffer is None:
+            capacity = max(2 * extra, 64)
+            self._buffer = np.empty((capacity, width))
+            return
+        needed = self._n + extra
+        if needed <= self._buffer.shape[0]:
+            return
+        capacity = max(needed, 2 * self._buffer.shape[0])
+        grown = np.empty((capacity, width))
+        grown[: self._n] = self._buffer[: self._n]
+        self._buffer = grown
+
+    # ------------------------------------------------------------------ #
+    # Model cache
+    # ------------------------------------------------------------------ #
+    def _get_state(self, target_index: int) -> _AttributeState:
+        state = self._states.get(target_index)
+        if state is None:
+            self.stats["cache_misses"] += 1
+            if (
+                self.model_cache_size is not None
+                and len(self._states) >= self.model_cache_size
+            ):
+                self._states.popitem(last=False)
+                self.stats["cache_evictions"] += 1
+            state = _AttributeState(self, target_index)
+            self._states[target_index] = state
+        else:
+            self.stats["cache_hits"] += 1
+            self._states.move_to_end(target_index)
+        state.sync()
+        return state
+
+    def cached_attributes(self) -> List[int]:
+        """Target attributes with a resident model state (LRU order, oldest first)."""
+        return list(self._states)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def impute_batch(self, queries: Union[np.ndarray, Relation]) -> np.ndarray:
+        """Impute every missing cell of a batch of query tuples.
+
+        ``queries`` is an array of shape ``(q, m)`` (or one tuple of length
+        ``m``) with NaN marking the missing cells; a :class:`Relation` is
+        accepted too.  Returns a float array of shape ``(q, m)`` with every
+        missing cell filled — equal (to ``rtol = 1e-9``) to what a cold
+        ``IIMImputer`` refit over the engine's store would produce.
+        """
+        if isinstance(queries, Relation):
+            values = queries.raw.copy()
+        else:
+            values = np.atleast_2d(np.asarray(queries, dtype=float)).copy()
+        store = self._store_matrix()
+        if values.ndim != 2 or values.shape[1] != self._schema.width:
+            raise DataError(
+                f"queries must have {self._schema.width} attributes, got shape "
+                f"{values.shape}"
+            )
+        mask = np.isnan(values)
+        self.stats["impute_batches"] += 1
+        if not mask.any():
+            return values
+        if self._schema.width == 1:
+            raise DataError("cannot impute a relation with a single attribute")
+
+        # Query features are pre-filled with store column means, exactly as
+        # the batch orchestration of BaseImputer does.
+        column_means = store.mean(axis=0)
+        filled = np.where(mask, column_means[None, :], values)
+
+        imputer = self.imputer
+        k = min(imputer.k, store.shape[0])
+        for target_index in np.flatnonzero(mask.any(axis=0)):
+            state = self._get_state(int(target_index))
+            rows = np.flatnonzero(mask[:, target_index])
+            query_block = filled[np.ix_(rows, state.feature_indices)]
+            features = store[:, state.feature_indices]
+            searcher = BruteForceNeighbors(
+                metric=imputer.metric, backend=imputer.backend
+            ).fit(features)
+            values[rows, target_index] = impute_with_individual_models(
+                query_block,
+                state.models,
+                features,
+                store[:, target_index],
+                k,
+                combination=imputer.combination,
+                searcher=searcher,
+                backend=imputer.backend,
+            )
+            self.stats["imputed_cells"] += int(rows.shape[0])
+        return values
+
+    def impute_relation(self, relation: Relation) -> Relation:
+        """Convenience wrapper returning a :class:`Relation`."""
+        return relation.with_values(self.impute_batch(relation))
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def snapshot(self, path: Union[str, Path]) -> Path:
+        """Persist the engine (store, index, models, costs) as an artifact.
+
+        The artifact directory holds ``arrays.npz`` + ``manifest.json``;
+        :meth:`load` restores an engine whose subsequent imputations are
+        bit-identical to this one's.
+        """
+        if self._schema is None:
+            raise NotFittedError("cannot snapshot an engine with no schema")
+        manifest: Dict[str, object] = {
+            "engine": {
+                "model_cache_size": self.model_cache_size,
+                "refresh_policy": self.refresh_policy,
+            },
+            "imputer": {
+                "class": type(self.imputer).__name__,
+                "params": self.imputer.get_params(),
+            },
+            "schema": list(self._schema.attributes),
+            "n_rows": self._n,
+            "stats": dict(self.stats),
+            "states": [],
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "store": self._store_matrix().copy() if self._n else np.empty((0, 0))
+        }
+        for target_index, state in self._states.items():
+            if state.cache is None:
+                continue
+            manifest["states"].append(state.state_metadata())
+            for key, value in state.state_arrays().items():
+                arrays[f"state{target_index}_{key}"] = value
+        return write_artifact(path, "engine", manifest, arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "OnlineImputationEngine":
+        """Restore an engine saved with :meth:`snapshot`."""
+        manifest, arrays = read_artifact(path, expected_kind="engine")
+        imputer_info = manifest.get("imputer") or {}
+        if imputer_info.get("class") != IIMImputer.__name__:
+            raise ConfigurationError(
+                f"engine artifact stores imputer class {imputer_info.get('class')!r}, "
+                f"expected {IIMImputer.__name__!r}"
+            )
+        engine_info = manifest.get("engine") or {}
+        engine = cls(
+            IIMImputer(**(imputer_info.get("params") or {})),
+            model_cache_size=engine_info.get("model_cache_size"),
+            refresh_policy=engine_info.get("refresh_policy"),
+        )
+        schema = manifest.get("schema") or []
+        store = arrays["store"]
+        n_rows = int(manifest.get("n_rows", 0))
+        if store.shape[0] != n_rows:
+            raise ConfigurationError(
+                f"engine artifact store has {store.shape[0]} rows, manifest "
+                f"promises {n_rows}"
+            )
+        if n_rows:
+            engine._schema = Schema([str(a) for a in schema])
+            engine._buffer = np.array(store, dtype=float)
+            engine._n = n_rows
+        stats = manifest.get("stats") or {}
+        for key in engine.stats:
+            if key in stats:
+                engine.stats[key] = int(stats[key])
+        for metadata in manifest.get("states") or []:
+            target_index = int(metadata["target_index"])
+            prefix = f"state{target_index}_"
+            state_arrays = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            engine._states[target_index] = _AttributeState.restore(
+                engine, metadata, state_arrays
+            )
+        return engine
+
+    def __repr__(self) -> str:
+        width = "?" if self._schema is None else self._schema.width
+        return (
+            f"OnlineImputationEngine(n={self._n}, m={width}, "
+            f"cached_attributes={list(self._states)}, "
+            f"refresh={self.refresh_policy!r})"
+        )

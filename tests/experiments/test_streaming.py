@@ -1,0 +1,77 @@
+"""Streaming scenario smoke tests (full-scale timing lives in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import get_profile, run_streaming
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_streaming(
+        dataset="sn",
+        profile=get_profile("smoke"),
+        size=240,
+        n_rounds=4,
+        queries_per_round=10,
+        max_learning_neighbors=15,
+        random_state=0,
+    )
+
+
+def test_streaming_replays_every_round(smoke_result):
+    assert len(smoke_result.rounds) == 4
+    assert smoke_result.rounds[-1].n_store == 240
+    appended = sum(r.n_appended for r in smoke_result.rounds)
+    assert appended == 240 - smoke_result.initial_store
+    assert all(r.n_queries == 10 for r in smoke_result.rounds)
+    assert smoke_result.engine_stats["appended_rows"] == 240
+
+
+def test_streaming_online_matches_cold(smoke_result):
+    """The engine is an optimisation, not an approximation."""
+    for round_result in smoke_result.rounds:
+        np.testing.assert_allclose(
+            round_result.rms_online, round_result.rms_cold, rtol=1e-9
+        )
+    assert smoke_result.max_rms_gap <= 1e-9 * max(
+        r.rms_cold for r in smoke_result.rounds
+    )
+
+
+def test_streaming_as_dict_is_json_shaped(smoke_result):
+    report = smoke_result.as_dict()
+    assert report["dataset"] == "sn"
+    assert len(report["rounds"]) == 4
+    for entry in report["rounds"]:
+        assert set(entry) >= {
+            "round", "n_store", "n_appended", "n_queries",
+            "online_seconds", "cold_seconds", "speedup",
+            "rms_online", "rms_cold",
+        }
+    assert report["speedup"] == smoke_result.speedup
+
+
+def test_streaming_fixed_learning_runs():
+    result = run_streaming(
+        dataset="sn",
+        profile=get_profile("smoke"),
+        size=200,
+        n_rounds=3,
+        learning="fixed",
+        queries_per_round=8,
+        random_state=1,
+        run_cold=False,
+    )
+    assert len(result.rounds) == 3
+    assert all(np.isnan(r.rms_cold) for r in result.rounds)
+    assert all(np.isfinite(r.rms_online) for r in result.rounds)
+
+
+def test_streaming_rejects_degenerate_configs():
+    profile = get_profile("smoke")
+    with pytest.raises(ExperimentError):
+        run_streaming(dataset="sn", profile=profile, size=100, initial_fraction=0.999)
+    with pytest.raises(ExperimentError):
+        run_streaming(dataset="sn", profile=profile, size=100, n_rounds=1000)

@@ -1,0 +1,114 @@
+"""NeighborOrderCache.append: exact merge, change reporting, restore."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.neighbors import NeighborOrderCache
+
+RNG = np.random.default_rng(7)
+
+
+@pytest.mark.parametrize("include_self", [True, False])
+@pytest.mark.parametrize("cap", [None, 5, 23, 100])
+def test_append_equals_cold_rebuild(include_self, cap):
+    data = RNG.normal(size=(30, 4))
+    batches = [RNG.normal(size=(b, 4)) for b in (9, 1, 17)]
+    incremental = NeighborOrderCache(data, include_self=include_self, max_length=cap)
+    for batch in batches:
+        incremental.append(batch)
+    cold = NeighborOrderCache(
+        np.vstack([data] + batches), include_self=include_self, max_length=cap,
+        keep_distances=True,
+    )
+    np.testing.assert_array_equal(incremental.order_matrix(), cold.order_matrix())
+    np.testing.assert_array_equal(incremental.order_distances, cold.order_distances)
+    # Per-row accessors read the merged matrix.
+    for index in (0, 17, incremental.n_points - 1):
+        np.testing.assert_array_equal(
+            incremental.order_of(index), cold.order_of(index)
+        )
+
+
+def test_append_with_duplicate_rows_breaks_ties_by_index():
+    data = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 0.0]])
+    duplicates = np.array([[0.0, 0.0], [1.0, 1.0]])
+    incremental = NeighborOrderCache(data, include_self=True)
+    incremental.append(duplicates)
+    cold = NeighborOrderCache(np.vstack([data, duplicates]), include_self=True)
+    np.testing.assert_array_equal(incremental.order_matrix(), cold.order_matrix())
+
+
+def test_first_changed_reports_prefix_changes():
+    data = RNG.normal(size=(40, 3))
+    extra = RNG.normal(size=(12, 3))
+    cache = NeighborOrderCache(data, include_self=True, max_length=15)
+    before = cache.order_matrix().copy()
+    result = cache.append(extra)
+    after = cache.order_matrix()
+    assert result.n_before == 40 and result.n_appended == 12
+    for i in range(40):
+        first = result.first_changed[i]
+        # Everything before the reported position is unchanged...
+        np.testing.assert_array_equal(after[i, :first], before[i, :first])
+        # ...and the reported position itself (when within the old length)
+        # really did change.
+        if first < before.shape[1]:
+            assert after[i, first] != before[i, first]
+    # changed_rows is the < prefix filter.
+    np.testing.assert_array_equal(
+        result.changed_rows(5), np.flatnonzero(result.first_changed < 5)
+    )
+
+
+def test_effective_length_grows_back_to_requested_cap():
+    data = RNG.normal(size=(6, 3))
+    cache = NeighborOrderCache(data, include_self=True, max_length=10)
+    assert cache.effective_length() == 6
+    cache.append(RNG.normal(size=(8, 3)))
+    assert cache.effective_length() == 10
+    cold = NeighborOrderCache(cache.data, include_self=True, max_length=10)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+
+
+def test_append_backfills_distances_lazily():
+    """A cache built without keep_distances can still be appended to."""
+    data = RNG.normal(size=(25, 3))
+    cache = NeighborOrderCache(data, include_self=True, max_length=10)
+    cache.order_matrix()
+    assert cache.order_distances is None  # batch callers pay for orders only
+    cache.append(RNG.normal(size=(5, 3)))
+    cold = NeighborOrderCache(cache.data, include_self=True, max_length=10,
+                              keep_distances=True)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+    np.testing.assert_array_equal(cache.order_distances, cold.order_distances)
+
+
+def test_empty_append_is_a_noop():
+    data = RNG.normal(size=(10, 3))
+    cache = NeighborOrderCache(data, include_self=True)
+    before = cache.order_matrix().copy()
+    result = cache.append(np.empty((0, 3)))
+    assert result.n_appended == 0
+    assert not result.changed_rows(5).size
+    np.testing.assert_array_equal(cache.order_matrix(), before)
+
+
+def test_append_validates_width():
+    cache = NeighborOrderCache(RNG.normal(size=(10, 3)))
+    with pytest.raises(ConfigurationError):
+        cache.append(RNG.normal(size=(2, 4)))
+
+
+def test_restore_matrix_roundtrip_and_validation():
+    data = RNG.normal(size=(20, 3))
+    cache = NeighborOrderCache(data, include_self=True, max_length=8,
+                               keep_distances=True)
+    orders = cache.order_matrix()
+    dists = cache.order_distances
+    fresh = NeighborOrderCache(data, include_self=True, max_length=8)
+    fresh.restore_matrix(orders, dists)
+    np.testing.assert_array_equal(fresh.order_matrix(), orders)
+    bad = NeighborOrderCache(data, include_self=True, max_length=7)
+    with pytest.raises(ConfigurationError):
+        bad.restore_matrix(orders, dists)

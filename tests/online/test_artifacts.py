@@ -1,0 +1,149 @@
+"""Artifact persistence: save→load round-trips and manifest validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import IIMImputer, KNNImputer, MeanImputer, load_dataset
+from repro.baselines.base import BaseImputer
+from repro.data.missing import inject_missing
+from repro.exceptions import ConfigurationError
+from repro.online import OnlineImputationEngine, read_artifact, write_artifact
+from repro.online.artifacts import ARTIFACT_VERSION, MANIFEST_FILENAME
+
+
+@pytest.fixture(scope="module")
+def injection():
+    relation = load_dataset("asf", size=180)
+    return inject_missing(relation, fraction=0.1, random_state=1)
+
+
+@pytest.mark.parametrize(
+    "make_imputer",
+    [
+        lambda: IIMImputer(k=5, learning="fixed", learning_neighbors=8),
+        lambda: IIMImputer(k=5, learning="adaptive", stepping=5,
+                           max_learning_neighbors=20),
+        lambda: MeanImputer(),
+        lambda: KNNImputer(k=4, weighting="distance"),
+    ],
+    ids=["iim-fixed", "iim-adaptive", "mean", "knn"],
+)
+def test_imputer_roundtrip_is_bit_identical(injection, make_imputer, tmp_path):
+    imputer = make_imputer()
+    imputer.fit(injection.dirty)
+    before = imputer.impute(injection.dirty).raw
+    imputer.save(tmp_path / "artifact")
+    restored = BaseImputer.load(tmp_path / "artifact")
+    assert type(restored) is type(imputer)
+    after = restored.impute(injection.dirty).raw
+    np.testing.assert_array_equal(before, after)
+
+
+def test_iim_roundtrip_keeps_learned_models(injection, tmp_path):
+    imputer = IIMImputer(k=5, learning="adaptive", stepping=5,
+                         max_learning_neighbors=20)
+    imputer.fit_impute(injection.dirty)
+    imputer.save(tmp_path / "artifact")
+    restored = IIMImputer.load(tmp_path / "artifact")
+    # The lazily-learned models travelled with the artifact.
+    for target_index in imputer._models:
+        np.testing.assert_array_equal(
+            restored.learned_models(target_index).parameters,
+            imputer.learned_models(target_index).parameters,
+        )
+
+
+def test_load_with_class_check(injection, tmp_path):
+    imputer = MeanImputer().fit(injection.dirty)
+    imputer.save(tmp_path / "artifact")
+    assert isinstance(MeanImputer.load(tmp_path / "artifact"), MeanImputer)
+    with pytest.raises(ConfigurationError):
+        KNNImputer.load(tmp_path / "artifact")
+
+
+def test_save_requires_fit(tmp_path):
+    with pytest.raises(ConfigurationError):
+        MeanImputer().save(tmp_path / "artifact")
+
+
+def test_get_params_reflects_constructor():
+    imputer = KNNImputer(k=7, weighting="distance")
+    assert imputer.get_params() == {
+        "k": 7, "weighting": "distance", "metric": "paper_euclidean",
+    }
+    params = IIMImputer(k=3, learning="fixed", learning_neighbors=2).get_params()
+    assert params["learning"] == "fixed" and params["learning_neighbors"] == 2
+    rebuilt = IIMImputer(**params)
+    assert rebuilt.get_params() == params
+
+
+def test_engine_snapshot_roundtrip(tmp_path):
+    values = load_dataset("ccpp", size=220).raw
+    engine = OnlineImputationEngine(
+        k=4, learning="adaptive", stepping=3, max_learning_neighbors=20
+    )
+    engine.append(values[:150])
+    rng = np.random.default_rng(0)
+    queries = values[150:170].copy()
+    for r in range(queries.shape[0]):
+        queries[r, rng.integers(queries.shape[1])] = np.nan
+    warm = engine.impute_batch(queries)
+    engine.snapshot(tmp_path / "engine")
+
+    restored = OnlineImputationEngine.load(tmp_path / "engine")
+    np.testing.assert_array_equal(warm, restored.impute_batch(queries))
+    # The restored engine keeps streaming identically to the original.
+    engine.append(values[170:200])
+    restored.append(values[170:200])
+    np.testing.assert_array_equal(
+        engine.impute_batch(queries), restored.impute_batch(queries)
+    )
+
+
+def test_corrupted_manifest_raises(tmp_path):
+    path = write_artifact(tmp_path / "a", "imputer", {"class": "MeanImputer"}, {
+        "relation_values": np.zeros((2, 2))
+    })
+    (path / MANIFEST_FILENAME).write_text("{not valid json")
+    with pytest.raises(ConfigurationError, match="corrupted"):
+        read_artifact(path)
+
+
+def test_version_mismatch_raises(tmp_path):
+    path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.zeros(3)})
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    manifest["version"] = ARTIFACT_VERSION + 1
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+    with pytest.raises(ConfigurationError, match="version mismatch"):
+        read_artifact(path)
+
+
+def test_wrong_format_and_kind_raise(tmp_path):
+    path = write_artifact(tmp_path / "a", "engine", {}, {"x": np.zeros(3)})
+    with pytest.raises(ConfigurationError, match="holds a 'engine'"):
+        read_artifact(path, expected_kind="imputer")
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    manifest["format"] = "something-else"
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+    with pytest.raises(ConfigurationError, match="not a repro-artifact"):
+        read_artifact(path)
+
+
+def test_missing_files_raise(tmp_path):
+    with pytest.raises(ConfigurationError, match="manifest not found"):
+        read_artifact(tmp_path / "nowhere")
+    path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.zeros(3)})
+    (path / "arrays.npz").unlink()
+    with pytest.raises(ConfigurationError, match="array file not found"):
+        read_artifact(path)
+
+
+def test_array_mismatch_raises(tmp_path):
+    path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.zeros(3)})
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    manifest["arrays"] = ["x", "y"]
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+    with pytest.raises(ConfigurationError, match="do not match the manifest"):
+        read_artifact(path)
