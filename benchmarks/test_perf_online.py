@@ -1,15 +1,22 @@
-"""Online engine benchmark: incremental append+serve vs. cold refit.
+"""Online engine benchmarks: lifecycle traces vs. cold refits.
 
-Replays the SN and CA datasets as streaming append/query traces (see
-:mod:`repro.experiments.streaming`) under adaptive and fixed learning, and
-writes the per-round latencies and aggregate speedups to
-``BENCH_online.json`` at the repository root so the online performance
-trajectory is tracked across PRs.
+Replays the SN and CA datasets as streaming traces (see
+:mod:`repro.experiments.streaming`) and writes the per-round latencies and
+aggregate speedups to ``BENCH_online.json`` at the repository root so the
+online performance trajectory is tracked across PRs:
 
-The acceptance bar: across the whole trace, incremental append+refresh must
-be faster than refitting from scratch every round, and both sides must
-report (numerically) identical RMS errors — the engine is an optimisation,
-not an approximation.
+* **append-only** scenarios (adaptive and fixed learning): incremental
+  append+serve must beat a cold refit every round;
+* **churn** scenarios (interleaved append/update/delete/impute, in- and
+  out-of-distribution query traces): the hybrid relearn policy must never
+  be materially slower than the always-incremental engine, while capping
+  its worst case (the per-sync work of a mutation batch that dirties
+  nearly the whole store).
+
+Every scenario also asserts the online and cold sides report (numerically)
+identical RMS errors — the engine is an optimisation, not an
+approximation.  Tests merge their sections into the report file, so each
+can run (and be re-run) independently.
 """
 
 import json
@@ -18,17 +25,29 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.experiments.streaming import run_streaming
+from repro.experiments.streaming import run_churn, run_streaming
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_online.json"
 
+#: Hybrid-vs-always-incremental tolerance: the hybrid engine may not be
+#: more than this factor slower on any churn scenario.
+HYBRID_TOLERANCE = 1.25
+
+
+def _merge_report(**sections) -> None:
+    """Read-modify-write the report so independent tests compose."""
+    report = {}
+    if RESULT_PATH.exists():
+        try:
+            report = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.update(sections)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
 
 def test_online_engine_speedup(profile, record_result):
-    report = {
-        "profile": profile.name,
-        "unit": "seconds per trace (appends + queries)",
-        "scenarios": {},
-    }
+    scenarios_report = {}
 
     # Streaming traces replay more tuples than the static experiments: the
     # incremental win scales with the store-to-neighbourhood ratio, so the
@@ -63,14 +82,18 @@ def test_online_engine_speedup(profile, record_result):
         elapsed = time.perf_counter() - start
         entry = result.as_dict()
         entry["trace_wall_seconds"] = elapsed
-        report["scenarios"][name] = entry
+        scenarios_report[name] = entry
 
         # Equivalence: the engine must score exactly like the cold refits.
         assert result.max_rms_gap <= 1e-9 * max(
             r.rms_cold for r in result.rounds
         ), f"{name}: online RMS diverged from cold refit"
 
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    _merge_report(
+        profile=profile.name,
+        unit="seconds per trace (appends + queries)",
+        scenarios=scenarios_report,
+    )
     record_result(
         "online",
         "\n".join(
@@ -79,18 +102,105 @@ def test_online_engine_speedup(profile, record_result):
             f"speedup {entry['speedup']:.1f}x "
             f"({entry['engine_stats']['incremental_refreshes']} incremental / "
             f"{entry['engine_stats']['full_refreshes']} full refreshes)"
-            for name, entry in report["scenarios"].items()
+            for name, entry in scenarios_report.items()
         ),
     )
 
     # The acceptance bar: incremental maintenance beats cold refits on every
     # scenario of the trace (per-round jitter is tolerated; the aggregate
     # must win).
-    for name, entry in report["scenarios"].items():
+    for name, entry in scenarios_report.items():
         assert entry["speedup"] > 1.0, (
             f"{name}: online trace ({entry['online_seconds']:.4f}s) not faster "
             f"than cold refits ({entry['cold_seconds']:.4f}s)"
         )
+
+
+def test_online_churn_hybrid(profile, record_result):
+    """Full-lifecycle churn: hybrid vs. always-incremental vs. cold."""
+    churn_report = {}
+
+    cap = min(25, profile.iim_max_learning_neighbors)
+    scenarios = (
+        # Moderate churn over a large warm store — the production shape:
+        # corrections and retractions are rarer than inserts.
+        (
+            "sn_churn",
+            dict(dataset="sn", learning="adaptive",
+                 size=int(2.5 * profile.dataset_sizes["sn"]),
+                 n_rounds=10, initial_fraction=0.7,
+                 updates_per_round=3, deletes_per_round=4,
+                 max_learning_neighbors=cap),
+        ),
+        # Out-of-distribution query trace over the same churn shape.
+        (
+            "sn_churn_ood",
+            dict(dataset="sn", learning="adaptive", query_mode="ood",
+                 size=int(2.5 * profile.dataset_sizes["sn"]),
+                 n_rounds=10, initial_fraction=0.7,
+                 updates_per_round=3, deletes_per_round=4,
+                 max_learning_neighbors=cap),
+        ),
+        # Heavy churn: a tiny initial store swamped by append/delete sweeps
+        # — every mutation batch dirties most prefixes, the regime the
+        # hybrid fallback exists for.
+        (
+            "sn_churn_heavy",
+            dict(dataset="sn", learning="adaptive",
+                 size=int(1.2 * profile.dataset_sizes["sn"]),
+                 n_rounds=4, initial_fraction=0.1,
+                 updates_per_round=10, deletes_per_round=15,
+                 max_learning_neighbors=cap),
+        ),
+    )
+    for name, kwargs in scenarios:
+        hybrid = run_churn(
+            profile=profile, random_state=0, fallback_fraction="default", **kwargs
+        )
+        always = run_churn(
+            profile=profile, random_state=0, fallback_fraction=None,
+            run_cold=False, **kwargs
+        )
+
+        # Equivalence on the hybrid side (the always-incremental engine is
+        # asserted equal in the tier-1 suite; identical seeds ⇒ identical
+        # traces here).
+        assert hybrid.max_rms_gap <= 1e-9 * max(
+            1e-30, max(r.rms_cold for r in hybrid.rounds)
+        ), f"{name}: online RMS diverged from cold refit"
+
+        entry = hybrid.as_dict()
+        entry["always_incremental_seconds"] = always.online_seconds
+        entry["always_incremental_stats"] = dict(always.engine_stats)
+        entry["hybrid_vs_always"] = hybrid.online_seconds / always.online_seconds
+        churn_report[name] = entry
+
+        # The acceptance bar: the hybrid policy is never materially slower
+        # than always-incremental…
+        assert hybrid.online_seconds <= HYBRID_TOLERANCE * always.online_seconds, (
+            f"{name}: hybrid policy ({hybrid.online_seconds:.4f}s) materially "
+            f"slower than always-incremental ({always.online_seconds:.4f}s)"
+        )
+
+    # …and it actually engages where the incremental path degenerates.
+    heavy_stats = churn_report["sn_churn_heavy"]["engine_stats"]
+    assert heavy_stats["hybrid_full_rebuilds"] > 0, (
+        "heavy churn never triggered the hybrid fallback"
+    )
+
+    _merge_report(churn_scenarios=churn_report)
+    record_result(
+        "online_churn",
+        "\n".join(
+            f"{name}: hybrid {entry['online_seconds']:.4f}s "
+            f"(vs always-incremental {entry['always_incremental_seconds']:.4f}s, "
+            f"x{entry['hybrid_vs_always']:.2f}; "
+            f"{entry['engine_stats']['hybrid_full_rebuilds']} fallbacks), "
+            f"cold {entry['cold_seconds']:.4f}s, speedup {entry['speedup']:.2f}x, "
+            f"query_mode={entry['query_mode']}"
+            for name, entry in churn_report.items()
+        ),
+    )
 
 
 def test_online_snapshot_roundtrip_cost(profile, record_result, tmp_path):

@@ -31,7 +31,15 @@ engine (:mod:`repro.online`):
   model states on the next imputation touching them, so consecutive appends
   batch into one refresh) or ``"eager"`` (every append refreshes all cached
   states immediately) — settable through :func:`set_online_refresh_policy`
-  or the ``REPRO_ONLINE_REFRESH`` environment variable.
+  or the ``REPRO_ONLINE_REFRESH`` environment variable;
+* the **incremental fallback fraction** — the hybrid relearn threshold: when
+  one mutation batch (append/delete/update) dirties more than this fraction
+  of an attribute state's tuples, the engine relearns that state with one
+  vectorized full rebuild over the already-maintained neighbour orderings
+  instead of paying per-row merge bookkeeping for no savings — settable
+  through :func:`set_online_fallback_fraction` or the
+  ``REPRO_ONLINE_FALLBACK_FRACTION`` environment variable (``none``
+  disables the fallback, keeping the engine always-incremental).
 """
 
 from __future__ import annotations
@@ -58,6 +66,10 @@ __all__ = [
     "get_online_refresh_policy",
     "set_online_refresh_policy",
     "resolve_online_refresh_policy",
+    "DEFAULT_ONLINE_FALLBACK_FRACTION",
+    "get_online_fallback_fraction",
+    "set_online_fallback_fraction",
+    "resolve_online_fallback_fraction",
 ]
 
 #: Recognised kernel backends.
@@ -129,6 +141,13 @@ DEFAULT_ONLINE_MODEL_CACHE_SIZE: Optional[int] = 8
 #: Refresh policy used when neither an argument nor the knob selects one.
 DEFAULT_ONLINE_REFRESH_POLICY = "lazy"
 
+#: Hybrid relearn threshold: a mutation batch dirtying more than this
+#: fraction of an attribute state's tuples triggers one vectorized full
+#: rebuild instead of the per-row incremental path.  Below the threshold
+#: the batched subset relearn still skips enough rows to win; above it the
+#: wholesale rebuild caps the per-sync bookkeeping at the cold-relearn cost.
+DEFAULT_ONLINE_FALLBACK_FRACTION: Optional[float] = 0.9
+
 
 def _validate_cache_size(size) -> Optional[int]:
     if size is None:
@@ -164,12 +183,41 @@ def _validate_refresh_policy(policy) -> str:
     return key
 
 
+def _validate_fallback_fraction(fraction) -> Optional[float]:
+    if fraction is None:
+        return None
+    if isinstance(fraction, str):
+        key = fraction.strip().lower()
+        if key in ("none", "off", "disabled", ""):
+            return None
+        try:
+            fraction = float(key)
+        except ValueError:
+            raise ConfigurationError(
+                f"fallback fraction must be a float in [0, 1] or 'none', "
+                f"got {fraction!r}"
+            ) from None
+    if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
+        raise ConfigurationError(
+            f"fallback fraction must be a float in [0, 1] or None, got {fraction!r}"
+        )
+    fraction = float(fraction)
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(
+            f"fallback fraction must lie in [0, 1], got {fraction}"
+        )
+    return fraction
+
+
 # Like REPRO_BACKEND, the environment values are validated at first use.
 _online_model_cache_size = os.environ.get(
     "REPRO_ONLINE_CACHE_SIZE", DEFAULT_ONLINE_MODEL_CACHE_SIZE
 )
 _online_refresh_policy = os.environ.get(
     "REPRO_ONLINE_REFRESH", DEFAULT_ONLINE_REFRESH_POLICY
+)
+_online_fallback_fraction = os.environ.get(
+    "REPRO_ONLINE_FALLBACK_FRACTION", DEFAULT_ONLINE_FALLBACK_FRACTION
 )
 
 
@@ -215,3 +263,27 @@ def resolve_online_refresh_policy(policy=None) -> str:
     if policy is None:
         return get_online_refresh_policy()
     return _validate_refresh_policy(policy)
+
+
+def get_online_fallback_fraction() -> Optional[float]:
+    """The process-wide hybrid relearn threshold (``None`` = always incremental)."""
+    return _validate_fallback_fraction(_online_fallback_fraction)
+
+
+def set_online_fallback_fraction(fraction):
+    """Select the process-wide fallback fraction; returns the previous one."""
+    global _online_fallback_fraction
+    previous = _online_fallback_fraction
+    _online_fallback_fraction = _validate_fallback_fraction(fraction)
+    return previous
+
+
+def resolve_online_fallback_fraction(fraction=None) -> Optional[float]:
+    """Resolve an optional per-engine fallback fraction against the knob.
+
+    The sentinel ``"default"`` (what the engine constructor uses) defers to
+    the process-wide knob; ``None`` explicitly disables the fallback.
+    """
+    if isinstance(fraction, str) and fraction == "default":
+        return get_online_fallback_fraction()
+    return _validate_fallback_fraction(fraction)

@@ -1,20 +1,36 @@
-"""Streaming scenario: a relation replayed as an append/query trace.
+"""Streaming scenarios: append-only and full-lifecycle (churn) traces.
 
-The paper evaluates IIM on static tables; this scenario drives the *online*
-engine the way a production deployment would see data: an initial store,
-then rounds of "a batch of new complete tuples arrives, then a batch of
-incomplete tuples must be imputed".  Each round is measured twice:
+The paper evaluates IIM on static tables; this module drives the *online*
+engine the way a production deployment would see data:
+
+* :func:`run_streaming` — an initial store, then rounds of "a batch of new
+  complete tuples arrives, then a batch of incomplete tuples must be
+  imputed";
+* :func:`run_churn` — the full tuple lifecycle: every round interleaves
+  appends, in-place corrections (:meth:`~repro.online.OnlineImputationEngine.update`)
+  and retractions (:meth:`~repro.online.OnlineImputationEngine.delete`)
+  before the imputation queries, the workload the hybrid relearn policy is
+  designed for.
+
+Each round is measured twice:
 
 * **online** — :class:`~repro.online.OnlineImputationEngine` absorbs the
-  appends incrementally and serves the queries from its warm model cache;
+  mutations incrementally and serves the queries from its warm model cache;
 * **cold** — a fresh :class:`~repro.core.iim.IIMImputer` is refitted from
-  scratch over the same cumulative store and imputes the same queries (the
+  scratch over the same surviving store and imputes the same queries (the
   baseline the paper's incremental computation is compared against).
 
 Both must produce the same imputations (``rtol = 1e-9``; asserted in the
 test suite); the interesting numbers are the per-round latencies and their
 ratio, which ``benchmarks/test_perf_online.py`` records in
 ``BENCH_online.json``.
+
+Queries come in two flavours (``query_mode``): ``"store"`` samples tuples
+the store has seen (the paper's setting), while ``"ood"`` shifts each
+sampled tuple by ``ood_shift`` column standard deviations before blanking a
+cell — an out-of-distribution trace probing how the engine serves requests
+far from its training support (both sides still answer identically; the RMS
+error is scored against the shifted truth).
 """
 
 from __future__ import annotations
@@ -33,7 +49,39 @@ from ..metrics import rms_error
 from ..online import OnlineImputationEngine
 from .settings import ScaleProfile, get_profile
 
-__all__ = ["StreamingRound", "StreamingResult", "run_streaming"]
+__all__ = [
+    "StreamingRound",
+    "StreamingResult",
+    "run_streaming",
+    "ChurnRound",
+    "ChurnResult",
+    "run_churn",
+]
+
+QUERY_MODES = ("store", "ood")
+
+
+def _draw_queries(store, rng, n_queries, query_mode, ood_shift):
+    """Sample query tuples, optionally shifted out of distribution.
+
+    Returns ``(queries, blanked, truth)``: the query block with one NaN per
+    row, the blanked attribute indices, and the ground-truth values.
+    """
+    if query_mode not in QUERY_MODES:
+        raise ExperimentError(
+            f"query_mode must be one of {QUERY_MODES}, got {query_mode!r}"
+        )
+    n_store, width = store.shape
+    query_rows = rng.choice(n_store, size=n_queries, replace=False)
+    queries = store[query_rows].copy()
+    if query_mode == "ood":
+        stds = store.std(axis=0)
+        stds[stds == 0] = 1.0
+        queries = queries + ood_shift * stds[None, :]
+    blanked = rng.integers(0, width, size=n_queries)
+    truth = queries[np.arange(n_queries), blanked].copy()
+    queries[np.arange(n_queries), blanked] = np.nan
+    return queries, blanked, truth
 
 
 @dataclass
@@ -62,6 +110,7 @@ class StreamingResult:
     dataset: str
     learning: str
     initial_store: int
+    query_mode: str = "store"
     rounds: List[StreamingRound] = field(default_factory=list)
     engine_stats: Dict[str, int] = field(default_factory=dict)
 
@@ -91,6 +140,7 @@ class StreamingResult:
             "dataset": self.dataset,
             "learning": self.learning,
             "initial_store": self.initial_store,
+            "query_mode": self.query_mode,
             "online_seconds": self.online_seconds,
             "cold_seconds": self.cold_seconds,
             "speedup": self.speedup,
@@ -121,6 +171,8 @@ def run_streaming(
     n_rounds: int = 8,
     initial_fraction: float = 0.4,
     queries_per_round: Optional[int] = None,
+    query_mode: str = "store",
+    ood_shift: float = 2.0,
     refresh_policy: str = "lazy",
     model_cache_size: Optional[int] = None,
     random_state: int = 0,
@@ -149,6 +201,13 @@ def run_streaming(
     queries_per_round:
         Incomplete tuples imputed per round (default: the profile's
         ``asf_incomplete`` capped at half the initial store).
+    query_mode:
+        ``"store"`` samples query tuples from the cumulative store;
+        ``"ood"`` additionally shifts each sampled tuple ``ood_shift``
+        column standard deviations away — an out-of-distribution trace.
+    ood_shift:
+        Shift size (in per-attribute standard deviations) for
+        ``query_mode="ood"``.
     refresh_policy:
         Engine refresh policy (``"lazy"`` or ``"eager"``).
     model_cache_size:
@@ -202,20 +261,20 @@ def run_streaming(
     engine.append(values[:initial])
 
     result = StreamingResult(
-        dataset=dataset, learning=learning, initial_store=initial
+        dataset=dataset, learning=learning, initial_store=initial,
+        query_mode=query_mode,
     )
     offset = initial
     for round_index in range(n_rounds):
         stop = offset + batch if round_index < n_rounds - 1 else n_total
         append_block = values[offset:stop]
 
-        # Queries: tuples sampled from the cumulative store, one attribute
-        # blanked each (the truth is known, so both sides can be scored).
-        query_rows = rng.choice(offset, size=queries_per_round, replace=False)
-        queries = values[query_rows].copy()
-        blanked = rng.integers(0, values.shape[1], size=queries_per_round)
-        truth = queries[np.arange(queries_per_round), blanked].copy()
-        queries[np.arange(queries_per_round), blanked] = np.nan
+        # Queries: tuples sampled from the cumulative store — optionally
+        # shifted out of distribution — with one attribute blanked each
+        # (the truth is known, so both sides can be scored).
+        queries, blanked, truth = _draw_queries(
+            values[:offset], rng, queries_per_round, query_mode, ood_shift
+        )
 
         start_time = time.perf_counter()
         engine.append(append_block)
@@ -245,6 +304,254 @@ def run_streaming(
                 round_index=round_index,
                 n_store=stop,
                 n_appended=stop - offset,
+                n_queries=queries_per_round,
+                online_seconds=online_seconds,
+                cold_seconds=cold_seconds,
+                rms_online=rms_online,
+                rms_cold=rms_cold,
+            )
+        )
+        offset = stop
+
+    result.engine_stats = dict(engine.stats)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Churn: the full tuple lifecycle
+# --------------------------------------------------------------------------- #
+@dataclass
+class ChurnRound:
+    """Latency and error of one append+update+delete+query round."""
+
+    round_index: int
+    n_store: int
+    n_appended: int
+    n_updated: int
+    n_deleted: int
+    n_queries: int
+    online_seconds: float
+    cold_seconds: float
+    rms_online: float
+    rms_cold: float
+
+    @property
+    def speedup(self) -> float:
+        """Cold-refit time over online time for this round."""
+        return self.cold_seconds / self.online_seconds
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of a full churn replay."""
+
+    dataset: str
+    learning: str
+    initial_store: int
+    query_mode: str
+    fallback_fraction: Optional[float]
+    rounds: List[ChurnRound] = field(default_factory=list)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def online_seconds(self) -> float:
+        """Total online (mutations + impute) time across rounds."""
+        return sum(r.online_seconds for r in self.rounds)
+
+    @property
+    def cold_seconds(self) -> float:
+        """Total cold (refit + impute) time across rounds."""
+        return sum(r.cold_seconds for r in self.rounds)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate cold/online wall-clock ratio."""
+        return self.cold_seconds / self.online_seconds
+
+    @property
+    def max_rms_gap(self) -> float:
+        """Largest |rms_online − rms_cold| across rounds (≈ 0 by equivalence)."""
+        return max(abs(r.rms_online - r.rms_cold) for r in self.rounds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reporting."""
+        return {
+            "dataset": self.dataset,
+            "learning": self.learning,
+            "initial_store": self.initial_store,
+            "query_mode": self.query_mode,
+            "fallback_fraction": self.fallback_fraction,
+            "online_seconds": self.online_seconds,
+            "cold_seconds": self.cold_seconds,
+            "speedup": self.speedup,
+            "max_rms_gap": self.max_rms_gap,
+            "engine_stats": dict(self.engine_stats),
+            "rounds": [
+                {
+                    "round": r.round_index,
+                    "n_store": r.n_store,
+                    "n_appended": r.n_appended,
+                    "n_updated": r.n_updated,
+                    "n_deleted": r.n_deleted,
+                    "n_queries": r.n_queries,
+                    "online_seconds": r.online_seconds,
+                    "cold_seconds": r.cold_seconds,
+                    "speedup": r.speedup,
+                    "rms_online": r.rms_online,
+                    "rms_cold": r.rms_cold,
+                }
+                for r in self.rounds
+            ],
+        }
+
+
+def run_churn(
+    dataset: str = "sn",
+    profile: Optional[ScaleProfile] = None,
+    size: Optional[int] = None,
+    learning: str = "adaptive",
+    n_rounds: int = 8,
+    initial_fraction: float = 0.4,
+    updates_per_round: Optional[int] = None,
+    deletes_per_round: Optional[int] = None,
+    queries_per_round: Optional[int] = None,
+    query_mode: str = "store",
+    ood_shift: float = 2.0,
+    update_noise: float = 0.05,
+    refresh_policy: str = "lazy",
+    model_cache_size: Optional[int] = None,
+    fallback_fraction="default",
+    random_state: int = 0,
+    run_cold: bool = True,
+    **iim_overrides,
+) -> ChurnResult:
+    """Replay ``dataset`` as a full-lifecycle (churn) trace.
+
+    Every round appends a batch of fresh tuples, corrects
+    ``updates_per_round`` random store tuples in place (a jitter of
+    ``update_noise`` column standard deviations — a late-arriving fix),
+    retracts ``deletes_per_round`` random tuples, then imputes
+    ``queries_per_round`` incomplete tuples.  The online side replays the
+    mutations through :class:`~repro.online.OnlineImputationEngine`
+    (``fallback_fraction`` selects the hybrid relearn threshold; ``None``
+    keeps it always-incremental), the cold side refits a fresh
+    :class:`IIMImputer` over the surviving store each round.  Identical
+    random state ⇒ identical traces, so two churn runs with different
+    engine knobs are directly comparable.
+    """
+    profile = profile or get_profile()
+    relation = load_dataset(dataset, size=size or profile.dataset_sizes.get(dataset))
+    values = relation.raw
+    n_total = values.shape[0]
+
+    initial = int(n_total * initial_fraction)
+    if initial < 2 or initial >= n_total:
+        raise ExperimentError(
+            f"initial_fraction={initial_fraction} leaves no room for appends "
+            f"on {n_total} tuples"
+        )
+    batch = (n_total - initial) // n_rounds
+    if batch < 1:
+        raise ExperimentError(
+            f"{n_rounds} rounds do not fit into {n_total - initial} remaining tuples"
+        )
+    if queries_per_round is None:
+        queries_per_round = min(profile.asf_incomplete, initial // 2)
+    queries_per_round = max(1, queries_per_round)
+    if updates_per_round is None:
+        updates_per_round = max(1, batch // 3)
+    if deletes_per_round is None:
+        deletes_per_round = max(1, batch // 3)
+
+    iim_params = dict(
+        k=profile.default_k,
+        learning=learning,
+        stepping=profile.iim_stepping,
+        max_learning_neighbors=profile.iim_max_learning_neighbors,
+    )
+    if learning == "fixed":
+        iim_params.setdefault("learning_neighbors", profile.default_k)
+    iim_params.update(iim_overrides)
+
+    rng = np.random.default_rng(random_state)
+    engine = OnlineImputationEngine(
+        refresh_policy=refresh_policy,
+        model_cache_size=model_cache_size,
+        incremental_fallback_fraction=fallback_fraction,
+        **iim_params,
+    )
+    engine.append(values[:initial])
+    store = values[:initial].copy()
+    column_stds = values.std(axis=0)
+    column_stds[column_stds == 0] = 1.0
+
+    result = ChurnResult(
+        dataset=dataset,
+        learning=learning,
+        initial_store=initial,
+        query_mode=query_mode,
+        fallback_fraction=engine.incremental_fallback_fraction,
+    )
+    offset = initial
+    for round_index in range(n_rounds):
+        stop = offset + batch if round_index < n_rounds - 1 else n_total
+        append_block = values[offset:stop]
+
+        n_updates = min(updates_per_round, store.shape[0])
+        update_targets = rng.choice(store.shape[0], size=n_updates, replace=False)
+        update_rows = store[update_targets] + update_noise * column_stds[
+            None, :
+        ] * rng.standard_normal((n_updates, store.shape[1]))
+
+        store = np.vstack([store, append_block])
+        store[update_targets] = update_rows
+
+        n_deletes = min(deletes_per_round, store.shape[0] - 2)
+        delete_targets = np.sort(
+            rng.choice(store.shape[0], size=n_deletes, replace=False)
+        )
+        keep = np.ones(store.shape[0], dtype=bool)
+        keep[delete_targets] = False
+        surviving = store[keep]
+
+        queries, blanked, truth = _draw_queries(
+            surviving, rng, queries_per_round, query_mode, ood_shift
+        )
+
+        start_time = time.perf_counter()
+        engine.append(append_block)
+        for target_index, row in zip(update_targets, update_rows):
+            engine.update(int(target_index), row)
+        engine.delete(delete_targets)
+        online_values = engine.impute_batch(queries)
+        online_seconds = time.perf_counter() - start_time
+        store = surviving
+        rms_online = rms_error(
+            truth, online_values[np.arange(queries_per_round), blanked]
+        )
+
+        if run_cold:
+            store_relation = Relation(store.copy(), relation.schema)
+            query_relation = Relation(queries.copy(), relation.schema)
+            start_time = time.perf_counter()
+            cold_imputer = IIMImputer(**iim_params)
+            cold_imputer.fit(store_relation)
+            cold_values = cold_imputer.impute(query_relation).raw
+            cold_seconds = time.perf_counter() - start_time
+            rms_cold = rms_error(
+                truth, cold_values[np.arange(queries_per_round), blanked]
+            )
+        else:
+            cold_seconds = float("nan")
+            rms_cold = float("nan")
+
+        result.rounds.append(
+            ChurnRound(
+                round_index=round_index,
+                n_store=store.shape[0],
+                n_appended=stop - offset,
+                n_updated=n_updates,
+                n_deleted=n_deletes,
                 n_queries=queries_per_round,
                 online_seconds=online_seconds,
                 cold_seconds=cold_seconds,

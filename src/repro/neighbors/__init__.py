@@ -10,7 +10,13 @@ from .distance import (
     paper_euclidean,
     pairwise_distances,
 )
-from .index import NeighborIndex, NeighborOrderCache, OrderAppendResult
+from .index import (
+    NeighborIndex,
+    NeighborOrderCache,
+    OrderAppendResult,
+    OrderRemoveResult,
+    OrderReplaceResult,
+)
 from .kdtree import KDTreeNeighbors
 
 __all__ = [
@@ -19,6 +25,8 @@ __all__ = [
     "NeighborIndex",
     "NeighborOrderCache",
     "OrderAppendResult",
+    "OrderRemoveResult",
+    "OrderReplaceResult",
     "METRICS",
     "paper_euclidean",
     "euclidean",

@@ -24,6 +24,17 @@ reports, per pre-existing tuple, the first ordering position that changed —
 the signal the online engine uses to invalidate only the affected per-tuple
 models.  The merged orderings are exactly those a cold rebuild over the
 grown data would produce (same distance values, same index tie-breaks).
+
+:meth:`NeighborOrderCache.remove` and :meth:`NeighborOrderCache.replace`
+complete the tuple lifecycle.  Removal compacts every cached ordering (an
+order-preserving deletion of the removed entries, so index tie-breaks stay
+correct under the compacted renumbering) and re-fills the few rows whose
+capped ordering went short from fresh distance rows; replacement removes
+the stale entry from every ordering and merges the revised tuple back in by
+one row-wise ``(distance, index)`` lexsort over the kept distances.  Both
+report per-row first-changed positions exactly like :meth:`append`, and
+both leave the cache bit-identical to a cold rebuild over the surviving
+data.
 """
 
 from __future__ import annotations
@@ -34,12 +45,18 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .._validation import as_float_matrix, check_positive_int
-from ..exceptions import ConfigurationError, NotFittedError
+from ..exceptions import ConfigurationError, DataError, NotFittedError
 from .brute import BruteForceNeighbors, drop_self_rows, stable_order, topk_batch
 from .distance import get_metric
 from .kdtree import KDTreeNeighbors
 
-__all__ = ["NeighborIndex", "NeighborOrderCache", "OrderAppendResult"]
+__all__ = [
+    "NeighborIndex",
+    "NeighborOrderCache",
+    "OrderAppendResult",
+    "OrderRemoveResult",
+    "OrderReplaceResult",
+]
 
 _BACKENDS = ("brute", "kdtree")
 
@@ -121,6 +138,69 @@ class OrderAppendResult:
 
     def changed_rows(self, prefix_length: int) -> np.ndarray:
         """Pre-existing tuples whose first ``prefix_length`` neighbours changed."""
+        prefix_length = check_positive_int(prefix_length, "prefix_length")
+        return np.flatnonzero(self.first_changed < prefix_length)
+
+
+@dataclass
+class OrderRemoveResult:
+    """Outcome of one :meth:`NeighborOrderCache.remove` call.
+
+    Attributes
+    ----------
+    n_before:
+        Number of indexed tuples before the removal.
+    n_removed:
+        Number of tuples removed.
+    first_changed:
+        Array of shape ``(n_after,)``, aligned with the *surviving* tuples
+        in their new (compacted) index order: the first position of each
+        surviving tuple's ordering where the neighbour *identity* changed.
+        A fully unchanged ordering reports the new effective length, so
+        ``first_changed[i] < ell`` is exactly "the ``ell``-prefix of
+        surviving tuple ``i`` changed".
+    index_map:
+        Array of shape ``(n_before,)`` mapping old tuple indices to their
+        compacted new indices; removed tuples map to ``-1``.
+    """
+
+    n_before: int
+    n_removed: int
+    first_changed: np.ndarray
+    index_map: np.ndarray
+
+    def changed_rows(self, prefix_length: int) -> np.ndarray:
+        """Surviving tuples (new indices) whose ``prefix_length``-prefix changed."""
+        prefix_length = check_positive_int(prefix_length, "prefix_length")
+        return np.flatnonzero(self.first_changed < prefix_length)
+
+    def kept_rows(self) -> np.ndarray:
+        """Old indices of the surviving tuples, in new index order."""
+        return np.flatnonzero(self.index_map >= 0)
+
+
+@dataclass
+class OrderReplaceResult:
+    """Outcome of one :meth:`NeighborOrderCache.replace` call.
+
+    Attributes
+    ----------
+    index:
+        The replaced tuple's index (unchanged by the operation).
+    first_changed:
+        Array of shape ``(n,)``: per tuple, the first ordering position
+        whose neighbour identity changed (``length`` when unchanged).  Note
+        this tracks ordering changes only — a tuple whose prefix still
+        *contains* ``index`` at the same position has an unchanged ordering
+        even though that neighbour's values changed; callers that learn
+        models over the prefix values must treat those rows as dirty too.
+    """
+
+    index: int
+    first_changed: np.ndarray
+
+    def changed_rows(self, prefix_length: int) -> np.ndarray:
+        """Tuples whose first ``prefix_length`` neighbours changed."""
         prefix_length = check_positive_int(prefix_length, "prefix_length")
         return np.flatnonzero(self.first_changed < prefix_length)
 
@@ -275,6 +355,37 @@ class NeighborOrderCache:
     # ------------------------------------------------------------------ #
     # Incremental maintenance
     # ------------------------------------------------------------------ #
+    def _normalize_rows(self, rows, name: str) -> np.ndarray:
+        """Coerce ``rows`` to a validated ``(b, m)`` float block.
+
+        A single 1-D tuple becomes one row; an empty batch still has its
+        attribute count checked (a ``(0, m+3)`` block is a shape error, not
+        a silent no-op).  Width mismatches violate the index contract and
+        raise :class:`ConfigurationError`; malformed contents (conversion
+        failures, NaN/inf cells) are data problems and raise
+        :class:`DataError`, matching :func:`~repro._validation.as_float_matrix`.
+        """
+        width = self._data.shape[1]
+        try:
+            rows = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise DataError(
+                f"{name} could not be converted to a float array: {exc}"
+            ) from exc
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1) if rows.size else rows.reshape(0, width)
+        if rows.ndim != 2:
+            raise DataError(
+                f"{name} must be 2-dimensional, got shape {rows.shape}"
+            )
+        if rows.shape[1] != width:
+            raise ConfigurationError(
+                f"{name} have {rows.shape[1]} attributes, index has {width}"
+            )
+        if not np.all(np.isfinite(rows)):
+            raise DataError(f"{name} contain NaN or infinite values")
+        return np.ascontiguousarray(rows)
+
     def append(self, rows) -> OrderAppendResult:
         """Add tuples to the indexed data and update every cached ordering.
 
@@ -295,17 +406,11 @@ class NeighborOrderCache:
         tuple, the first ordering position that changed.
         """
         n_before = self.n_points
-        rows = np.asarray(rows, dtype=float)
-        if rows.size == 0:
+        rows = self._normalize_rows(rows, "appended rows")
+        if rows.shape[0] == 0:
             length = self.effective_length()
             return OrderAppendResult(
                 n_before, 0, np.full(n_before, length, dtype=int)
-            )
-        rows = as_float_matrix(rows, name="rows")
-        if rows.shape[1] != self._data.shape[1]:
-            raise ConfigurationError(
-                f"appended rows have {rows.shape[1]} attributes, index has "
-                f"{self._data.shape[1]}"
             )
         n_appended = rows.shape[0]
 
@@ -366,6 +471,189 @@ class NeighborOrderCache:
         self._dists = np.vstack([merged_dists, appended_order_dists])
         self._cache.clear()
         return OrderAppendResult(n_before, n_appended, first_changed)
+
+    def remove(self, indices) -> OrderRemoveResult:
+        """Remove tuples from the indexed data and repair every ordering.
+
+        Each surviving tuple's ordering is *compacted*: the removed entries
+        are deleted in place (an order-preserving operation, so the result
+        is the cold ordering over the surviving data under the compacted
+        renumbering — the old index tie-breaks map monotonically onto the
+        new ones).  Rows whose capped ordering loses more entries than the
+        new effective length allows are re-filled from a fresh distance row
+        (the dropped tail was never cached); uncapped caches never need
+        this.
+
+        Returns an :class:`OrderRemoveResult` carrying the per-survivor
+        first-changed positions (new index space) and the old→new
+        ``index_map``.
+        """
+        n_before = self.n_points
+        indices = np.unique(np.atleast_1d(np.asarray(indices, dtype=int)))
+        if indices.size == 0:
+            return OrderRemoveResult(
+                n_before,
+                0,
+                np.full(n_before, self.effective_length(), dtype=int),
+                np.arange(n_before),
+            )
+        if indices[0] < 0 or indices[-1] >= n_before:
+            raise ConfigurationError(
+                f"removal indices must lie in [0, {n_before}), got "
+                f"[{indices[0]}, {indices[-1]}]"
+            )
+
+        removed_mask = np.zeros(n_before, dtype=bool)
+        removed_mask[indices] = True
+        kept = np.flatnonzero(~removed_mask)
+        index_map = np.full(n_before, -1, dtype=int)
+        index_map[kept] = np.arange(kept.size)
+        n_after = kept.size
+
+        if n_after == 0:
+            self._data = self._data[:0].copy()
+            self.max_length = None if self._requested_length is None else 0
+            self._matrix = np.empty((0, 0), dtype=int)
+            self._dists = np.empty((0, 0)) if self.keep_distances else None
+            self._cache.clear()
+            return OrderRemoveResult(
+                n_before, n_before, np.empty(0, dtype=int), index_map
+            )
+
+        # Materialise the current orderings (and distances) before shrinking.
+        self.keep_distances = True
+        old_orders = self.order_matrix()
+        old_dists = self._ensure_distances()
+
+        self._data = self._data[kept]
+        if self._requested_length is not None:
+            self.max_length = min(self._requested_length, self.max_neighbors())
+        new_length = self.effective_length()
+
+        # --- Compact each survivor's ordering: stable-partition the kept
+        # entries to the front (order preserved), then truncate.
+        rows = old_orders[kept]
+        row_dists = old_dists[kept]
+        keep_entry = ~removed_mask[rows]
+        counts = keep_entry.sum(axis=1)
+        cols = np.argsort(~keep_entry, axis=1, kind="stable")[:, :new_length]
+        compact = np.take_along_axis(rows, cols, axis=1)
+        compact_d = np.take_along_axis(row_dists, cols, axis=1)
+        new_orders = index_map[compact]
+        new_dists = compact_d
+
+        # --- Rows whose capped ordering went short lost prefix entries the
+        # cache never held beyond the cap; rebuild those rows cold.
+        deficit = np.flatnonzero(counts < new_length)
+        if deficit.size:
+            distances = self._metric_fn(self._data[deficit], self._data)
+            select = min(n_after, new_length + (0 if self.include_self else 1))
+            if select < n_after:
+                _, order = topk_batch(distances, select)
+            else:
+                order = stable_order(distances)
+            if not self.include_self:
+                order = drop_self_rows(order, deficit)
+            order = order[:, :new_length]
+            new_orders[deficit] = order
+            new_dists[deficit] = np.take_along_axis(distances, order, axis=1)
+
+        # First changed position per survivor: compare neighbour identities
+        # against the old prefix (removed entries map to -1, never equal).
+        old_remap = index_map[rows[:, :new_length]]
+        differs = new_orders != old_remap
+        first_changed = np.where(
+            differs.any(axis=1), differs.argmax(axis=1), new_length
+        )
+
+        self._matrix = np.ascontiguousarray(new_orders)
+        self._dists = np.ascontiguousarray(new_dists)
+        self._cache.clear()
+        return OrderRemoveResult(n_before, indices.size, first_changed, index_map)
+
+    def replace(self, index: int, row) -> OrderReplaceResult:
+        """Replace one indexed tuple's values and repair every ordering.
+
+        Removal + merge over the kept distances: the stale entry for
+        ``index`` is dropped from every ordering (its cached distance is
+        retired) and the revised tuple is merged back in by one row-wise
+        ``(distance, index)`` lexsort, so ties still break exactly like a
+        cold rebuild.  Rows where the revised tuple fell out of a capped
+        prefix are re-filled from a fresh distance row; the replaced
+        tuple's own ordering is recomputed outright.
+        """
+        n = self.n_points
+        index = int(index)
+        if not 0 <= index < n:
+            raise ConfigurationError(f"tuple index {index} out of range")
+        row = self._normalize_rows(row, "replacement row")
+        if row.shape[0] != 1:
+            raise ConfigurationError(
+                f"replace expects exactly one row, got {row.shape[0]}"
+            )
+
+        self.keep_distances = True
+        old_orders = self.order_matrix()
+        old_dists = self._ensure_distances()
+        length = old_orders.shape[1]
+
+        data = self._data.copy()
+        data[index] = row[0]
+        self._data = data
+        # Distances of the revised tuple against the updated store (its own
+        # entry included); by metric symmetry this column doubles as every
+        # other tuple's candidate distance.
+        cand_dists = self._metric_fn(data[index], data)
+
+        # --- Drop the stale entry for ``index`` from every ordering (it
+        # moves to the last column), then merge the revised candidate in.
+        stale = old_orders == index
+        contained = stale.any(axis=1)
+        cols = np.argsort(stale, axis=1, kind="stable")
+        compact = np.take_along_axis(old_orders, cols, axis=1)
+        compact_d = np.take_along_axis(old_dists, cols, axis=1)
+        # Retire the stale entry by pushing it past every finite distance.
+        compact_d[contained, -1] = np.inf
+
+        concat_orders = np.hstack(
+            [compact, np.full((n, 1), index, dtype=int)]
+        )
+        concat_dists = np.hstack([compact_d, cand_dists[:, None]])
+        merge = np.lexsort((concat_orders, concat_dists), axis=1)[:, :length]
+        new_orders = np.take_along_axis(concat_orders, merge, axis=1)
+        new_dists = np.take_along_axis(concat_dists, merge, axis=1)
+
+        # --- Re-fill rows that cannot be repaired from cached state: a row
+        # whose capped ordering contained ``index`` only knows length - 1
+        # other entries, so when the revised candidate lands on the final
+        # position the true occupant may be an uncached tuple.
+        truncated = length < self.max_neighbors()
+        refill = [index]
+        if truncated and contained.any():
+            cand_last = new_orders[:, length - 1] == index
+            refill = np.flatnonzero(contained & cand_last).tolist()
+            if index not in refill:
+                refill.append(index)
+        refill = np.asarray(sorted(refill), dtype=int)
+        distances = self._metric_fn(data[refill], data)
+        select = min(n, length + (0 if self.include_self else 1))
+        if select < n:
+            _, order = topk_batch(distances, select)
+        else:
+            order = stable_order(distances)
+        if not self.include_self:
+            order = drop_self_rows(order, refill)
+        order = order[:, :length]
+        new_orders[refill] = order
+        new_dists[refill] = np.take_along_axis(distances, order, axis=1)
+
+        differs = new_orders != old_orders
+        first_changed = np.where(differs.any(axis=1), differs.argmax(axis=1), length)
+
+        self._matrix = np.ascontiguousarray(new_orders)
+        self._dists = np.ascontiguousarray(new_dists)
+        self._cache.clear()
+        return OrderReplaceResult(index, first_changed)
 
     def _ensure_distances(self, chunk_size: Optional[int] = None) -> np.ndarray:
         """Backfill the distance matrix for already-materialised orderings."""

@@ -45,7 +45,9 @@ __all__ = [
 ARTIFACT_FORMAT = "repro-artifact"
 
 #: Current artifact schema version; bumped on incompatible layout changes.
-ARTIFACT_VERSION = 1
+#: Version 2 added the engine's tuple-lifecycle state (per-state target
+#: columns, lifecycle counters, the engine mutation version).
+ARTIFACT_VERSION = 2
 
 MANIFEST_FILENAME = "manifest.json"
 ARRAYS_FILENAME = "arrays.npz"
@@ -126,10 +128,16 @@ def read_artifact(
             f"(format={manifest.get('format')!r})"
         )
     if manifest.get("version") != ARTIFACT_VERSION:
+        hint = ""
+        if manifest.get("version") == 1:
+            hint = (
+                "; version-1 snapshots predate tuple-lifecycle support "
+                "(delete/update) — re-create the snapshot with this version"
+            )
         raise ConfigurationError(
             f"artifact version mismatch in {manifest_path}: found "
             f"{manifest.get('version')!r}, this library reads version "
-            f"{ARTIFACT_VERSION}"
+            f"{ARTIFACT_VERSION}{hint}"
         )
     if expected_kind is not None and manifest.get("kind") != expected_kind:
         raise ConfigurationError(

@@ -1,45 +1,77 @@
-"""The online imputation engine: streaming appends served from warm models.
+"""The online imputation engine: streaming tuple lifecycle from warm models.
 
 The batch :class:`~repro.core.iim.IIMImputer` relearns everything from
 scratch on every ``fit``; this module keeps a *long-lived* engine instead:
 
-* :meth:`OnlineImputationEngine.append` adds complete tuples to the
-  engine's store.  Every cached per-attribute model state is maintained
-  **incrementally**: the neighbour index absorbs the new tuples by a sorted
-  merge (:meth:`~repro.neighbors.NeighborOrderCache.append`), only the
-  tuples whose neighbour prefix actually changed have their candidate
-  models relearned (through the batched Proposition 3 kernel
-  :func:`~repro.core.learning.learn_candidate_models_for_rows`), and only
-  the validation-cost rows touched by the append are rebuilt.
+* :meth:`OnlineImputationEngine.append` adds complete tuples,
+  :meth:`OnlineImputationEngine.delete` removes tuples by store index and
+  :meth:`OnlineImputationEngine.update` revises one tuple in place — the
+  full lifecycle a production store sees (inserts, retractions, late
+  corrections).  Every cached per-attribute model state is maintained
+  **incrementally**: the neighbour index absorbs the mutation exactly
+  (:meth:`~repro.neighbors.NeighborOrderCache.append` /
+  :meth:`~repro.neighbors.NeighborOrderCache.remove` /
+  :meth:`~repro.neighbors.NeighborOrderCache.replace`), only the tuples
+  whose neighbour prefix — or whose prefix *values* — actually changed have
+  their candidate models relearned (through the batched Proposition 3
+  kernel :func:`~repro.core.learning.learn_candidate_models_for_rows`), and
+  only the validation-cost rows touched by the mutation are rebuilt.
 * :meth:`OnlineImputationEngine.impute_batch` serves imputation requests in
   batches from an LRU cache of per-attribute model states — after any
-  sequence of appends the answers match a cold ``IIMImputer`` refit over the
-  same tuples to ``rtol = 1e-9`` (asserted across fixed/adaptive learning
-  and all three combiners in the test suite).
+  interleaving of appends, deletes and updates the answers match a cold
+  ``IIMImputer`` refit over the surviving tuples to ``rtol = 1e-9``
+  (asserted across fixed/adaptive learning and all three combiners in the
+  test suite).
 * :meth:`OnlineImputationEngine.snapshot` persists the full engine state
   (store, neighbour orderings, candidate models, validation costs) as an
   ``.npz`` + JSON-manifest artifact; :meth:`OnlineImputationEngine.load`
   restores an engine whose subsequent imputations are bit-identical.
 
+Deferred maintenance: the mutation journal
+------------------------------------------
+Under the ``"lazy"`` refresh policy a cached state may lag the store by
+several mutations.  The engine therefore keeps a small *journal* of the
+mutations since each state's sync point (appended rows, deleted index
+sets, updated tuples); on the next imputation touching a state the journal
+is replayed in two phases — each op maintains the neighbour cache, the
+owner matrix and the dirty sets only (adjacent appends coalesced into one
+batched merge), then ONE batched relearn + cost rebuild + selection runs
+over the dirty union — so a burst of mutations costs one refresh, not one
+per op.  When any step of the pending
+sequence would change the state's *structure* (the candidate ℓ grid still
+growing towards ``max_learning_neighbors``, the validation ``k`` clamped by
+a small ``n``, the global candidate toggling), the state falls back to one
+full relearn over the final store instead — structure changes reshape every
+array anyway.  The journal is pruned as states catch up.
+
 Exactness of the incremental maintenance
 ----------------------------------------
 Adaptive learning (Algorithm 3) gives every complete tuple ``i`` a cost row
 ``cost[i][ℓ]`` summed over the validation tuples ``j`` that count ``i``
-among their ``k`` nearest neighbours.  An append can change that row in
-exactly three ways: (1) ``i``'s own candidate models changed because a new
-tuple entered its learning prefix, (2) some validator ``j`` gained or lost
-``i`` in its top-``k``, or (3) a brand-new tuple validates ``i``.  The
-engine tracks all three through the index's first-changed-position report
-and rebuilds exactly those rows — with the same scatter-add kernel the cold
-path uses, so untouched rows keep values a cold run would reproduce.  The
-``ℓ = n`` global candidate of Proposition 2 changes on *every* append; its
-model (one ridge fit) and cost column are recomputed each refresh.
+among their ``k`` nearest neighbours.  A mutation can change that row in
+exactly four ways: (1) ``i``'s own candidate models changed because its
+learning prefix gained, lost, or revalued a tuple, (2) some validator ``j``
+gained or lost ``i`` in its top-``k``, (3) a validator appeared,
+disappeared, or changed value, or (4) the ``ℓ = n`` global candidate moved
+(it does on *every* mutation; its single ridge fit and cost column are
+recomputed each refresh).  The engine tracks all four through the index's
+first-changed-position reports — plus, for updates, a prefix-membership
+scan, because a revised tuple can change a model's *values* without moving
+in any ordering — and rebuilds exactly those rows with the same scatter-add
+kernel the cold path uses, so untouched rows keep values a cold run would
+reproduce.
 
-Structural changes — the candidate ``ℓ`` grid still growing towards
-``max_learning_neighbors``, or the validation ``k`` still clamped by a small
-``n`` — fall back to a full relearn of the affected attribute state.  A
-streaming deployment therefore sets ``max_learning_neighbors`` so the
-candidate grid stabilises once the store outgrows it (the warmup).
+The hybrid relearn policy
+-------------------------
+When one mutation batch dirties more than ``incremental_fallback_fraction``
+of a state's tuples (a huge append, a delete sweep), the per-row merge
+bookkeeping buys nothing: the engine then relearns that state with one
+vectorized full rebuild *over the already-maintained neighbour orderings*
+— the cache merge is kept (it is exact), only the model/cost refresh is
+done wholesale.  ``stats["hybrid_full_rebuilds"]`` counts these;
+``stats["incremental_refreshes"]`` / ``stats["full_refreshes"]`` keep
+counting which sync path ran.  Set the fraction to ``None`` for an
+always-incremental engine (the pre-hybrid behaviour).
 """
 
 from __future__ import annotations
@@ -52,6 +84,7 @@ import numpy as np
 
 from .._validation import as_float_matrix
 from ..config import (
+    resolve_online_fallback_fraction,
     resolve_online_model_cache_size,
     resolve_online_refresh_policy,
 )
@@ -79,9 +112,10 @@ class _AttributeState:
 
     One state exists per target attribute the engine has served; it owns the
     attribute's neighbour-order cache (over the complete attributes ``F``),
-    the per-tuple models, and — for adaptive learning — the full candidate
-    parameter stack and validation-cost matrix needed to refresh a subset of
-    tuples without relearning the rest.
+    its own copy of the target column, the per-tuple models, and — for
+    adaptive learning — the full candidate parameter stack and
+    validation-cost matrix needed to refresh a subset of tuples without
+    relearning the rest.
     """
 
     def __init__(self, engine: "OnlineImputationEngine", target_index: int):
@@ -91,6 +125,8 @@ class _AttributeState:
         self.feature_indices = [i for i in range(width) if i != self.target_index]
 
         self.cache: Optional[NeighborOrderCache] = None
+        self.target: Optional[np.ndarray] = None
+        self.version = 0
         self.n_synced = 0
         self.signature: Optional[Tuple] = None
         self.models: Optional[IndividualModels] = None
@@ -153,35 +189,102 @@ class _AttributeState:
     # ------------------------------------------------------------------ #
     def sync(self) -> None:
         """Bring the state up to date with the engine's store."""
-        store = self.engine._store_matrix()
-        n = store.shape[0]
-        if self.cache is not None and n == self.n_synced:
+        engine = self.engine
+        if self.cache is not None and self.version == engine._version:
             return
-        features = store[:, self.feature_indices]
-        target = store[:, self.target_index]
+        n = engine._n
+        store = engine._store_matrix()
         signature = self._signature(n)
-        if self.cache is None or signature != self.signature:
-            self._full_build(features, target, signature)
-            self.engine.stats["full_refreshes"] += 1
-            self.engine.stats["rows_refreshed"] += n
+        pending = engine._pending_ops(self.version)
+        if pending is None or self.cache is None or not self._can_replay(
+            pending, signature
+        ):
+            self._full_build(
+                store[:, self.feature_indices], store[:, self.target_index], signature
+            )
+            engine.stats["full_refreshes"] += 1
+            engine.stats["rows_refreshed"] += n
         else:
-            refreshed = self._incremental_refresh(features, target)
-            self.engine.stats["incremental_refreshes"] += 1
-            self.engine.stats["rows_refreshed"] += refreshed
+            # Replay in two phases: each op maintains the neighbour cache,
+            # the owner matrix and the dirty sets only; the expensive model
+            # relearn + cost scatter + selection then runs ONCE over the
+            # final state — exact, because models and costs depend only on
+            # the final store, and rows no op dirtied kept cold values.
+            dirty_models = np.zeros(self.cache.n_points, dtype=bool)
+            dirty_costs = np.zeros(self.cache.n_points, dtype=bool)
+            for op, payload in self._coalesced(pending):
+                if op == "append":
+                    dirty_models, dirty_costs = self._track_append(
+                        payload, dirty_models, dirty_costs
+                    )
+                elif op == "delete":
+                    dirty_models, dirty_costs = self._track_delete(
+                        payload, dirty_models, dirty_costs
+                    )
+                else:
+                    index, row = payload
+                    dirty_models, dirty_costs = self._track_update(
+                        index, row, dirty_models, dirty_costs
+                    )
+            refreshed = self._finalize_refresh(dirty_models, dirty_costs)
+            engine.stats["incremental_refreshes"] += 1
+            engine.stats["rows_refreshed"] += refreshed
         self.signature = signature
         self.n_synced = n
+        self.version = engine._version
+        engine._prune_journal()
+
+    def _can_replay(self, pending, final_signature) -> bool:
+        """Whether every pending op keeps the state structure unchanged."""
+        if self.signature is None or final_signature != self.signature:
+            return False
+        n_running = self.n_synced
+        for op, payload in pending:
+            if op == "append":
+                n_running += payload.shape[0]
+            elif op == "delete":
+                n_running -= payload.shape[0]
+            else:
+                continue  # updates never change n (or the structure)
+            if n_running < 1 or self._signature(n_running) != self.signature:
+                return False
+        return True
+
+    @staticmethod
+    def _coalesced(pending) -> List[Tuple[str, object]]:
+        """Merge runs of adjacent appends into one batched merge."""
+        out: List[Tuple[str, object]] = []
+        for op, payload in pending:
+            if op == "append" and out and out[-1][0] == "append":
+                out[-1] = ("append", np.vstack([out[-1][1], payload]))
+            else:
+                out.append((op, payload))
+        return out
 
     # ------------------------------------------------------------------ #
     def _full_build(self, features: np.ndarray, target: np.ndarray, signature) -> None:
-        imputer = self._imputer
-        n = features.shape[0]
+        """Cold rebuild: fresh neighbour cache, then the model/cost stack."""
         self.cache = NeighborOrderCache(
             features,
-            metric=imputer.metric,
+            metric=self._imputer.metric,
             include_self=True,
             max_length=self._requested_cache_length(),
             keep_distances=True,
         )
+        self.target = np.array(target, dtype=float)
+        self._rebuild_from_cache(signature)
+
+    def _rebuild_from_cache(self, signature) -> None:
+        """Relearn every model/cost wholesale over the maintained orderings.
+
+        Shared by the cold path (after building a fresh cache) and the
+        hybrid fallback (which keeps the incrementally-merged cache — it is
+        exact — and only redoes the learning vectorized).
+        """
+        imputer = self._imputer
+        features = np.asarray(self.cache.data)
+        target = self.target
+        n = features.shape[0]
         if not self._adaptive:
             ell = signature[1]
             self.models = learn_individual_models(
@@ -230,92 +333,31 @@ class _AttributeState:
             self.owners = np.empty((n, 0), dtype=int)
         self.models = result.models
 
-    # ------------------------------------------------------------------ #
-    def _incremental_refresh(self, features: np.ndarray, target: np.ndarray) -> int:
-        """Fold appended tuples into the state; returns #tuples relearned."""
-        imputer = self._imputer
-        n_old = self.n_synced
-        n = features.shape[0]
-        new_rows = np.arange(n_old, n)
-        append_result = self.cache.append(features[n_old:])
+    def _maybe_fallback(self, n_dirty: int, n: int) -> bool:
+        """Hybrid policy: rebuild wholesale when a mutation dirties too much."""
+        fraction = self.engine.incremental_fallback_fraction
+        if fraction is None or n <= 0:
+            return False
+        if n_dirty <= fraction * n:
+            return False
+        self._rebuild_from_cache(self.signature)
+        self.engine.stats["hybrid_full_rebuilds"] += 1
+        return True
 
-        if not self._adaptive:
-            ell = self.signature[1]
-            refresh_rows = np.concatenate(
-                [append_result.changed_rows(ell), new_rows]
-            )
-            orders = self.cache.order_matrix()
-            refreshed = learn_candidate_models_for_rows(
-                features,
-                target,
-                [ell],
-                orders[refresh_rows],
-                alpha=imputer.alpha,
-                incremental=True,
-            )[0]
-            grown = np.empty((n, self.parameters.shape[1]))
-            grown[:n_old] = self.parameters
-            grown[refresh_rows] = refreshed
-            self.parameters = grown
-            self.models = IndividualModels(grown, np.full(n, ell, dtype=int))
-            return int(refresh_rows.shape[0])
-
-        _, stepped, k_val, global_active = self.signature
-        candidates = self.candidates
-        max_candidate = int(candidates.max())
-        n_stepped = candidates.shape[0]
-        p = self.all_parameters.shape[2]
-        orders = self.cache.order_matrix()
-
-        # (1) Relearn candidate models for tuples whose learning prefix
-        #     changed, plus the appended tuples.
-        model_rows = np.concatenate(
-            [append_result.changed_rows(max_candidate), new_rows]
-        )
-        refreshed = learn_candidate_models_for_rows(
-            features,
-            target,
-            candidates,
-            orders[model_rows],
-            alpha=imputer.alpha,
-            incremental=imputer.incremental,
-        )
-        grown = np.empty((n_stepped, n, p))
-        grown[:, :n_old] = self.all_parameters
-        grown[:, model_rows] = refreshed
-        self.all_parameters = grown
-
-        # (2) The global ℓ = n candidate changes on every append.
-        if global_active:
-            self.global_params = (
-                RidgeRegression(alpha=imputer.alpha).fit(features, target).coefficients
-            )
-
-        # (3) Validation bookkeeping: new owner matrix, dirty cost rows.
+    def _owners_from(self, orders: np.ndarray, k_val: int, n: int) -> np.ndarray:
         if k_val > 0:
-            owners_new = drop_self_rows(
-                orders[:, : k_val + 1], np.arange(n)
-            )[:, :k_val]
-        else:
-            owners_new = np.empty((n, 0), dtype=int)
+            return drop_self_rows(orders[:, : k_val + 1], np.arange(n))[:, :k_val]
+        return np.empty((n, 0), dtype=int)
 
-        dirty = np.zeros(n, dtype=bool)
-        dirty[model_rows] = True
-        if k_val > 0:
-            validators_changed = append_result.changed_rows(k_val + 1)
-            if validators_changed.size:
-                old_rows = self.owners[validators_changed]
-                new_rows_owners = owners_new[validators_changed]
-                moved = old_rows != new_rows_owners
-                dirty[old_rows[moved]] = True
-                dirty[new_rows_owners[moved]] = True
-            dirty[owners_new[n_old:].ravel()] = True
-        dirty_rows = np.flatnonzero(dirty)
-
-        grown_costs = np.zeros((n, n_stepped))
-        grown_costs[:n_old] = self.costs
-        self.costs = grown_costs
-        designs = batched_design(features)
+    def _rebuild_dirty_costs(
+        self,
+        dirty_rows: np.ndarray,
+        owners_new: np.ndarray,
+        designs: np.ndarray,
+        target: np.ndarray,
+        k_val: int,
+    ) -> None:
+        """Zero and re-accumulate the dirty validation-cost rows."""
         if k_val > 0 and dirty_rows.size:
             pair_j, pair_pos = np.nonzero(np.isin(owners_new, dirty_rows))
             pair_i = owners_new[pair_j, pair_pos]
@@ -326,7 +368,16 @@ class _AttributeState:
                 self.costs, pair_j, pair_i, designs, target, self.all_parameters
             )
 
-        # (4) The global cost column is rebuilt wholesale (its model moved).
+    def _finish_validation(
+        self,
+        owners_new: np.ndarray,
+        designs: np.ndarray,
+        target: np.ndarray,
+        k_val: int,
+        global_active: bool,
+        n: int,
+    ) -> None:
+        """Global cost column, validation counts, owner matrix, selection."""
         if global_active and k_val > 0:
             residuals = (target - designs @ self.global_params) ** 2
             self.global_costs = np.bincount(
@@ -336,7 +387,6 @@ class _AttributeState:
             )
         else:
             self.global_costs = np.zeros(n)
-
         self.counts = (
             np.bincount(owners_new.ravel(), minlength=n).astype(int)
             if k_val > 0
@@ -344,6 +394,203 @@ class _AttributeState:
         )
         self.owners = owners_new
         self._select(n)
+
+    # ------------------------------------------------------------------ #
+    # Per-operation dirty tracking (phase 1 of a replay)
+    # ------------------------------------------------------------------ #
+    def _dirty_limit(self) -> int:
+        """The prefix length whose change invalidates a tuple's models."""
+        if self._adaptive:
+            return int(self.candidates.max())
+        return self.signature[1]
+
+    def _k_val(self) -> int:
+        return self.signature[2] if self._adaptive else 0
+
+    def _track_append(
+        self, rows: np.ndarray, dirty_models: np.ndarray, dirty_costs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Absorb appended tuples into the cache/owner/dirty state."""
+        n_old = self.cache.n_points
+        result = self.cache.append(rows[:, self.feature_indices])
+        self.target = np.concatenate([self.target, rows[:, self.target_index]])
+        n = self.cache.n_points
+
+        grown_models = np.zeros(n, dtype=bool)
+        grown_models[:n_old] = dirty_models
+        grown_models[result.changed_rows(self._dirty_limit())] = True
+        grown_models[n_old:] = True
+        grown_costs = np.zeros(n, dtype=bool)
+        grown_costs[:n_old] = dirty_costs
+
+        if self._adaptive:
+            n_stepped = self.candidates.shape[0]
+            p = self.all_parameters.shape[2]
+            params = np.empty((n_stepped, n, p))
+            params[:, :n_old] = self.all_parameters
+            self.all_parameters = params
+            costs = np.zeros((n, n_stepped))
+            costs[:n_old] = self.costs
+            self.costs = costs
+            k_val = self._k_val()
+            if k_val > 0:
+                orders = self.cache.order_matrix()
+                owners_new = self._owners_from(orders, k_val, n)
+                validators_changed = result.changed_rows(k_val + 1)
+                if validators_changed.size:
+                    old_rows = self.owners[validators_changed]
+                    new_rows = owners_new[validators_changed]
+                    moved = old_rows != new_rows
+                    grown_costs[old_rows[moved]] = True
+                    grown_costs[new_rows[moved]] = True
+                grown_costs[owners_new[n_old:].ravel()] = True
+                self.owners = owners_new
+            else:
+                self.owners = np.empty((n, 0), dtype=int)
+        else:
+            params = np.empty((n, self.parameters.shape[1]))
+            params[:n_old] = self.parameters
+            self.parameters = params
+        return grown_models, grown_costs
+
+    def _track_delete(
+        self, indices: np.ndarray, dirty_models: np.ndarray, dirty_costs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold deleted tuples out of the cache/owner/dirty state."""
+        old_owners = self.owners
+        result = self.cache.remove(indices)
+        kept = result.kept_rows()
+        index_map = result.index_map
+        self.target = self.target[kept]
+        n = self.cache.n_points
+
+        shrunk_models = dirty_models[kept]
+        shrunk_models[result.changed_rows(self._dirty_limit())] = True
+        shrunk_costs = dirty_costs[kept]
+
+        if self._adaptive:
+            self.all_parameters = np.ascontiguousarray(self.all_parameters[:, kept])
+            self.costs = np.ascontiguousarray(self.costs[kept])
+            k_val = self._k_val()
+            if k_val > 0:
+                orders = self.cache.order_matrix()
+                owners_new = self._owners_from(orders, k_val, n)
+                # Owners gained/lost by surviving validators...
+                validators_changed = result.changed_rows(k_val + 1)
+                if validators_changed.size:
+                    old_rows = index_map[old_owners[kept[validators_changed]]]
+                    new_rows = owners_new[validators_changed]
+                    moved = old_rows != new_rows
+                    moved_old = old_rows[moved]
+                    shrunk_costs[moved_old[moved_old >= 0]] = True
+                    shrunk_costs[new_rows[moved]] = True
+                # ...and owners that lost a deleted validator's contribution.
+                removed_old = np.flatnonzero(index_map < 0)
+                lost = index_map[old_owners[removed_old]]
+                shrunk_costs[lost[lost >= 0]] = True
+                self.owners = owners_new
+            else:
+                self.owners = np.empty((n, 0), dtype=int)
+        else:
+            self.parameters = self.parameters[kept]
+        return shrunk_models, shrunk_costs
+
+    def _track_update(
+        self,
+        index: int,
+        row: np.ndarray,
+        dirty_models: np.ndarray,
+        dirty_costs: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold one revised tuple into the cache/owner/dirty state."""
+        old_owners = self.owners
+        result = self.cache.replace(index, row[self.feature_indices])
+        self.target[index] = row[self.target_index]
+        n = self.cache.n_points
+        orders = self.cache.order_matrix()
+        limit = self._dirty_limit()
+
+        # Changed orderings are not enough: a model whose prefix still
+        # contains the revised tuple at the same rank changed *values*.
+        dirty_models[result.changed_rows(limit)] = True
+        dirty_models |= (orders[:, :limit] == index).any(axis=1)
+        dirty_models[index] = True
+
+        if self._adaptive:
+            k_val = self._k_val()
+            if k_val > 0:
+                owners_new = self._owners_from(orders, k_val, n)
+                validators_changed = result.changed_rows(k_val + 1)
+                if validators_changed.size:
+                    old_rows = old_owners[validators_changed]
+                    new_rows = owners_new[validators_changed]
+                    moved = old_rows != new_rows
+                    dirty_costs[old_rows[moved]] = True
+                    dirty_costs[new_rows[moved]] = True
+                # Every owner the revised tuple validates sees a revalued
+                # squared error, even where the neighbour sets did not move.
+                dirty_costs[old_owners[index]] = True
+                dirty_costs[owners_new[index]] = True
+                self.owners = owners_new
+        return dirty_models, dirty_costs
+
+    # ------------------------------------------------------------------ #
+    # Batched refresh (phase 2 of a replay)
+    # ------------------------------------------------------------------ #
+    def _finalize_refresh(
+        self, dirty_models: np.ndarray, dirty_costs: np.ndarray
+    ) -> int:
+        """One batched relearn + cost rebuild + selection over the dirty sets."""
+        imputer = self._imputer
+        n = self.cache.n_points
+        model_rows = np.flatnonzero(dirty_models)
+        if self._maybe_fallback(model_rows.shape[0], n):
+            return n
+        features = np.asarray(self.cache.data)
+        target = self.target
+        orders = self.cache.order_matrix()
+
+        if not self._adaptive:
+            ell = self.signature[1]
+            if model_rows.size:
+                refreshed = learn_candidate_models_for_rows(
+                    features,
+                    target,
+                    [ell],
+                    orders[model_rows],
+                    alpha=imputer.alpha,
+                    incremental=True,
+                )[0]
+                self.parameters[model_rows] = refreshed
+            self.models = IndividualModels(
+                self.parameters, np.full(n, ell, dtype=int)
+            )
+            return int(model_rows.shape[0])
+
+        _, stepped, k_val, global_active = self.signature
+        if model_rows.size:
+            refreshed = learn_candidate_models_for_rows(
+                features,
+                target,
+                self.candidates,
+                orders[model_rows],
+                alpha=imputer.alpha,
+                incremental=imputer.incremental,
+            )
+            self.all_parameters[:, model_rows] = refreshed
+
+        # The global ℓ = n candidate changes on every mutation.
+        if global_active:
+            self.global_params = (
+                RidgeRegression(alpha=imputer.alpha).fit(features, target).coefficients
+            )
+
+        dirty_rows = np.flatnonzero(dirty_costs | dirty_models)
+        designs = batched_design(features)
+        self._rebuild_dirty_costs(dirty_rows, self.owners, designs, target, k_val)
+        self._finish_validation(
+            self.owners, designs, target, k_val, global_active, n
+        )
         return int(model_rows.shape[0])
 
     def _select(self, n: int) -> None:
@@ -377,6 +624,7 @@ class _AttributeState:
         arrays = {
             "orders": self.cache.order_matrix(),
             "order_dists": self.cache.order_distances,
+            "target": self.target,
             "models_parameters": self.models.parameters,
             "models_ell": self.models.learning_neighbors,
         }
@@ -412,6 +660,7 @@ class _AttributeState:
     ) -> "_AttributeState":
         state = cls(engine, int(metadata["target_index"]))
         state.n_synced = int(metadata["n_synced"])
+        state.version = engine._version
         signature = metadata["signature"]
         if signature[0] == "adaptive":
             state.signature = (
@@ -431,6 +680,7 @@ class _AttributeState:
             keep_distances=True,
         )
         state.cache.restore_matrix(arrays["orders"], arrays["order_dists"])
+        state.target = np.array(arrays["target"], dtype=float)
         state.models = IndividualModels(
             arrays["models_parameters"], arrays["models_ell"]
         )
@@ -449,7 +699,7 @@ class _AttributeState:
 
 
 class OnlineImputationEngine:
-    """A long-lived IIM service over a growing store of complete tuples.
+    """A long-lived IIM service over a mutable store of complete tuples.
 
     Parameters
     ----------
@@ -462,15 +712,23 @@ class OnlineImputationEngine:
         (LRU-evicted beyond that; ``None`` = unbounded).  Defaults to the
         process-wide knob of :mod:`repro.config`.
     refresh_policy:
-        ``"lazy"`` (default knob) folds pending appends into a model state
-        on the next imputation touching its attribute, so bursts of appends
-        amortise into one refresh; ``"eager"`` refreshes every cached state
-        inside :meth:`append`.
+        ``"lazy"`` (default knob) folds pending mutations into a model
+        state on the next imputation touching its attribute, so bursts of
+        appends/deletes/updates amortise into one refresh; ``"eager"``
+        refreshes every cached state inside each mutating call.
+    incremental_fallback_fraction:
+        Hybrid relearn threshold: when one mutation batch dirties more than
+        this fraction of a state's tuples the state is relearned with one
+        vectorized full rebuild over the maintained orderings instead of
+        the per-row incremental path.  Defaults to the process-wide knob of
+        :mod:`repro.config`; ``None`` disables the fallback.
 
     Examples
     --------
     >>> engine = OnlineImputationEngine(k=5, learning="fixed", learning_neighbors=3)
     >>> engine.append(complete_rows)                    # doctest: +SKIP
+    >>> engine.update(3, corrected_row)                 # doctest: +SKIP
+    >>> engine.delete([0, 17])                          # doctest: +SKIP
     >>> filled = engine.impute_batch(rows_with_nans)    # doctest: +SKIP
     >>> engine.snapshot("artifacts/engine")             # doctest: +SKIP
     """
@@ -481,6 +739,7 @@ class OnlineImputationEngine:
         *,
         model_cache_size="default",
         refresh_policy: Optional[str] = None,
+        incremental_fallback_fraction="default",
         **iim_params,
     ):
         if imputer is None:
@@ -496,18 +755,30 @@ class OnlineImputationEngine:
         self.imputer = imputer
         self.model_cache_size = resolve_online_model_cache_size(model_cache_size)
         self.refresh_policy = resolve_online_refresh_policy(refresh_policy)
+        self.incremental_fallback_fraction = resolve_online_fallback_fraction(
+            incremental_fallback_fraction
+        )
 
         self._schema: Optional[Schema] = None
         self._buffer: Optional[np.ndarray] = None
         self._n = 0
+        self._version = 0
+        self._journal: List[Tuple[int, str, object]] = []
+        # Mutations at versions <= the floor are no longer journalled; a
+        # state that lags behind it must full-rebuild instead of replaying.
+        self._journal_floor = 0
         self._states: "OrderedDict[int, _AttributeState]" = OrderedDict()
         self.stats: Dict[str, int] = {
             "appends": 0,
             "appended_rows": 0,
+            "deletes": 0,
+            "deleted_rows": 0,
+            "updates": 0,
             "impute_batches": 0,
             "imputed_cells": 0,
             "full_refreshes": 0,
             "incremental_refreshes": 0,
+            "hybrid_full_rebuilds": 0,
             "rows_refreshed": 0,
             "cache_hits": 0,
             "cache_misses": 0,
@@ -550,23 +821,29 @@ class OnlineImputationEngine:
     @classmethod
     def from_relation(
         cls, relation: Relation, *, model_cache_size="default",
-        refresh_policy: Optional[str] = None, **iim_params,
+        refresh_policy: Optional[str] = None,
+        incremental_fallback_fraction="default", **iim_params,
     ) -> "OnlineImputationEngine":
         """Build an engine seeded with the complete part of ``relation``."""
         engine = cls(
             model_cache_size=model_cache_size,
             refresh_policy=refresh_policy,
+            incremental_fallback_fraction=incremental_fallback_fraction,
             **iim_params,
         )
         engine.append(relation.complete_part())
         return engine
 
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
     def append(self, rows: Union[np.ndarray, Relation]) -> "OnlineImputationEngine":
         """Add complete tuples to the store.
 
         ``rows`` may be an array of shape ``(b, m)`` (or a single tuple of
         length ``m``) or a :class:`Relation`; tuples containing missing
         cells are rejected — impute them first, then append the result.
+        An empty batch is a true no-op (no counters, no refresh work).
 
         Under the ``"eager"`` refresh policy every cached model state is
         updated before the call returns; under ``"lazy"`` the work is
@@ -580,10 +857,9 @@ class OnlineImputationEngine:
             schema = rows.schema
             values = rows.raw.copy()
         else:
-            values = as_float_matrix(
-                np.atleast_2d(np.asarray(rows, dtype=float)), name="rows",
-                allow_nan=True,
-            )
+            values = np.atleast_2d(np.asarray(rows, dtype=float))
+            if values.shape[0]:
+                values = as_float_matrix(values, name="rows", allow_nan=True)
             schema = None
         if np.isnan(values).any():
             raise DataError(
@@ -598,16 +874,115 @@ class OnlineImputationEngine:
             )
 
         b = values.shape[0]
-        if b:
-            self._grow(b)
-            self._buffer[self._n : self._n + b] = values
-            self._n += b
+        if b == 0:
+            return self
+        self._grow(b)
+        self._buffer[self._n : self._n + b] = values
+        self._n += b
         self.stats["appends"] += 1
         self.stats["appended_rows"] += b
-        if self.refresh_policy == "eager" and b:
+        self._record("append", np.array(values, dtype=float))
+        return self
+
+    def delete(self, indices) -> "OnlineImputationEngine":
+        """Remove tuples from the store by (current) store index.
+
+        ``indices`` is one index or an array of indices into the current
+        store; duplicates are tolerated.  Surviving tuples are compacted in
+        order, so index ``j > i`` becomes ``j - |removed ≤ j|``.  Cached
+        model states repair their neighbour orderings, models and
+        validation costs incrementally (or fall back per the hybrid
+        policy).  Deleting every tuple empties the store (the schema is
+        kept; streaming can resume with fresh appends).
+        """
+        self._store_matrix()  # raises NotFittedError on an empty store
+        indices = np.unique(np.atleast_1d(np.asarray(indices, dtype=int)))
+        if indices.size == 0:
+            return self
+        if indices[0] < 0 or indices[-1] >= self._n:
+            raise ConfigurationError(
+                f"delete indices must lie in [0, {self._n}), got "
+                f"[{indices[0]}, {indices[-1]}]"
+            )
+        keep = np.ones(self._n, dtype=bool)
+        keep[indices] = False
+        survivors = self._buffer[: self._n][keep]
+        self._buffer[: survivors.shape[0]] = survivors
+        self._n = survivors.shape[0]
+        self.stats["deletes"] += 1
+        self.stats["deleted_rows"] += int(indices.size)
+        if self._n == 0:
+            # No state can outlive an empty store; the next append restarts.
+            self._version += 1
+            self._states.clear()
+            self._journal = []
+            self._journal_floor = self._version
+            return self
+        self._record("delete", indices)
+        return self
+
+    def update(self, index: int, row) -> "OnlineImputationEngine":
+        """Replace the tuple at store ``index`` with a revised complete tuple."""
+        self._store_matrix()  # raises NotFittedError on an empty store
+        index = int(index)
+        if not 0 <= index < self._n:
+            raise ConfigurationError(
+                f"update index must lie in [0, {self._n}), got {index}"
+            )
+        row = np.asarray(row, dtype=float).ravel()
+        if row.shape[0] != self._schema.width:
+            raise DataError(
+                f"updated row has {row.shape[0]} attributes, the engine store "
+                f"has {self._schema.width}"
+            )
+        if np.isnan(row).any():
+            raise DataError(
+                "update accepts complete tuples only; impute missing cells first"
+            )
+        self._buffer[index] = row
+        self.stats["updates"] += 1
+        self._record("update", (index, row.copy()))
+        return self
+
+    #: Journal entries kept at most; a longer lazy backlog (e.g. one stale
+    #: state pinning the horizon across thousands of mutations) spills the
+    #: oldest payloads and sends the laggard through a full rebuild instead.
+    MAX_JOURNAL_OPS = 512
+
+    def _record(self, op: str, payload) -> None:
+        """Journal one mutation and run eager refreshes.
+
+        With no resident model state there is nothing that could ever
+        replay the entry (a state built later always starts from a full
+        rebuild), so the payload is not retained at all.
+        """
+        self._version += 1
+        if not self._states:
+            self._journal_floor = self._version
+            return
+        self._journal.append((self._version, op, payload))
+        if len(self._journal) > self.MAX_JOURNAL_OPS:
+            spilled = self._journal[: -self.MAX_JOURNAL_OPS]
+            self._journal = self._journal[-self.MAX_JOURNAL_OPS :]
+            self._journal_floor = max(self._journal_floor, spilled[-1][0])
+        if self.refresh_policy == "eager":
             for state in self._states.values():
                 state.sync()
-        return self
+
+    def _pending_ops(self, version: int) -> Optional[List[Tuple[str, object]]]:
+        """Ops recorded after ``version``, or ``None`` if some were spilled."""
+        if version < self._journal_floor:
+            return None
+        return [(op, payload) for v, op, payload in self._journal if v > version]
+
+    def _prune_journal(self) -> None:
+        """Drop journal entries every resident state has already replayed."""
+        if not self._journal:
+            return
+        versions = [state.version for state in self._states.values()]
+        horizon = min(versions) if versions else self._version
+        self._journal = [entry for entry in self._journal if entry[0] > horizon]
+        self._journal_floor = max(self._journal_floor, horizon)
 
     def _grow(self, extra: int) -> None:
         width = self._schema.width
@@ -636,6 +1011,7 @@ class OnlineImputationEngine:
             ):
                 self._states.popitem(last=False)
                 self.stats["cache_evictions"] += 1
+                self._prune_journal()
             state = _AttributeState(self, target_index)
             self._states[target_index] = state
         else:
@@ -715,17 +1091,24 @@ class OnlineImputationEngine:
     def snapshot(self, path: Union[str, Path]) -> Path:
         """Persist the engine (store, index, models, costs) as an artifact.
 
-        The artifact directory holds ``arrays.npz`` + ``manifest.json``;
-        :meth:`load` restores an engine whose subsequent imputations are
-        bit-identical to this one's.
+        Pending lazy mutations are folded into every resident state first,
+        so the artifact always holds fully-synced states.  The artifact
+        directory holds ``arrays.npz`` + ``manifest.json``; :meth:`load`
+        restores an engine whose subsequent imputations are bit-identical
+        to this one's.
         """
         if self._schema is None:
             raise NotFittedError("cannot snapshot an engine with no schema")
+        if self._n:
+            for state in self._states.values():
+                state.sync()
         manifest: Dict[str, object] = {
             "engine": {
                 "model_cache_size": self.model_cache_size,
                 "refresh_policy": self.refresh_policy,
+                "incremental_fallback_fraction": self.incremental_fallback_fraction,
             },
+            "lifecycle": {"version": self._version},
             "imputer": {
                 "class": type(self.imputer).__name__,
                 "params": self.imputer.get_params(),
@@ -761,6 +1144,9 @@ class OnlineImputationEngine:
             IIMImputer(**(imputer_info.get("params") or {})),
             model_cache_size=engine_info.get("model_cache_size"),
             refresh_policy=engine_info.get("refresh_policy"),
+            incremental_fallback_fraction=engine_info.get(
+                "incremental_fallback_fraction"
+            ),
         )
         schema = manifest.get("schema") or []
         store = arrays["store"]
@@ -774,6 +1160,9 @@ class OnlineImputationEngine:
             engine._schema = Schema([str(a) for a in schema])
             engine._buffer = np.array(store, dtype=float)
             engine._n = n_rows
+        lifecycle = manifest.get("lifecycle") or {}
+        engine._version = int(lifecycle.get("version", 0))
+        engine._journal_floor = engine._version
         stats = manifest.get("stats") or {}
         for key in engine.stats:
             if key in stats:

@@ -1,0 +1,182 @@
+"""NeighborOrderCache.remove/replace: exact repair, change reporting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.neighbors import NeighborOrderCache
+
+RNG = np.random.default_rng(13)
+
+
+def _cold(data, include_self, cap):
+    return NeighborOrderCache(
+        data, include_self=include_self, max_length=cap, keep_distances=True
+    )
+
+
+@pytest.mark.parametrize("include_self", [True, False])
+@pytest.mark.parametrize("cap", [None, 5, 23, 100])
+def test_remove_equals_cold_rebuild(include_self, cap):
+    data = RNG.normal(size=(40, 4))
+    cache = NeighborOrderCache(data, include_self=include_self, max_length=cap)
+    removed = np.array([3, 17, 0, 39, 21])
+    cache.remove(removed)
+    keep = np.ones(40, dtype=bool)
+    keep[removed] = False
+    cold = _cold(data[keep], include_self, cap)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+    np.testing.assert_array_equal(cache.order_distances, cold.order_distances)
+
+
+@pytest.mark.parametrize("include_self", [True, False])
+@pytest.mark.parametrize("cap", [None, 5, 23, 100])
+def test_replace_equals_cold_rebuild(include_self, cap):
+    data = RNG.normal(size=(40, 4))
+    cache = NeighborOrderCache(data, include_self=include_self, max_length=cap)
+    revised = data.copy()
+    for index in (0, 19, 39):
+        row = RNG.normal(size=4)
+        cache.replace(index, row)
+        revised[index] = row
+    cold = _cold(revised, include_self, cap)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+    np.testing.assert_array_equal(cache.order_distances, cold.order_distances)
+
+
+def test_replace_with_duplicate_rows_breaks_ties_by_index():
+    data = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [1.0, 1.0]])
+    cache = NeighborOrderCache(data, include_self=True)
+    cache.replace(2, np.array([1.0, 1.0]))  # now three identical tuples
+    revised = data.copy()
+    revised[2] = [1.0, 1.0]
+    cold = NeighborOrderCache(revised, include_self=True)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+
+
+def test_remove_with_duplicate_rows_keeps_tie_order():
+    data = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [1.0, 1.0], [0.0, 0.0]])
+    cache = NeighborOrderCache(data, include_self=True)
+    cache.remove([2])
+    cold = NeighborOrderCache(np.delete(data, 2, axis=0), include_self=True)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+
+
+@pytest.mark.parametrize("cap", [None, 4, 9])
+def test_interleaved_lifecycle_equals_cold(cap):
+    """Randomized append/remove/replace sequences stay exact throughout."""
+    rng = np.random.default_rng(99)
+    live = rng.normal(size=(25, 3))
+    cache = NeighborOrderCache(live, include_self=True, max_length=cap)
+    for _ in range(30):
+        op = rng.choice(["append", "remove", "replace"])
+        if op == "append" or live.shape[0] < 5:
+            rows = rng.normal(size=(int(rng.integers(1, 5)), 3))
+            cache.append(rows)
+            live = np.vstack([live, rows])
+        elif op == "remove":
+            idx = rng.choice(
+                live.shape[0], size=int(rng.integers(1, 4)), replace=False
+            )
+            cache.remove(idx)
+            live = np.delete(live, idx, axis=0)
+        else:
+            index = int(rng.integers(live.shape[0]))
+            row = rng.normal(size=3)
+            cache.replace(index, row)
+            live = live.copy()
+            live[index] = row
+        cold = _cold(live, True, cap)
+        np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())
+        np.testing.assert_array_equal(cache.order_distances, cold.order_distances)
+
+
+def test_remove_reports_first_changed_and_index_map():
+    data = RNG.normal(size=(30, 3))
+    cache = NeighborOrderCache(data, include_self=True, max_length=8)
+    before = cache.order_matrix().copy()
+    result = cache.remove([2, 11, 29])
+    after = cache.order_matrix()
+    assert result.n_before == 30 and result.n_removed == 3
+    kept = result.kept_rows()
+    assert kept.shape[0] == 27 == result.first_changed.shape[0]
+    index_map = result.index_map
+    assert (index_map[[2, 11, 29]] == -1).all()
+    for new_i, old_i in enumerate(kept):
+        first = result.first_changed[new_i]
+        # Neighbour identities before the reported position are unchanged...
+        np.testing.assert_array_equal(
+            index_map[before[old_i, :first]], after[new_i, :first]
+        )
+        # ...and the reported position itself really did change.
+        if first < after.shape[1]:
+            assert index_map[before[old_i, first]] != after[new_i, first]
+    np.testing.assert_array_equal(
+        result.changed_rows(4), np.flatnonzero(result.first_changed < 4)
+    )
+
+
+def test_replace_reports_first_changed():
+    data = RNG.normal(size=(30, 3))
+    cache = NeighborOrderCache(data, include_self=True, max_length=10)
+    before = cache.order_matrix().copy()
+    result = cache.replace(7, RNG.normal(size=3))
+    after = cache.order_matrix()
+    assert result.index == 7
+    for i in range(30):
+        first = result.first_changed[i]
+        np.testing.assert_array_equal(after[i, :first], before[i, :first])
+        if first < after.shape[1]:
+            assert after[i, first] != before[i, first]
+
+
+def test_remove_all_and_empty_remove():
+    data = RNG.normal(size=(10, 3))
+    cache = NeighborOrderCache(data, include_self=True)
+    noop = cache.remove([])
+    assert noop.n_removed == 0 and cache.n_points == 10
+    result = cache.remove(np.arange(10))
+    assert result.n_removed == 10 and cache.n_points == 0
+    assert (result.index_map == -1).all()
+
+
+def test_remove_duplicate_indices_collapse():
+    data = RNG.normal(size=(12, 3))
+    cache = NeighborOrderCache(data, include_self=True)
+    result = cache.remove([4, 4, 7])
+    assert result.n_removed == 2 and cache.n_points == 10
+
+
+def test_lifecycle_errors():
+    cache = NeighborOrderCache(RNG.normal(size=(10, 3)))
+    with pytest.raises(ConfigurationError):
+        cache.remove([10])
+    with pytest.raises(ConfigurationError):
+        cache.remove([-1])
+    with pytest.raises(ConfigurationError):
+        cache.replace(10, np.zeros(3))
+    with pytest.raises(ConfigurationError):
+        cache.replace(0, np.zeros(4))  # width mismatch
+    with pytest.raises(ConfigurationError):
+        cache.replace(0, np.zeros((2, 3)))  # more than one row
+
+
+def test_append_validates_width_of_empty_batches():
+    """Satellite regression: a (0, m+3) block is a shape error, not a no-op."""
+    cache = NeighborOrderCache(RNG.normal(size=(8, 3)))
+    with pytest.raises(ConfigurationError):
+        cache.append(np.empty((0, 6)))
+    # A correctly-shaped empty batch still is a no-op.
+    result = cache.append(np.empty((0, 3)))
+    assert result.n_appended == 0 and cache.n_points == 8
+
+
+def test_append_accepts_single_1d_tuple():
+    """Satellite regression: both entry points normalise 1-D rows."""
+    data = RNG.normal(size=(8, 3))
+    cache = NeighborOrderCache(data, include_self=True)
+    row = RNG.normal(size=3)
+    result = cache.append(row)
+    assert result.n_appended == 1 and cache.n_points == 9
+    cold = NeighborOrderCache(np.vstack([data, row]), include_self=True)
+    np.testing.assert_array_equal(cache.order_matrix(), cold.order_matrix())

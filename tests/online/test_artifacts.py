@@ -102,6 +102,52 @@ def test_engine_snapshot_roundtrip(tmp_path):
     )
 
 
+def test_engine_snapshot_after_churn_roundtrip(tmp_path):
+    """Snapshots fold pending lifecycle mutations and restore bit-for-bit."""
+    values = load_dataset("ccpp", size=220).raw
+    engine = OnlineImputationEngine(
+        k=4, learning="adaptive", stepping=3, max_learning_neighbors=20
+    )
+    engine.append(values[:150])
+    queries = values[200:210].copy()
+    queries[:, 1] = np.nan
+    engine.impute_batch(queries)
+    # Leave a burst of lazy mutations pending at snapshot time.
+    engine.update(7, values[160])
+    engine.delete([0, 33, 149])
+    engine.append(values[150:160])
+    engine.snapshot(tmp_path / "engine")
+
+    restored = OnlineImputationEngine.load(tmp_path / "engine")
+    np.testing.assert_array_equal(
+        engine.impute_batch(queries), restored.impute_batch(queries)
+    )
+    # Both engines keep accepting lifecycle mutations identically.
+    engine.delete([5])
+    restored.delete([5])
+    engine.update(2, values[170])
+    restored.update(2, values[170])
+    np.testing.assert_array_equal(
+        engine.impute_batch(queries), restored.impute_batch(queries)
+    )
+    np.testing.assert_array_equal(
+        engine.store_relation().raw, restored.store_relation().raw
+    )
+
+
+def test_version1_snapshot_rejected_with_hint(tmp_path):
+    """Pre-lifecycle snapshots fail loudly instead of restoring garbage."""
+    values = load_dataset("ccpp", size=120).raw
+    engine = OnlineImputationEngine(k=3, learning="fixed", learning_neighbors=4)
+    engine.append(values[:80])
+    path = engine.snapshot(tmp_path / "engine")
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    manifest["version"] = 1
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+    with pytest.raises(ConfigurationError, match="tuple-lifecycle"):
+        OnlineImputationEngine.load(path)
+
+
 def test_corrupted_manifest_raises(tmp_path):
     path = write_artifact(tmp_path / "a", "imputer", {"class": "MeanImputer"}, {
         "relation_values": np.zeros((2, 2))
