@@ -70,6 +70,19 @@ __all__ = [
     "get_online_fallback_fraction",
     "set_online_fallback_fraction",
     "resolve_online_fallback_fraction",
+    "DEFAULT_ONLINE_SHARD_CAPACITY",
+    "get_online_shard_capacity",
+    "set_online_shard_capacity",
+    "resolve_online_shard_capacity",
+    "DEFAULT_ONLINE_JOURNAL_CAPACITY",
+    "get_online_journal_capacity",
+    "set_online_journal_capacity",
+    "resolve_online_journal_capacity",
+    "ONLINE_DELETE_COST_MODES",
+    "DEFAULT_ONLINE_DELETE_COST_MODE",
+    "get_online_delete_cost_mode",
+    "set_online_delete_cost_mode",
+    "resolve_online_delete_cost_mode",
 ]
 
 #: Recognised kernel backends.
@@ -287,3 +300,125 @@ def resolve_online_fallback_fraction(fraction=None) -> Optional[float]:
     if isinstance(fraction, str) and fraction == "default":
         return get_online_fallback_fraction()
     return _validate_fallback_fraction(fraction)
+
+
+# --------------------------------------------------------------------------- #
+# Columnar store / journal knobs
+# --------------------------------------------------------------------------- #
+
+#: Rows per shard of the engine's columnar tuple store.  Appends allocate
+#: whole shards (existing rows never move); mutation bookkeeping touches
+#: only the shards a batch's slots land in.
+DEFAULT_ONLINE_SHARD_CAPACITY = 4096
+
+#: Mutation-journal ring capacity: at most this many append/delete/update
+#: entries are retained for lazy replay.  Entries hold store slot
+#: references only, so the bound caps journal memory at O(capacity)
+#: integers; overflowing entries spill and laggard states full-rebuild.
+DEFAULT_ONLINE_JOURNAL_CAPACITY = 512
+
+#: Recognised delete-path validation-cost maintenance modes.
+ONLINE_DELETE_COST_MODES = ("rebuild", "decrement")
+
+#: How deletes refresh validation-cost rows: ``"rebuild"`` re-accumulates
+#: every dirty row with the cold scatter kernel (exact accumulation order);
+#: ``"decrement"`` subtracts the retired validator pairs from rows that
+#: only *lost* validators, guarded by a cancellation check that falls back
+#: to the rebuild when the subtraction would amplify rounding.
+DEFAULT_ONLINE_DELETE_COST_MODE = "rebuild"
+
+
+def _validate_positive_knob(value, name: str) -> int:
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise ConfigurationError(
+                f"{name} must be a positive integer, got {value!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def _validate_delete_cost_mode(mode) -> str:
+    key = str(mode).lower()
+    if key not in ONLINE_DELETE_COST_MODES:
+        raise ConfigurationError(
+            f"unknown delete cost mode {mode!r}; available modes: "
+            f"{sorted(ONLINE_DELETE_COST_MODES)}"
+        )
+    return key
+
+
+_online_shard_capacity = os.environ.get(
+    "REPRO_ONLINE_SHARD_CAPACITY", DEFAULT_ONLINE_SHARD_CAPACITY
+)
+_online_journal_capacity = os.environ.get(
+    "REPRO_ONLINE_JOURNAL_CAPACITY", DEFAULT_ONLINE_JOURNAL_CAPACITY
+)
+_online_delete_cost_mode = os.environ.get(
+    "REPRO_ONLINE_DELETE_COST", DEFAULT_ONLINE_DELETE_COST_MODE
+)
+
+
+def get_online_shard_capacity() -> int:
+    """The process-wide columnar-store shard capacity (rows per shard)."""
+    return _validate_positive_knob(_online_shard_capacity, "shard capacity")
+
+
+def set_online_shard_capacity(capacity):
+    """Select the process-wide shard capacity; returns the previous one."""
+    global _online_shard_capacity
+    previous = _online_shard_capacity
+    _online_shard_capacity = _validate_positive_knob(capacity, "shard capacity")
+    return previous
+
+
+def resolve_online_shard_capacity(capacity=None) -> int:
+    """Resolve an optional per-engine shard capacity against the knob."""
+    if capacity is None or (isinstance(capacity, str) and capacity == "default"):
+        return get_online_shard_capacity()
+    return _validate_positive_knob(capacity, "shard capacity")
+
+
+def get_online_journal_capacity() -> int:
+    """The process-wide mutation-journal ring capacity (entries)."""
+    return _validate_positive_knob(_online_journal_capacity, "journal capacity")
+
+
+def set_online_journal_capacity(capacity):
+    """Select the process-wide journal capacity; returns the previous one."""
+    global _online_journal_capacity
+    previous = _online_journal_capacity
+    _online_journal_capacity = _validate_positive_knob(capacity, "journal capacity")
+    return previous
+
+
+def resolve_online_journal_capacity(capacity=None) -> int:
+    """Resolve an optional per-engine journal capacity against the knob."""
+    if capacity is None or (isinstance(capacity, str) and capacity == "default"):
+        return get_online_journal_capacity()
+    return _validate_positive_knob(capacity, "journal capacity")
+
+
+def get_online_delete_cost_mode() -> str:
+    """The process-wide delete cost mode (``"rebuild"`` or ``"decrement"``)."""
+    return _validate_delete_cost_mode(_online_delete_cost_mode)
+
+
+def set_online_delete_cost_mode(mode):
+    """Select the process-wide delete cost mode; returns the previous one."""
+    global _online_delete_cost_mode
+    previous = _online_delete_cost_mode
+    _online_delete_cost_mode = _validate_delete_cost_mode(mode)
+    return previous
+
+
+def resolve_online_delete_cost_mode(mode=None) -> str:
+    """Resolve an optional per-engine delete cost mode against the knob."""
+    if mode is None or (isinstance(mode, str) and mode == "default"):
+        return get_online_delete_cost_mode()
+    return _validate_delete_cost_mode(mode)

@@ -113,6 +113,7 @@ class StreamingResult:
     query_mode: str = "store"
     rounds: List[StreamingRound] = field(default_factory=list)
     engine_stats: Dict[str, int] = field(default_factory=dict)
+    engine_memory: Dict[str, int] = field(default_factory=dict)
 
     @property
     def online_seconds(self) -> float:
@@ -146,6 +147,7 @@ class StreamingResult:
             "speedup": self.speedup,
             "max_rms_gap": self.max_rms_gap,
             "engine_stats": dict(self.engine_stats),
+            "engine_memory": dict(self.engine_memory),
             "rounds": [
                 {
                     "round": r.round_index,
@@ -175,6 +177,8 @@ def run_streaming(
     ood_shift: float = 2.0,
     refresh_policy: str = "lazy",
     model_cache_size: Optional[int] = None,
+    shard_capacity="default",
+    journal_capacity="default",
     random_state: int = 0,
     run_cold: bool = True,
     **iim_overrides,
@@ -215,6 +219,11 @@ def run_streaming(
         scenario queries every attribute, so an LRU smaller than the schema
         width would evict-and-rebuild each round and measure cache churn
         instead of incremental maintenance.
+    shard_capacity:
+        Columnar-store rows per shard (``"default"`` = the
+        :mod:`repro.config` knob).
+    journal_capacity:
+        Mutation-journal ring capacity (``"default"`` = the config knob).
     random_state:
         Seed for the query cell selection.
     run_cold:
@@ -256,6 +265,8 @@ def run_streaming(
     engine = OnlineImputationEngine(
         refresh_policy=refresh_policy,
         model_cache_size=model_cache_size,
+        shard_capacity=shard_capacity,
+        journal_capacity=journal_capacity,
         **iim_params,
     )
     engine.append(values[:initial])
@@ -314,6 +325,7 @@ def run_streaming(
         offset = stop
 
     result.engine_stats = dict(engine.stats)
+    result.engine_memory = engine.memory_stats()
     return result
 
 
@@ -352,6 +364,7 @@ class ChurnResult:
     fallback_fraction: Optional[float]
     rounds: List[ChurnRound] = field(default_factory=list)
     engine_stats: Dict[str, int] = field(default_factory=dict)
+    engine_memory: Dict[str, int] = field(default_factory=dict)
 
     @property
     def online_seconds(self) -> float:
@@ -386,6 +399,7 @@ class ChurnResult:
             "speedup": self.speedup,
             "max_rms_gap": self.max_rms_gap,
             "engine_stats": dict(self.engine_stats),
+            "engine_memory": dict(self.engine_memory),
             "rounds": [
                 {
                     "round": r.round_index,
@@ -421,6 +435,9 @@ def run_churn(
     refresh_policy: str = "lazy",
     model_cache_size: Optional[int] = None,
     fallback_fraction="default",
+    shard_capacity="default",
+    journal_capacity="default",
+    delete_cost_mode="default",
     random_state: int = 0,
     run_cold: bool = True,
     **iim_overrides,
@@ -478,6 +495,9 @@ def run_churn(
         refresh_policy=refresh_policy,
         model_cache_size=model_cache_size,
         incremental_fallback_fraction=fallback_fraction,
+        shard_capacity=shard_capacity,
+        journal_capacity=journal_capacity,
+        delete_cost_mode=delete_cost_mode,
         **iim_params,
     )
     engine.append(values[:initial])
@@ -562,4 +582,5 @@ def run_churn(
         offset = stop
 
     result.engine_stats = dict(engine.stats)
+    result.engine_memory = engine.memory_stats()
     return result

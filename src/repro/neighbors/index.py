@@ -25,6 +25,16 @@ the signal the online engine uses to invalidate only the affected per-tuple
 models.  The merged orderings are exactly those a cold rebuild over the
 grown data would produce (same distance values, same index tie-breaks).
 
+:class:`NeighborOrderCache` can be backed either by a private data matrix
+(the standalone/batch mode) or — for the online engine — by a *store
+feature view* (:class:`repro.online.store.StoreFeatureView`): an object
+carrying slot references into the shared columnar tuple store instead of a
+``(n, m)`` float copy.  In store-backed mode the lifecycle methods take
+slot references (``append(slots=...)`` / ``replace(index, slot=...)``),
+row values are gathered from the store on demand, and pairwise distances
+are computed per shard — bit-identical to the matrix mode, without the
+cache owning any tuple payload.
+
 :meth:`NeighborOrderCache.remove` and :meth:`NeighborOrderCache.replace`
 complete the tuple lifecycle.  Removal compacts every cached ordering (an
 order-preserving deletion of the removed entries, so index tie-breaks stay
@@ -236,7 +246,13 @@ class NeighborOrderCache:
         max_length: Optional[int] = None,
         keep_distances: bool = False,
     ):
-        self._data = as_float_matrix(data, name="data")
+        # A store feature view (duck-typed: it computes its own per-shard
+        # pairwise distances) is kept as-is; anything else is a matrix.
+        self._store_backed = hasattr(data, "pairwise") and hasattr(data, "slots")
+        if self._store_backed:
+            self._data = data
+        else:
+            self._data = as_float_matrix(data, name="data")
         self._metric_fn = get_metric(metric)
         self.metric = metric
         self.include_self = bool(include_self)
@@ -258,11 +274,29 @@ class NeighborOrderCache:
         return self._data.shape[0]
 
     @property
-    def data(self) -> np.ndarray:
-        """Read-only view of the indexed points."""
+    def data(self):
+        """The indexed points: a read-only array, or the store view."""
+        if self._store_backed:
+            return self._data
         view = self._data.view()
         view.setflags(write=False)
         return view
+
+    @property
+    def store_backed(self) -> bool:
+        """Whether the cache reads through a shared columnar store."""
+        return self._store_backed
+
+    @property
+    def slots(self) -> Optional[np.ndarray]:
+        """Store slots of the indexed points (store-backed mode only)."""
+        return self._data.slots if self._store_backed else None
+
+    def _pairwise(self, query) -> np.ndarray:
+        """Distances of ``query`` against every indexed point."""
+        if self._store_backed:
+            return self._data.pairwise(query, self._metric_fn)
+        return self._metric_fn(query, self._data)
 
     def max_neighbors(self) -> int:
         """The largest ℓ available from this cache."""
@@ -273,7 +307,7 @@ class NeighborOrderCache:
         return self.max_neighbors() if self.max_length is None else self.max_length
 
     def _compute_order(self, index: int) -> np.ndarray:
-        distances = self._metric_fn(self._data[index], self._data)
+        distances = self._pairwise(self._data[index])
         order = np.lexsort((np.arange(distances.shape[0]), distances))
         if not self.include_self:
             keep = order != index
@@ -326,7 +360,7 @@ class NeighborOrderCache:
         out_dists = np.empty((n, length)) if self.keep_distances else None
         for start in range(0, n, chunk_size):
             stop = min(start + chunk_size, n)
-            distances = self._metric_fn(self._data[start:stop], self._data)
+            distances = self._pairwise(self._data[start:stop])
             if select < n:
                 _, order = topk_batch(distances, select)
             else:
@@ -386,7 +420,7 @@ class NeighborOrderCache:
             raise DataError(f"{name} contain NaN or infinite values")
         return np.ascontiguousarray(rows)
 
-    def append(self, rows) -> OrderAppendResult:
+    def append(self, rows=None, *, slots=None) -> OrderAppendResult:
         """Add tuples to the indexed data and update every cached ordering.
 
         Each pre-existing tuple's ordering is merged with the new candidate
@@ -402,11 +436,25 @@ class NeighborOrderCache:
         ``max_length`` cap as the store grows; a tuple whose cached ordering
         held *all* points keeps a complete ordering after the merge.
 
+        In store-backed mode pass ``slots`` (the columnar-store slots the
+        engine appended) instead of ``rows``; the values are gathered from
+        the store.
+
         Returns an :class:`OrderAppendResult` reporting, per pre-existing
         tuple, the first ordering position that changed.
         """
         n_before = self.n_points
-        rows = self._normalize_rows(rows, "appended rows")
+        if self._store_backed:
+            if slots is None:
+                raise ConfigurationError(
+                    "a store-backed cache grows by slots; pass append(slots=...)"
+                )
+            slots = np.asarray(slots, dtype=np.int64)
+            rows = self._data.store.rows(slots, attrs=self._data.attrs)
+        else:
+            if rows is None:
+                raise ConfigurationError("append requires rows (or a store view)")
+            rows = self._normalize_rows(rows, "appended rows")
         if rows.shape[0] == 0:
             length = self.effective_length()
             return OrderAppendResult(
@@ -420,16 +468,18 @@ class NeighborOrderCache:
         old_dists = self._ensure_distances()
         old_length = old_orders.shape[1]
 
-        data_after = np.vstack([self._data, rows])
         n_after = n_before + n_appended
         new_indices = np.arange(n_before, n_after)
 
         # Distances of the appended rows against the full grown store; the
         # transpose of its left block is, by metric symmetry, bit-identical
         # to what a cold rebuild computes for the pre-existing rows.
-        appended_distances = self._metric_fn(rows, data_after)
+        if self._store_backed:
+            self._data = self._data.extended(slots)
+        else:
+            self._data = np.vstack([self._data, rows])
+        appended_distances = self._pairwise(rows)
 
-        self._data = data_after
         if self._requested_length is not None:
             self.max_length = min(self._requested_length, self.max_neighbors())
         new_length = self.effective_length()
@@ -511,7 +561,10 @@ class NeighborOrderCache:
         n_after = kept.size
 
         if n_after == 0:
-            self._data = self._data[:0].copy()
+            if self._store_backed:
+                self._data = self._data.selected(np.empty(0, dtype=np.int64))
+            else:
+                self._data = self._data[:0].copy()
             self.max_length = None if self._requested_length is None else 0
             self._matrix = np.empty((0, 0), dtype=int)
             self._dists = np.empty((0, 0)) if self.keep_distances else None
@@ -525,7 +578,10 @@ class NeighborOrderCache:
         old_orders = self.order_matrix()
         old_dists = self._ensure_distances()
 
-        self._data = self._data[kept]
+        if self._store_backed:
+            self._data = self._data.selected(kept)
+        else:
+            self._data = self._data[kept]
         if self._requested_length is not None:
             self.max_length = min(self._requested_length, self.max_neighbors())
         new_length = self.effective_length()
@@ -546,7 +602,7 @@ class NeighborOrderCache:
         # cache never held beyond the cap; rebuild those rows cold.
         deficit = np.flatnonzero(counts < new_length)
         if deficit.size:
-            distances = self._metric_fn(self._data[deficit], self._data)
+            distances = self._pairwise(self._data[deficit])
             select = min(n_after, new_length + (0 if self.include_self else 1))
             if select < n_after:
                 _, order = topk_batch(distances, select)
@@ -571,7 +627,7 @@ class NeighborOrderCache:
         self._cache.clear()
         return OrderRemoveResult(n_before, indices.size, first_changed, index_map)
 
-    def replace(self, index: int, row) -> OrderReplaceResult:
+    def replace(self, index: int, row=None, *, slot=None) -> OrderReplaceResult:
         """Replace one indexed tuple's values and repair every ordering.
 
         Removal + merge over the kept distances: the stale entry for
@@ -581,29 +637,43 @@ class NeighborOrderCache:
         cold rebuild.  Rows where the revised tuple fell out of a capped
         prefix are re-filled from a fresh distance row; the replaced
         tuple's own ordering is recomputed outright.
+
+        In store-backed mode pass ``slot`` (the fresh columnar-store slot
+        holding the revised tuple) instead of ``row``.
         """
         n = self.n_points
         index = int(index)
         if not 0 <= index < n:
             raise ConfigurationError(f"tuple index {index} out of range")
-        row = self._normalize_rows(row, "replacement row")
-        if row.shape[0] != 1:
-            raise ConfigurationError(
-                f"replace expects exactly one row, got {row.shape[0]}"
-            )
+        if self._store_backed:
+            if slot is None:
+                raise ConfigurationError(
+                    "a store-backed cache revises by slot; pass replace(index, slot=...)"
+                )
+        else:
+            if row is None:
+                raise ConfigurationError("replace requires a row (or a store view)")
+            row = self._normalize_rows(row, "replacement row")
+            if row.shape[0] != 1:
+                raise ConfigurationError(
+                    f"replace expects exactly one row, got {row.shape[0]}"
+                )
 
         self.keep_distances = True
         old_orders = self.order_matrix()
         old_dists = self._ensure_distances()
         length = old_orders.shape[1]
 
-        data = self._data.copy()
-        data[index] = row[0]
-        self._data = data
+        if self._store_backed:
+            self._data = self._data.replaced(index, slot)
+        else:
+            data = self._data.copy()
+            data[index] = row[0]
+            self._data = data
         # Distances of the revised tuple against the updated store (its own
         # entry included); by metric symmetry this column doubles as every
         # other tuple's candidate distance.
-        cand_dists = self._metric_fn(data[index], data)
+        cand_dists = self._pairwise(self._data[index])
 
         # --- Drop the stale entry for ``index`` from every ordering (it
         # moves to the last column), then merge the revised candidate in.
@@ -635,7 +705,7 @@ class NeighborOrderCache:
             if index not in refill:
                 refill.append(index)
         refill = np.asarray(sorted(refill), dtype=int)
-        distances = self._metric_fn(data[refill], data)
+        distances = self._pairwise(self._data[refill])
         select = min(n, length + (0 if self.include_self else 1))
         if select < n:
             _, order = topk_batch(distances, select)
@@ -668,7 +738,7 @@ class NeighborOrderCache:
         dists = np.empty(matrix.shape)
         for start in range(0, n, chunk_size):
             stop = min(start + chunk_size, n)
-            distances = self._metric_fn(self._data[start:stop], self._data)
+            distances = self._pairwise(self._data[start:stop])
             dists[start:stop] = np.take_along_axis(
                 distances, matrix[start:stop], axis=1
             )

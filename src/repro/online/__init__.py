@@ -31,9 +31,21 @@ from .artifacts import (
     write_artifact,
 )
 from .engine import OnlineImputationEngine
+from .store import (
+    ColumnarTupleStore,
+    MutationJournal,
+    ShardedNeighbors,
+    StoreFeatureView,
+    sharded_topk,
+)
 
 __all__ = [
     "OnlineImputationEngine",
+    "ColumnarTupleStore",
+    "StoreFeatureView",
+    "ShardedNeighbors",
+    "MutationJournal",
+    "sharded_topk",
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "write_artifact",

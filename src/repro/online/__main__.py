@@ -114,6 +114,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hybrid relearn threshold in [0, 1], or 'none' to stay "
         "always-incremental (default: the repro.config knob)",
     )
+    parser.add_argument(
+        "--shard-capacity", default="default",
+        help="rows per shard of the columnar tuple store (default: the "
+        "repro.config knob)",
+    )
+    parser.add_argument(
+        "--journal-capacity", default="default",
+        help="mutation-journal ring capacity in entries (default: the "
+        "repro.config knob)",
+    )
+    parser.add_argument(
+        "--delete-cost", choices=("rebuild", "decrement"), default=None,
+        help="delete-path validation-cost maintenance (default: the "
+        "repro.config knob)",
+    )
     parser.add_argument("--snapshot", metavar="DIR", help="save the engine at the end")
     parser.add_argument("--restore", metavar="DIR", help="start from a saved engine")
     parser.add_argument(
@@ -152,6 +167,9 @@ def _build_engine(args) -> OnlineImputationEngine:
         model_cache_size=args.cache_size,
         refresh_policy=args.refresh,
         incremental_fallback_fraction=args.fallback_fraction,
+        shard_capacity=args.shard_capacity,
+        journal_capacity=args.journal_capacity,
+        delete_cost_mode=args.delete_cost if args.delete_cost else "default",
         **iim_params,
     )
 
@@ -284,6 +302,14 @@ def _main_ops(args) -> int:
         f"imputed; refreshes: {stats['incremental_refreshes']} incremental / "
         f"{stats['full_refreshes']} full / {stats['hybrid_full_rebuilds']} hybrid "
         f"rebuilds ({stats['rows_refreshed']} tuple models relearned)"
+    )
+    memory = engine.memory_stats()
+    print(
+        f"columnar store: {memory['n_shards']} shards × "
+        f"{memory['shard_capacity']} rows, {memory['store_bytes']} payload "
+        f"bytes; journal {memory['journal_entries']}/"
+        f"{memory['journal_capacity']} entries ({memory['journal_bytes']} "
+        f"bytes); {memory['recycled_slots']} slots recycled"
     )
     if args.output and imputed:
         write_csv(

@@ -35,6 +35,7 @@ from ..exceptions import ConfigurationError
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "SUPPORTED_ARTIFACT_VERSIONS",
     "write_artifact",
     "read_artifact",
     "save_imputer",
@@ -46,8 +47,15 @@ ARTIFACT_FORMAT = "repro-artifact"
 
 #: Current artifact schema version; bumped on incompatible layout changes.
 #: Version 2 added the engine's tuple-lifecycle state (per-state target
-#: columns, lifecycle counters, the engine mutation version).
-ARTIFACT_VERSION = 2
+#: columns, lifecycle counters, the engine mutation version).  Version 3
+#: added the sharded columnar store metadata (shard capacity, journal
+#: ring knobs, delete cost mode); version-2 artifacts remain readable and
+#: are migrated on load.
+ARTIFACT_VERSION = 3
+
+#: Versions :func:`read_artifact` accepts; older versions in this set are
+#: migrated by the object-level loaders.
+SUPPORTED_ARTIFACT_VERSIONS = (2, 3)
 
 MANIFEST_FILENAME = "manifest.json"
 ARRAYS_FILENAME = "arrays.npz"
@@ -127,7 +135,7 @@ def read_artifact(
             f"{manifest_path} is not a {ARTIFACT_FORMAT} manifest "
             f"(format={manifest.get('format')!r})"
         )
-    if manifest.get("version") != ARTIFACT_VERSION:
+    if manifest.get("version") not in SUPPORTED_ARTIFACT_VERSIONS:
         hint = ""
         if manifest.get("version") == 1:
             hint = (
@@ -136,8 +144,8 @@ def read_artifact(
             )
         raise ConfigurationError(
             f"artifact version mismatch in {manifest_path}: found "
-            f"{manifest.get('version')!r}, this library reads version "
-            f"{ARTIFACT_VERSION}{hint}"
+            f"{manifest.get('version')!r}, this library reads versions "
+            f"{SUPPORTED_ARTIFACT_VERSIONS}{hint}"
         )
     if expected_kind is not None and manifest.get("kind") != expected_kind:
         raise ConfigurationError(

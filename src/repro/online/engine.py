@@ -27,12 +27,34 @@ scratch on every ``fit``; this module keeps a *long-lived* engine instead:
   ``.npz`` + JSON-manifest artifact; :meth:`OnlineImputationEngine.load`
   restores an engine whose subsequent imputations are bit-identical.
 
+The shared columnar store
+-------------------------
+Tuple payloads live in exactly one place: a
+:class:`~repro.online.store.ColumnarTupleStore` — one array per attribute,
+partitioned into fixed-capacity row shards, with free-list slot recycling.
+Every cached attribute state reads *through* the store: its neighbour cache
+holds a :class:`~repro.online.store.StoreFeatureView` (slot references, no
+feature-submatrix copy) and its target column is gathered from the store on
+demand (no target-column copy).  Resident per-state memory is therefore the
+orderings/models/costs plus ``O(n)`` slot integers — independent of the
+schema width — instead of the former ``O(n · m)`` float copies per state.
+Distance kernels and neighbour queries run per shard with an exact
+cross-shard ``(distance, index)`` merge, and a mutation's store writes
+touch only the shards its slots land in.
+
 Deferred maintenance: the mutation journal
 ------------------------------------------
 Under the ``"lazy"`` refresh policy a cached state may lag the store by
-several mutations.  The engine therefore keeps a small *journal* of the
-mutations since each state's sync point (appended rows, deleted index
-sets, updated tuples); on the next imputation touching a state the journal
+several mutations.  The engine keeps the mutations since each state's sync
+point in a **bounded ring buffer**
+(:class:`~repro.online.store.MutationJournal`) whose entries hold store
+slot references only — the payloads are durable in the columnar store the
+moment a mutation lands, and retired row versions are *retained* (MVCC
+style) until their journal entry is replayed by every resident state or
+spills off the ring, at which point their slots return to the free list.
+Journal memory is thus bounded by the ring capacity regardless of burst
+length; a state older than the ring's floor full-rebuilds instead of
+replaying.  On the next imputation touching a state the journal
 is replayed in two phases — each op maintains the neighbour cache, the
 owner matrix and the dirty sets only (adjacent appends coalesced into one
 batched merge), then ONE batched relearn + cost rebuild + selection runs
@@ -84,11 +106,16 @@ import numpy as np
 
 from .._validation import as_float_matrix
 from ..config import (
+    resolve_backend,
+    resolve_online_delete_cost_mode,
     resolve_online_fallback_fraction,
+    resolve_online_journal_capacity,
     resolve_online_model_cache_size,
     resolve_online_refresh_policy,
+    resolve_online_shard_capacity,
 )
 from ..core.adaptive import adaptive_learning, scatter_validation_costs
+from ..core.combine import get_batch_combiner
 from ..core.iim import IIMImputer
 from ..core.imputation import impute_with_individual_models
 from ..core.learning import (
@@ -103,19 +130,28 @@ from ..neighbors import BruteForceNeighbors, NeighborOrderCache
 from ..neighbors.brute import drop_self_rows
 from ..regression import RidgeRegression, batched_design
 from .artifacts import read_artifact, write_artifact
+from .store import ColumnarTupleStore, MutationJournal, ShardedNeighbors
 
 __all__ = ["OnlineImputationEngine"]
+
+#: Cancellation guard of the delete cost-decrement path: when subtracting
+#: the retired pairs would leave a cost entry below this fraction of its
+#: previous value, rounding could be amplified past the engine's 1e-9
+#: equivalence bar, so the row falls back to the exact rebuild instead.
+DECREMENT_CANCELLATION_GUARD = 1e-6
 
 
 class _AttributeState:
     """Models + incremental maintenance state for one incomplete attribute.
 
     One state exists per target attribute the engine has served; it owns the
-    attribute's neighbour-order cache (over the complete attributes ``F``),
-    its own copy of the target column, the per-tuple models, and — for
-    adaptive learning — the full candidate parameter stack and
-    validation-cost matrix needed to refresh a subset of tuples without
-    relearning the rest.
+    attribute's neighbour-order cache (a slot-indirected *view* over the
+    shared columnar store, restricted to the complete attributes ``F``),
+    the per-tuple models, and — for adaptive learning — the full candidate
+    parameter stack and validation-cost matrix needed to refresh a subset
+    of tuples without relearning the rest.  It holds **no copy** of the
+    feature submatrix or the target column: both are gathered from the
+    store on demand through the view's slots.
     """
 
     def __init__(self, engine: "OnlineImputationEngine", target_index: int):
@@ -125,7 +161,6 @@ class _AttributeState:
         self.feature_indices = [i for i in range(width) if i != self.target_index]
 
         self.cache: Optional[NeighborOrderCache] = None
-        self.target: Optional[np.ndarray] = None
         self.version = 0
         self.n_synced = 0
         self.signature: Optional[Tuple] = None
@@ -144,10 +179,28 @@ class _AttributeState:
         # Fixed-learning state.
         self.parameters: Optional[np.ndarray] = None  # (n, p)
 
+        # Retired validation pairs accumulated during one replay for the
+        # delete cost-decrement path (reset at every sync).
+        self._retired_owners: List[np.ndarray] = []
+        self._retired_designs: List[np.ndarray] = []
+        self._retired_targets: List[np.ndarray] = []
+
     # ------------------------------------------------------------------ #
     @property
     def _imputer(self) -> IIMImputer:
         return self.engine.imputer
+
+    def target_column(self) -> np.ndarray:
+        """The state's target column, gathered from the store by slot."""
+        return self.engine._store.column(self.target_index, self.cache.slots)
+
+    @property
+    def _decrement_active(self) -> bool:
+        return (
+            self.engine.delete_cost_mode == "decrement"
+            and self._adaptive
+            and self._k_val() > 0
+        )
 
     @property
     def _adaptive(self) -> bool:
@@ -193,15 +246,17 @@ class _AttributeState:
         if self.cache is not None and self.version == engine._version:
             return
         n = engine._n
-        store = engine._store_matrix()
+        if n == 0:
+            raise NotFittedError("cannot sync a model state over an empty store")
         signature = self._signature(n)
         pending = engine._pending_ops(self.version)
+        self._retired_owners = []
+        self._retired_designs = []
+        self._retired_targets = []
         if pending is None or self.cache is None or not self._can_replay(
             pending, signature
         ):
-            self._full_build(
-                store[:, self.feature_indices], store[:, self.target_index], signature
-            )
+            self._full_build(signature)
             engine.stats["full_refreshes"] += 1
             engine.stats["rows_refreshed"] += n
         else:
@@ -218,13 +273,14 @@ class _AttributeState:
                         payload, dirty_models, dirty_costs
                     )
                 elif op == "delete":
+                    indices, retired_slots = payload
                     dirty_models, dirty_costs = self._track_delete(
-                        payload, dirty_models, dirty_costs
+                        indices, retired_slots, dirty_models, dirty_costs
                     )
                 else:
-                    index, row = payload
+                    index, _, new_slot = payload
                     dirty_models, dirty_costs = self._track_update(
-                        index, row, dirty_models, dirty_costs
+                        index, new_slot, dirty_models, dirty_costs
                     )
             refreshed = self._finalize_refresh(dirty_models, dirty_costs)
             engine.stats["incremental_refreshes"] += 1
@@ -243,7 +299,7 @@ class _AttributeState:
             if op == "append":
                 n_running += payload.shape[0]
             elif op == "delete":
-                n_running -= payload.shape[0]
+                n_running -= payload[0].shape[0]
             else:
                 continue  # updates never change n (or the structure)
             if n_running < 1 or self._signature(n_running) != self.signature:
@@ -256,22 +312,23 @@ class _AttributeState:
         out: List[Tuple[str, object]] = []
         for op, payload in pending:
             if op == "append" and out and out[-1][0] == "append":
-                out[-1] = ("append", np.vstack([out[-1][1], payload]))
+                out[-1] = ("append", np.concatenate([out[-1][1], payload]))
             else:
                 out.append((op, payload))
         return out
 
     # ------------------------------------------------------------------ #
-    def _full_build(self, features: np.ndarray, target: np.ndarray, signature) -> None:
-        """Cold rebuild: fresh neighbour cache, then the model/cost stack."""
+    def _full_build(self, signature) -> None:
+        """Cold rebuild: a fresh store view + neighbour cache, then the
+        model/cost stack."""
+        view = self.engine._store.feature_view(exclude=self.target_index)
         self.cache = NeighborOrderCache(
-            features,
+            view,
             metric=self._imputer.metric,
             include_self=True,
             max_length=self._requested_cache_length(),
             keep_distances=True,
         )
-        self.target = np.array(target, dtype=float)
         self._rebuild_from_cache(signature)
 
     def _rebuild_from_cache(self, signature) -> None:
@@ -283,7 +340,7 @@ class _AttributeState:
         """
         imputer = self._imputer
         features = np.asarray(self.cache.data)
-        target = self.target
+        target = self.target_column()
         n = features.shape[0]
         if not self._adaptive:
             ell = signature[1]
@@ -408,12 +465,11 @@ class _AttributeState:
         return self.signature[2] if self._adaptive else 0
 
     def _track_append(
-        self, rows: np.ndarray, dirty_models: np.ndarray, dirty_costs: np.ndarray
+        self, slots: np.ndarray, dirty_models: np.ndarray, dirty_costs: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Absorb appended tuples into the cache/owner/dirty state."""
         n_old = self.cache.n_points
-        result = self.cache.append(rows[:, self.feature_indices])
-        self.target = np.concatenate([self.target, rows[:, self.target_index]])
+        result = self.cache.append(slots=slots)
         n = self.cache.n_points
 
         grown_models = np.zeros(n, dtype=bool)
@@ -454,14 +510,28 @@ class _AttributeState:
         return grown_models, grown_costs
 
     def _track_delete(
-        self, indices: np.ndarray, dirty_models: np.ndarray, dirty_costs: np.ndarray
+        self,
+        indices: np.ndarray,
+        retired_slots: np.ndarray,
+        dirty_models: np.ndarray,
+        dirty_costs: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fold deleted tuples out of the cache/owner/dirty state."""
         old_owners = self.owners
+        decrement = self._decrement_active
+        if decrement:
+            # The retired validators' payloads (still readable by slot —
+            # the store retains them until the journal lets go) feed the
+            # cost decrement in phase 2.
+            deleted_designs = batched_design(
+                self.engine._store.rows(retired_slots, attrs=self.feature_indices)
+            )
+            deleted_targets = self.engine._store.column(
+                self.target_index, retired_slots
+            )
         result = self.cache.remove(indices)
         kept = result.kept_rows()
         index_map = result.index_map
-        self.target = self.target[kept]
         n = self.cache.n_points
 
         shrunk_models = dirty_models[kept]
@@ -487,7 +557,20 @@ class _AttributeState:
                 # ...and owners that lost a deleted validator's contribution.
                 removed_old = np.flatnonzero(index_map < 0)
                 lost = index_map[old_owners[removed_old]]
-                shrunk_costs[lost[lost >= 0]] = True
+                if decrement:
+                    # Earlier recorded pairs live in the pre-delete index
+                    # space; remap them (owners that died drop out).
+                    self._remap_retired_pairs(index_map)
+                    valid = lost.ravel() >= 0
+                    self._retired_owners.append(lost.ravel()[valid])
+                    self._retired_designs.append(
+                        np.repeat(deleted_designs, k_val, axis=0)[valid]
+                    )
+                    self._retired_targets.append(
+                        np.repeat(deleted_targets, k_val)[valid]
+                    )
+                else:
+                    shrunk_costs[lost[lost >= 0]] = True
                 self.owners = owners_new
             else:
                 self.owners = np.empty((n, 0), dtype=int)
@@ -498,14 +581,13 @@ class _AttributeState:
     def _track_update(
         self,
         index: int,
-        row: np.ndarray,
+        new_slot: int,
         dirty_models: np.ndarray,
         dirty_costs: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fold one revised tuple into the cache/owner/dirty state."""
         old_owners = self.owners
-        result = self.cache.replace(index, row[self.feature_indices])
-        self.target[index] = row[self.target_index]
+        result = self.cache.replace(index, slot=new_slot)
         n = self.cache.n_points
         orders = self.cache.order_matrix()
         limit = self._dirty_limit()
@@ -547,7 +629,7 @@ class _AttributeState:
         if self._maybe_fallback(model_rows.shape[0], n):
             return n
         features = np.asarray(self.cache.data)
-        target = self.target
+        target = self.target_column()
         orders = self.cache.order_matrix()
 
         if not self._adaptive:
@@ -585,13 +667,88 @@ class _AttributeState:
                 RidgeRegression(alpha=imputer.alpha).fit(features, target).coefficients
             )
 
-        dirty_rows = np.flatnonzero(dirty_costs | dirty_models)
+        dirty_mask = dirty_costs | dirty_models
+        guard_rows = self._apply_cost_decrements(dirty_mask, n)
+        if guard_rows.size:
+            dirty_mask[guard_rows] = True
+        dirty_rows = np.flatnonzero(dirty_mask)
         designs = batched_design(features)
         self._rebuild_dirty_costs(dirty_rows, self.owners, designs, target, k_val)
         self._finish_validation(
             self.owners, designs, target, k_val, global_active, n
         )
         return int(model_rows.shape[0])
+
+    def _remap_retired_pairs(self, index_map: np.ndarray) -> None:
+        """Renumber recorded decrement pairs through a delete's index map."""
+        for position, owners in enumerate(self._retired_owners):
+            remapped = index_map[owners]
+            alive = remapped >= 0
+            self._retired_owners[position] = remapped[alive]
+            self._retired_designs[position] = self._retired_designs[position][alive]
+            self._retired_targets[position] = self._retired_targets[position][alive]
+
+    def _apply_cost_decrements(self, dirty_mask: np.ndarray, n: int) -> np.ndarray:
+        """Subtract retired validation pairs from pure-loss cost rows.
+
+        A row is *pure-loss* when the replay only removed validators from
+        it: its candidate models are unchanged (so the recorded residuals
+        are bit-identical to what the scatter kernel once added) and no
+        validator was gained, moved, or revalued (those rows carry
+        ``dirty_mask`` and take the exact rebuild).  Rows whose validator
+        count reaches zero are set to exactly ``0.0`` — every contribution
+        was retired, so the rebuild would produce the same bits.  Rows
+        where the subtraction would cancel catastrophically (result under
+        ``DECREMENT_CANCELLATION_GUARD`` of the previous value, or
+        negative) are returned for the rebuild fallback instead.
+        """
+        if not self._retired_owners:
+            return np.empty(0, dtype=int)
+        owners = np.concatenate(self._retired_owners)
+        designs = np.vstack(self._retired_designs)
+        targets = np.concatenate(self._retired_targets)
+        self._retired_owners = []
+        self._retired_designs = []
+        self._retired_targets = []
+        if owners.size == 0:
+            return np.empty(0, dtype=int)
+        eligible = ~dirty_mask[owners]
+        owners, designs, targets = (
+            owners[eligible], designs[eligible], targets[eligible]
+        )
+        if owners.size == 0:
+            return np.empty(0, dtype=int)
+
+        # The same einsum the scatter kernel used to add these pairs, so
+        # the subtracted residuals carry identical bits.
+        predictions = np.einsum(
+            "pc,lpc->pl", designs, self.all_parameters[:, owners, :]
+        )
+        errors = (targets[:, None] - predictions) ** 2
+        rows = np.unique(owners)
+        n_candidates = self.costs.shape[1]
+        decrements = np.empty((rows.shape[0], n_candidates))
+        for position in range(n_candidates):
+            decrements[:, position] = np.bincount(
+                owners, weights=errors[:, position], minlength=n
+            )[rows]
+        old_costs = self.costs[rows]
+        new_costs = old_costs - decrements
+
+        # Rows that lost every validator rebuild to exactly zero.
+        counts_new = np.bincount(self.owners.ravel(), minlength=n)[rows]
+        new_costs[counts_new == 0] = 0.0
+
+        unsafe = (new_costs < 0.0).any(axis=1) | (
+            (decrements > 0.0)
+            & (new_costs < DECREMENT_CANCELLATION_GUARD * old_costs)
+            & (counts_new[:, None] > 0)
+        ).any(axis=1)
+        safe = ~unsafe
+        self.costs[rows[safe]] = new_costs[safe]
+        self.engine.stats["delete_cost_decrements"] += int(safe.sum())
+        self.engine.stats["delete_cost_guard_rebuilds"] += int(unsafe.sum())
+        return rows[unsafe]
 
     def _select(self, n: int) -> None:
         """Re-run the per-tuple argmin of Algorithm 3 over the cost matrix."""
@@ -624,7 +781,7 @@ class _AttributeState:
         arrays = {
             "orders": self.cache.order_matrix(),
             "order_dists": self.cache.order_distances,
-            "target": self.target,
+            "target": self.target_column(),
             "models_parameters": self.models.parameters,
             "models_ell": self.models.learning_neighbors,
         }
@@ -671,16 +828,21 @@ class _AttributeState:
             )
         else:
             state.signature = ("fixed", int(signature[1]))
-        features = engine._store_matrix()[: state.n_synced, state.feature_indices]
+        if state.n_synced != engine._store.n_live:
+            raise ConfigurationError(
+                f"engine artifact state for attribute {state.target_index} is "
+                f"synced at {state.n_synced} rows but the store holds "
+                f"{engine._store.n_live}; re-create the snapshot"
+            )
+        view = engine._store.feature_view(exclude=state.target_index)
         state.cache = NeighborOrderCache(
-            features,
+            view,
             metric=engine.imputer.metric,
             include_self=True,
             max_length=state._requested_cache_length(),
             keep_distances=True,
         )
         state.cache.restore_matrix(arrays["orders"], arrays["order_dists"])
-        state.target = np.array(arrays["target"], dtype=float)
         state.models = IndividualModels(
             arrays["models_parameters"], arrays["models_ell"]
         )
@@ -722,6 +884,22 @@ class OnlineImputationEngine:
         vectorized full rebuild over the maintained orderings instead of
         the per-row incremental path.  Defaults to the process-wide knob of
         :mod:`repro.config`; ``None`` disables the fallback.
+    shard_capacity:
+        Rows per shard of the shared columnar tuple store (defaults to the
+        process-wide knob).  Appends allocate whole shards and never move
+        existing rows; mutation bookkeeping touches only the shards a
+        batch's slots land in.
+    journal_capacity:
+        Mutation-journal ring capacity (defaults to the process-wide
+        knob).  Entries hold store slot references only; overflowing
+        entries spill, bounding journal memory, and states older than the
+        spill floor full-rebuild instead of replaying.
+    delete_cost_mode:
+        ``"rebuild"`` (default knob) refreshes validation-cost rows
+        touched by a delete with the exact scatter rebuild;
+        ``"decrement"`` subtracts the retired validator pairs from rows
+        that only lost validators, guarded by a cancellation check that
+        falls back to the rebuild.
 
     Examples
     --------
@@ -740,6 +918,9 @@ class OnlineImputationEngine:
         model_cache_size="default",
         refresh_policy: Optional[str] = None,
         incremental_fallback_fraction="default",
+        shard_capacity="default",
+        journal_capacity="default",
+        delete_cost_mode="default",
         **iim_params,
     ):
         if imputer is None:
@@ -758,15 +939,14 @@ class OnlineImputationEngine:
         self.incremental_fallback_fraction = resolve_online_fallback_fraction(
             incremental_fallback_fraction
         )
+        self.shard_capacity = resolve_online_shard_capacity(shard_capacity)
+        self.journal_capacity = resolve_online_journal_capacity(journal_capacity)
+        self.delete_cost_mode = resolve_online_delete_cost_mode(delete_cost_mode)
 
         self._schema: Optional[Schema] = None
-        self._buffer: Optional[np.ndarray] = None
-        self._n = 0
+        self._store: Optional[ColumnarTupleStore] = None
         self._version = 0
-        self._journal: List[Tuple[int, str, object]] = []
-        # Mutations at versions <= the floor are no longer journalled; a
-        # state that lags behind it must full-rebuild instead of replaying.
-        self._journal_floor = 0
+        self._journal = MutationJournal(self.journal_capacity)
         self._states: "OrderedDict[int, _AttributeState]" = OrderedDict()
         self.stats: Dict[str, int] = {
             "appends": 0,
@@ -783,15 +963,32 @@ class OnlineImputationEngine:
             "cache_hits": 0,
             "cache_misses": 0,
             "cache_evictions": 0,
+            "journal_spills": 0,
+            "shards_touched": 0,
+            "delete_cost_decrements": 0,
+            "delete_cost_guard_rebuilds": 0,
         }
 
     # ------------------------------------------------------------------ #
     # Store
     # ------------------------------------------------------------------ #
     @property
+    def _n(self) -> int:
+        return 0 if self._store is None else self._store.n_live
+
+    @property
     def n_tuples(self) -> int:
         """Number of complete tuples currently stored."""
         return self._n
+
+    @property
+    def store(self) -> ColumnarTupleStore:
+        """The shared columnar tuple store (raises before the first append)."""
+        if self._store is None:
+            raise NotFittedError(
+                "the engine has no store yet; append complete tuples first"
+            )
+        return self._store
 
     @property
     def n_attributes(self) -> int:
@@ -812,23 +1009,28 @@ class OnlineImputationEngine:
             raise NotFittedError(
                 "the engine store is empty; append complete tuples first"
             )
-        return self._buffer[: self._n]
+        return self._store.matrix()
 
     def store_relation(self, name: str = "") -> Relation:
         """The current store as a :class:`Relation` (for cold comparisons)."""
-        return Relation(self._store_matrix().copy(), self._schema, name=name)
+        return Relation(self._store_matrix(), self._schema, name=name)
 
     @classmethod
     def from_relation(
         cls, relation: Relation, *, model_cache_size="default",
         refresh_policy: Optional[str] = None,
-        incremental_fallback_fraction="default", **iim_params,
+        incremental_fallback_fraction="default",
+        shard_capacity="default", journal_capacity="default",
+        delete_cost_mode="default", **iim_params,
     ) -> "OnlineImputationEngine":
         """Build an engine seeded with the complete part of ``relation``."""
         engine = cls(
             model_cache_size=model_cache_size,
             refresh_policy=refresh_policy,
             incremental_fallback_fraction=incremental_fallback_fraction,
+            shard_capacity=shard_capacity,
+            journal_capacity=journal_capacity,
+            delete_cost_mode=delete_cost_mode,
             **iim_params,
         )
         engine.append(relation.complete_part())
@@ -876,12 +1078,15 @@ class OnlineImputationEngine:
         b = values.shape[0]
         if b == 0:
             return self
-        self._grow(b)
-        self._buffer[self._n : self._n + b] = values
-        self._n += b
+        if self._store is None:
+            self._store = ColumnarTupleStore(
+                self._schema.width, shard_capacity=self.shard_capacity
+            )
+        slots = self._store.append(np.asarray(values, dtype=float))
         self.stats["appends"] += 1
         self.stats["appended_rows"] += b
-        self._record("append", np.array(values, dtype=float))
+        self.stats["shards_touched"] += int(self._store.shards_of(slots).shape[0])
+        self._record("append", slots)
         return self
 
     def delete(self, indices) -> "OnlineImputationEngine":
@@ -895,7 +1100,10 @@ class OnlineImputationEngine:
         policy).  Deleting every tuple empties the store (the schema is
         kept; streaming can resume with fresh appends).
         """
-        self._store_matrix()  # raises NotFittedError on an empty store
+        if self._n == 0:
+            raise NotFittedError(
+                "the engine store is empty; append complete tuples first"
+            )
         indices = np.unique(np.atleast_1d(np.asarray(indices, dtype=int)))
         if indices.size == 0:
             return self
@@ -904,26 +1112,27 @@ class OnlineImputationEngine:
                 f"delete indices must lie in [0, {self._n}), got "
                 f"[{indices[0]}, {indices[-1]}]"
             )
-        keep = np.ones(self._n, dtype=bool)
-        keep[indices] = False
-        survivors = self._buffer[: self._n][keep]
-        self._buffer[: survivors.shape[0]] = survivors
-        self._n = survivors.shape[0]
+        retired = self._store.delete(indices)
         self.stats["deletes"] += 1
         self.stats["deleted_rows"] += int(indices.size)
+        self.stats["shards_touched"] += int(self._store.shards_of(retired).shape[0])
         if self._n == 0:
             # No state can outlive an empty store; the next append restarts.
             self._version += 1
             self._states.clear()
-            self._journal = []
-            self._journal_floor = self._version
+            self._release_entries(self._journal.clear())
+            self._journal.advance_floor(self._version)
+            self._store.release(retired)
             return self
-        self._record("delete", indices)
+        self._record("delete", (indices, retired), owned_slots=retired)
         return self
 
     def update(self, index: int, row) -> "OnlineImputationEngine":
         """Replace the tuple at store ``index`` with a revised complete tuple."""
-        self._store_matrix()  # raises NotFittedError on an empty store
+        if self._n == 0:
+            raise NotFittedError(
+                "the engine store is empty; append complete tuples first"
+            )
         index = int(index)
         if not 0 <= index < self._n:
             raise ConfigurationError(
@@ -939,64 +1148,59 @@ class OnlineImputationEngine:
             raise DataError(
                 "update accepts complete tuples only; impute missing cells first"
             )
-        self._buffer[index] = row
+        old_slot, new_slot = self._store.update(index, row)
         self.stats["updates"] += 1
-        self._record("update", (index, row.copy()))
+        self.stats["shards_touched"] += int(
+            self._store.shards_of(np.asarray([old_slot, new_slot])).shape[0]
+        )
+        self._record(
+            "update", (index, old_slot, new_slot), owned_slots=[old_slot]
+        )
         return self
 
-    #: Journal entries kept at most; a longer lazy backlog (e.g. one stale
-    #: state pinning the horizon across thousands of mutations) spills the
-    #: oldest payloads and sends the laggard through a full rebuild instead.
-    MAX_JOURNAL_OPS = 512
+    def _release_entries(self, entries) -> None:
+        """Hand the slots owned by dead journal entries back to the store."""
+        if self._store is None:
+            return
+        for _, op, payload in entries:
+            if op == "delete":
+                self._store.release(payload[1])
+            elif op == "update":
+                self._store.release([payload[1]])
 
-    def _record(self, op: str, payload) -> None:
+    def _record(self, op: str, payload, owned_slots=None) -> None:
         """Journal one mutation and run eager refreshes.
 
         With no resident model state there is nothing that could ever
         replay the entry (a state built later always starts from a full
-        rebuild), so the payload is not retained at all.
+        rebuild), so the entry is not retained — and any slots it would
+        have kept readable are recycled immediately.
         """
         self._version += 1
         if not self._states:
-            self._journal_floor = self._version
+            self._journal.advance_floor(self._version)
+            if owned_slots is not None:
+                self._store.release(owned_slots)
             return
-        self._journal.append((self._version, op, payload))
-        if len(self._journal) > self.MAX_JOURNAL_OPS:
-            spilled = self._journal[: -self.MAX_JOURNAL_OPS]
-            self._journal = self._journal[-self.MAX_JOURNAL_OPS :]
-            self._journal_floor = max(self._journal_floor, spilled[-1][0])
+        spilled = self._journal.record(self._version, op, payload)
+        if spilled:
+            self.stats["journal_spills"] += len(spilled)
+            self._release_entries(spilled)
         if self.refresh_policy == "eager":
             for state in self._states.values():
                 state.sync()
 
     def _pending_ops(self, version: int) -> Optional[List[Tuple[str, object]]]:
         """Ops recorded after ``version``, or ``None`` if some were spilled."""
-        if version < self._journal_floor:
-            return None
-        return [(op, payload) for v, op, payload in self._journal if v > version]
+        return self._journal.since(version)
 
     def _prune_journal(self) -> None:
         """Drop journal entries every resident state has already replayed."""
-        if not self._journal:
+        if not len(self._journal):
             return
         versions = [state.version for state in self._states.values()]
         horizon = min(versions) if versions else self._version
-        self._journal = [entry for entry in self._journal if entry[0] > horizon]
-        self._journal_floor = max(self._journal_floor, horizon)
-
-    def _grow(self, extra: int) -> None:
-        width = self._schema.width
-        if self._buffer is None:
-            capacity = max(2 * extra, 64)
-            self._buffer = np.empty((capacity, width))
-            return
-        needed = self._n + extra
-        if needed <= self._buffer.shape[0]:
-            return
-        capacity = max(needed, 2 * self._buffer.shape[0])
-        grown = np.empty((capacity, width))
-        grown[: self._n] = self._buffer[: self._n]
-        self._buffer = grown
+        self._release_entries(self._journal.prune(horizon))
 
     # ------------------------------------------------------------------ #
     # Model cache
@@ -1024,6 +1228,57 @@ class OnlineImputationEngine:
         """Target attributes with a resident model state (LRU order, oldest first)."""
         return list(self._states)
 
+    def memory_stats(self) -> Dict[str, int]:
+        """Resident-memory accounting across the store, journal and states.
+
+        ``legacy_state_copy_bytes`` is what the pre-sharding engine would
+        keep resident for the same cached states (one feature-submatrix
+        plus one target-column copy per state) — the memory the shared
+        columnar store eliminates.  ``state_slot_bytes`` is what the views
+        cost instead.
+        """
+        store = self._store
+        n = self._n
+        width = 0 if self._schema is None else self._schema.width
+        state_slot_bytes = 0
+        state_order_bytes = 0
+        state_model_bytes = 0
+        for state in self._states.values():
+            if state.cache is None:
+                continue
+            state_slot_bytes += int(state.cache.slots.nbytes)
+            orders = state.cache.order_matrix()
+            state_order_bytes += int(orders.nbytes)
+            dists = state.cache.order_distances
+            if dists is not None:
+                state_order_bytes += int(dists.nbytes)
+            for array in (
+                state.parameters, state.all_parameters, state.costs,
+                state.global_costs, state.owners, state.counts,
+            ):
+                if array is not None:
+                    state_model_bytes += int(np.asarray(array).nbytes)
+            if state.models is not None:
+                state_model_bytes += int(state.models.parameters.nbytes)
+        n_states = sum(
+            1 for state in self._states.values() if state.cache is not None
+        )
+        return {
+            "store_bytes": 0 if store is None else store.nbytes,
+            "n_shards": 0 if store is None else store.n_shards,
+            "shard_capacity": self.shard_capacity,
+            "pending_slots": 0 if store is None else store.n_pending,
+            "free_slots": 0 if store is None else store.n_free,
+            "recycled_slots": 0 if store is None else store.recycled_slots,
+            "journal_entries": len(self._journal),
+            "journal_capacity": self.journal_capacity,
+            "journal_bytes": self._journal.nbytes,
+            "state_slot_bytes": state_slot_bytes,
+            "state_order_bytes": state_order_bytes,
+            "state_model_bytes": state_model_bytes,
+            "legacy_state_copy_bytes": int(n_states * n * width * 8),
+        }
+
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
@@ -1040,7 +1295,10 @@ class OnlineImputationEngine:
             values = queries.raw.copy()
         else:
             values = np.atleast_2d(np.asarray(queries, dtype=float)).copy()
-        store = self._store_matrix()
+        if self._n == 0:
+            raise NotFittedError(
+                "the engine store is empty; append complete tuples first"
+            )
         if values.ndim != 2 or values.shape[1] != self._schema.width:
             raise DataError(
                 f"queries must have {self._schema.width} attributes, got shape "
@@ -1054,30 +1312,53 @@ class OnlineImputationEngine:
             raise DataError("cannot impute a relation with a single attribute")
 
         # Query features are pre-filled with store column means, exactly as
-        # the batch orchestration of BaseImputer does.
-        column_means = store.mean(axis=0)
+        # the batch orchestration of BaseImputer does (gathered per column;
+        # the store matrix is never materialised on the serve path).
+        width = self._schema.width
+        column_means = np.array(
+            [self._store.column(attr).mean() for attr in range(width)]
+        )
         filled = np.where(mask, column_means[None, :], values)
 
         imputer = self.imputer
-        k = min(imputer.k, store.shape[0])
+        k = min(imputer.k, self._n)
+        backend = resolve_backend(imputer.backend)
         for target_index in np.flatnonzero(mask.any(axis=0)):
             state = self._get_state(int(target_index))
             rows = np.flatnonzero(mask[:, target_index])
             query_block = filled[np.ix_(rows, state.feature_indices)]
-            features = store[:, state.feature_indices]
-            searcher = BruteForceNeighbors(
-                metric=imputer.metric, backend=imputer.backend
-            ).fit(features)
-            values[rows, target_index] = impute_with_individual_models(
-                query_block,
-                state.models,
-                features,
-                store[:, target_index],
-                k,
-                combination=imputer.combination,
-                searcher=searcher,
-                backend=imputer.backend,
-            )
+            if backend == "loop":
+                # The reference path materialises the feature matrix and
+                # drives the per-row loop kernel unchanged.
+                features = np.asarray(state.cache.data)
+                searcher = BruteForceNeighbors(
+                    metric=imputer.metric, backend=backend
+                ).fit(features)
+                values[rows, target_index] = impute_with_individual_models(
+                    query_block,
+                    state.models,
+                    features,
+                    state.target_column(),
+                    k,
+                    combination=imputer.combination,
+                    searcher=searcher,
+                    backend=backend,
+                )
+            else:
+                # Columnar serve: per-shard candidate selection + exact
+                # cross-shard merge, candidates straight off the model
+                # stack — the (n, m-1) feature matrix is never built.
+                searcher = ShardedNeighbors(
+                    state.cache.data, metric=imputer.metric
+                )
+                distances, neighbor_indices = searcher.kneighbors(query_block, k)
+                designs = batched_design(query_block)
+                candidates = np.einsum(
+                    "qp,qkp->qk", designs, state.models.parameters[neighbor_indices]
+                )
+                values[rows, target_index], _ = get_batch_combiner(
+                    imputer.combination
+                )(candidates, distances)
             self.stats["imputed_cells"] += int(rows.shape[0])
         return values
 
@@ -1102,11 +1383,20 @@ class OnlineImputationEngine:
         if self._n:
             for state in self._states.values():
                 state.sync()
+            self._prune_journal()
         manifest: Dict[str, object] = {
             "engine": {
                 "model_cache_size": self.model_cache_size,
                 "refresh_policy": self.refresh_policy,
                 "incremental_fallback_fraction": self.incremental_fallback_fraction,
+                "shard_capacity": self.shard_capacity,
+                "journal_capacity": self.journal_capacity,
+                "delete_cost_mode": self.delete_cost_mode,
+            },
+            "store": {
+                "shard_capacity": self.shard_capacity,
+                "n_rows": self._n,
+                "n_shards": 0 if self._store is None else self._store.n_shards,
             },
             "lifecycle": {"version": self._version},
             "imputer": {
@@ -1119,7 +1409,7 @@ class OnlineImputationEngine:
             "states": [],
         }
         arrays: Dict[str, np.ndarray] = {
-            "store": self._store_matrix().copy() if self._n else np.empty((0, 0))
+            "store": self._store_matrix() if self._n else np.empty((0, 0))
         }
         for target_index, state in self._states.items():
             if state.cache is None:
@@ -1131,7 +1421,13 @@ class OnlineImputationEngine:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "OnlineImputationEngine":
-        """Restore an engine saved with :meth:`snapshot`."""
+        """Restore an engine saved with :meth:`snapshot`.
+
+        Reads manifest version 3 natively and migrates version-2 engine
+        artifacts (which predate the sharded columnar store) by adopting
+        the process-default shard/journal knobs; corrupt shard metadata in
+        a version-3 manifest is rejected with a re-create hint.
+        """
         manifest, arrays = read_artifact(path, expected_kind="engine")
         imputer_info = manifest.get("imputer") or {}
         if imputer_info.get("class") != IIMImputer.__name__:
@@ -1140,6 +1436,34 @@ class OnlineImputationEngine:
                 f"expected {IIMImputer.__name__!r}"
             )
         engine_info = manifest.get("engine") or {}
+        manifest_version = int(manifest.get("version", 0))
+        if manifest_version >= 3:
+            store_info = manifest.get("store")
+            if not isinstance(store_info, dict):
+                raise ConfigurationError(
+                    f"engine artifact at {path} is missing its store section "
+                    f"(corrupt shard metadata); re-create the snapshot"
+                )
+            shard_capacity = store_info.get("shard_capacity")
+            if (
+                isinstance(shard_capacity, bool)
+                or not isinstance(shard_capacity, int)
+                or shard_capacity <= 0
+            ):
+                raise ConfigurationError(
+                    f"engine artifact at {path} carries corrupt shard metadata "
+                    f"(shard_capacity={shard_capacity!r}); re-create the snapshot"
+                )
+            if int(store_info.get("n_rows", -1)) != int(manifest.get("n_rows", 0)):
+                raise ConfigurationError(
+                    f"engine artifact at {path} carries corrupt shard metadata "
+                    f"(store rows disagree with the manifest); re-create the "
+                    f"snapshot"
+                )
+        else:
+            # v2 migration: pre-sharding snapshots carry no store section;
+            # adopt the process-default knobs for the rebuilt store.
+            shard_capacity = engine_info.get("shard_capacity", "default")
         engine = cls(
             IIMImputer(**(imputer_info.get("params") or {})),
             model_cache_size=engine_info.get("model_cache_size"),
@@ -1147,6 +1471,9 @@ class OnlineImputationEngine:
             incremental_fallback_fraction=engine_info.get(
                 "incremental_fallback_fraction"
             ),
+            shard_capacity=shard_capacity,
+            journal_capacity=engine_info.get("journal_capacity", "default"),
+            delete_cost_mode=engine_info.get("delete_cost_mode", "default"),
         )
         schema = manifest.get("schema") or []
         store = arrays["store"]
@@ -1158,11 +1485,13 @@ class OnlineImputationEngine:
             )
         if n_rows:
             engine._schema = Schema([str(a) for a in schema])
-            engine._buffer = np.array(store, dtype=float)
-            engine._n = n_rows
+            engine._store = ColumnarTupleStore(
+                engine._schema.width, shard_capacity=engine.shard_capacity
+            )
+            engine._store.append(np.array(store, dtype=float))
         lifecycle = manifest.get("lifecycle") or {}
         engine._version = int(lifecycle.get("version", 0))
-        engine._journal_floor = engine._version
+        engine._journal.advance_floor(engine._version)
         stats = manifest.get("stats") or {}
         for key in engine.stats:
             if key in stats:

@@ -135,6 +135,79 @@ def test_engine_snapshot_after_churn_roundtrip(tmp_path):
     )
 
 
+def test_manifest_v3_carries_store_metadata(tmp_path):
+    values = load_dataset("ccpp", size=120).raw
+    engine = OnlineImputationEngine(
+        k=3, learning="fixed", learning_neighbors=4, shard_capacity=32
+    )
+    engine.append(values[:80])
+    path = engine.snapshot(tmp_path / "engine")
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    assert manifest["version"] == ARTIFACT_VERSION == 3
+    assert manifest["store"]["shard_capacity"] == 32
+    assert manifest["store"]["n_rows"] == 80
+    assert manifest["engine"]["journal_capacity"] == engine.journal_capacity
+    restored = OnlineImputationEngine.load(path)
+    assert restored.shard_capacity == 32
+    assert restored.store.n_shards == engine.store.n_shards
+
+
+def test_version2_snapshot_migrates_to_sharded_store(tmp_path):
+    """Pre-sharding (v2) engine artifacts load by adopting default knobs."""
+    values = load_dataset("ccpp", size=160).raw
+    engine = OnlineImputationEngine(
+        k=4, learning="adaptive", stepping=3, max_learning_neighbors=15
+    )
+    engine.append(values[:120])
+    queries = values[120:130].copy()
+    queries[:, 1] = np.nan
+    warm = engine.impute_batch(queries)
+    path = engine.snapshot(tmp_path / "engine")
+
+    # Rewrite the manifest the way a v2 snapshot looked: version 2, no
+    # store section, no sharding knobs in the engine section.
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    manifest["version"] = 2
+    del manifest["store"]
+    for key in ("shard_capacity", "journal_capacity", "delete_cost_mode"):
+        del manifest["engine"][key]
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+
+    restored = OnlineImputationEngine.load(path)
+    np.testing.assert_array_equal(warm, restored.impute_batch(queries))
+    # The migrated engine keeps streaming through the full lifecycle.
+    engine.delete([3, 40])
+    restored.delete([3, 40])
+    engine.append(values[130:140])
+    restored.append(values[130:140])
+    np.testing.assert_array_equal(
+        engine.impute_batch(queries), restored.impute_batch(queries)
+    )
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        lambda m: m.pop("store"),
+        lambda m: m["store"].update(shard_capacity=-5),
+        lambda m: m["store"].update(shard_capacity="many"),
+        lambda m: m["store"].update(n_rows=999),
+    ],
+    ids=["missing-section", "negative-capacity", "non-integer-capacity",
+         "row-mismatch"],
+)
+def test_corrupt_shard_metadata_rejected_with_recreate_hint(tmp_path, corruption):
+    values = load_dataset("ccpp", size=100).raw
+    engine = OnlineImputationEngine(k=3, learning="fixed", learning_neighbors=4)
+    engine.append(values[:60])
+    path = engine.snapshot(tmp_path / "engine")
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    corruption(manifest)
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+    with pytest.raises(ConfigurationError, match="re-create the snapshot"):
+        OnlineImputationEngine.load(path)
+
+
 def test_version1_snapshot_rejected_with_hint(tmp_path):
     """Pre-lifecycle snapshots fail loudly instead of restoring garbage."""
     values = load_dataset("ccpp", size=120).raw

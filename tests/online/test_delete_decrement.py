@@ -1,0 +1,164 @@
+"""Delete-path cost decrement: subtract retired pairs, guard the fallback.
+
+The ``"decrement"`` delete cost mode subtracts the retired validation
+pairs' residuals from cost rows that only *lost* validators, instead of
+re-accumulating the whole row.  The residuals it subtracts are recomputed
+with the same einsum the scatter kernel used to add them — identical bits —
+so the only rounding the mode introduces is the subtraction itself, and a
+cancellation guard rebuilds any row where that rounding could matter:
+
+* both modes must stay within the engine's ``rtol = 1e-9`` equivalence to
+  a cold refit across a churn trace (and within float-rounding distance of
+  each other, cost matrix included);
+* a row whose every validator was retired must come out **bit-equal** to
+  the dirty-row rebuild (exactly ``0.0``) — the accumulation-order caveat
+  the ROADMAP flagged vanishes when nothing remains to accumulate;
+* the cancellation guard must actually route unsafe rows to the rebuild.
+"""
+
+import numpy as np
+import pytest
+
+import repro.online.engine as engine_module
+from repro import IIMImputer, load_dataset
+from repro.data.relation import Relation
+from repro.online import OnlineImputationEngine
+
+PARAMS = dict(k=5, learning="adaptive", stepping=2, max_learning_neighbors=6)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return load_dataset("asf", size=420).raw
+
+
+def _cold_impute(store_rows, queries, **params):
+    imputer = IIMImputer(**params).fit(Relation(store_rows))
+    return imputer.impute(Relation(queries)).raw
+
+
+def _paired_engines(pool, n_initial=380, **extra):
+    engines = {}
+    for mode in ("rebuild", "decrement"):
+        engine = OnlineImputationEngine(
+            delete_cost_mode=mode, model_cache_size=None, **extra, **PARAMS
+        )
+        engine.append(pool[:n_initial])
+        engines[mode] = engine
+    return engines
+
+
+def test_decrement_mode_engages_and_matches_cold(pool):
+    engines = _paired_engines(pool)
+    ref = pool[:380].copy()
+    rng = np.random.default_rng(3)
+    warm = ref[:6].copy()
+    warm[:, 0] = np.nan
+    for engine in engines.values():
+        engine.impute_batch(warm)  # make the state resident
+
+    for _ in range(6):
+        targets = np.unique(rng.integers(0, ref.shape[0], size=5))
+        for engine in engines.values():
+            engine.delete(targets)
+        ref = np.delete(ref, targets, axis=0)
+        queries = ref[rng.choice(ref.shape[0], 6, replace=False)].copy()
+        queries[:, 0] = np.nan
+        want = _cold_impute(ref, queries.copy(), **PARAMS)
+        results = {}
+        for mode, engine in engines.items():
+            results[mode] = engine.impute_batch(queries.copy())
+            np.testing.assert_allclose(
+                results[mode], want, rtol=1e-9, atol=1e-12,
+                err_msg=f"{mode} diverged from the cold refit",
+            )
+        np.testing.assert_allclose(
+            results["decrement"], results["rebuild"], rtol=1e-9, atol=1e-12
+        )
+        # The cost matrices agree to float-rounding distance...
+        state_dec = engines["decrement"]._states[0]
+        state_reb = engines["rebuild"]._states[0]
+        np.testing.assert_allclose(
+            state_dec.costs, state_reb.costs, rtol=1e-9, atol=1e-12
+        )
+        # ...and rows with no surviving validators are bit-equal (both
+        # exactly the zeros the rebuild produces).
+        zero_rows = np.flatnonzero(state_dec.counts == 0)
+        assert np.array_equal(
+            state_dec.costs[zero_rows], np.zeros_like(state_dec.costs[zero_rows])
+        )
+        assert np.array_equal(
+            state_dec.costs[zero_rows], state_reb.costs[zero_rows]
+        )
+
+    assert engines["decrement"].stats["delete_cost_decrements"] > 0, (
+        "the decrement path never engaged on this trace"
+    )
+    assert engines["rebuild"].stats["delete_cost_decrements"] == 0
+
+
+def test_cancellation_guard_falls_back_to_rebuild(pool, monkeypatch):
+    """With the guard threshold forced to 1.0 every decremented row counts
+    as unsafe, so all of them must take the exact rebuild — and results
+    must be unchanged."""
+    monkeypatch.setattr(engine_module, "DECREMENT_CANCELLATION_GUARD", 1.0)
+    engine = OnlineImputationEngine(
+        delete_cost_mode="decrement", model_cache_size=None, **PARAMS
+    )
+    engine.append(pool[:380])
+    ref = pool[:380].copy()
+    rng = np.random.default_rng(5)
+    warm = ref[:6].copy()
+    warm[:, 0] = np.nan
+    engine.impute_batch(warm)
+    for _ in range(4):
+        targets = np.unique(rng.integers(0, ref.shape[0], size=5))
+        engine.delete(targets)
+        ref = np.delete(ref, targets, axis=0)
+        queries = ref[rng.choice(ref.shape[0], 6, replace=False)].copy()
+        queries[:, 0] = np.nan
+        np.testing.assert_allclose(
+            engine.impute_batch(queries.copy()),
+            _cold_impute(ref, queries.copy(), **PARAMS),
+            rtol=1e-9, atol=1e-12,
+        )
+    assert engine.stats["delete_cost_guard_rebuilds"] > 0, (
+        "the forced guard never rerouted a row to the rebuild"
+    )
+
+
+def test_decrement_is_journal_and_hybrid_safe(pool):
+    """Decrement composes with lazy replay bursts and the hybrid fallback:
+    a multi-op burst (appends + deletes + updates) replayed in one sync
+    still matches the cold refit."""
+    engine = OnlineImputationEngine(
+        delete_cost_mode="decrement", model_cache_size=None,
+        journal_capacity=32, **PARAMS
+    )
+    ref = pool[:300].copy()
+    engine.append(ref)
+    warm = ref[:4].copy()
+    warm[:, 1] = np.nan
+    engine.impute_batch(warm)
+    rng = np.random.default_rng(8)
+
+    # One long lazy burst: the replay folds every op into a single refresh.
+    rows = pool[300:330]
+    engine.append(rows)
+    ref = np.vstack([ref, rows])
+    for _ in range(3):
+        index = int(rng.integers(ref.shape[0]))
+        revised = pool[rng.integers(pool.shape[0])]
+        engine.update(index, revised)
+        ref[index] = revised
+        targets = np.unique(rng.integers(0, ref.shape[0], size=4))
+        engine.delete(targets)
+        ref = np.delete(ref, targets, axis=0)
+
+    queries = ref[rng.choice(ref.shape[0], 8, replace=False)].copy()
+    queries[:, 1] = np.nan
+    np.testing.assert_allclose(
+        engine.impute_batch(queries.copy()),
+        _cold_impute(ref, queries.copy(), **PARAMS),
+        rtol=1e-9, atol=1e-12,
+    )
