@@ -1,0 +1,57 @@
+"""Service-layer benchmarks: facade overhead and serve-loop throughput.
+
+Writes ``BENCH_api.json`` at the repository root:
+
+* **facade_overhead** — the streaming scenario driven through an
+  :class:`~repro.api.OnlineSession` versus identical raw
+  :class:`~repro.online.OnlineImputationEngine` calls (same seeds, same
+  trace).  The outputs must be bit-identical and the session side may cost
+  at most 5% more wall-clock — the acceptance bar of the api redesign;
+* **serve_throughput** — requests/s through the full JSONL wire path
+  (decode → dispatch → impute → encode) for single-row and batched impute
+  requests, the first real serving numbers of the project.
+"""
+
+import json
+from pathlib import Path
+
+from repro.api.bench import run_api_benchmark
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_api.json"
+
+#: The acceptance bar: the session facade may cost at most 5% wall-clock
+#: over direct engine calls on the streaming trace.
+FACADE_OVERHEAD_TOLERANCE = 1.05
+
+
+def test_api_facade_overhead_and_serve_throughput(profile, record_result):
+    report = run_api_benchmark(profile=profile)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    overhead = report["facade_overhead"]
+    throughput = report["serve_throughput"]
+    record_result(
+        "api",
+        f"facade: session {overhead['session_seconds']:.4f}s vs direct "
+        f"{overhead['direct_seconds']:.4f}s "
+        f"(x{overhead['overhead_ratio']:.3f}, bit-identical outputs)\n"
+        f"serve (store of {throughput['store_rows']} tuples): "
+        f"{throughput['single_requests_per_second']:,.0f} single-row req/s; "
+        f"{throughput['batched_requests_per_second']:,.0f} batched req/s = "
+        f"{throughput['batched_rows_per_second']:,.0f} rows/s "
+        f"(batch {throughput['batch_size']})",
+    )
+
+    # run_api_benchmark already asserts bit-identical outputs; the report
+    # records it so regressions are visible in the artifact too.
+    assert overhead["bit_identical"] is True
+
+    assert overhead["overhead_ratio"] <= FACADE_OVERHEAD_TOLERANCE, (
+        f"session facade costs x{overhead['overhead_ratio']:.3f} over direct "
+        f"engine calls (bar: x{FACADE_OVERHEAD_TOLERANCE})"
+    )
+
+    # Sanity floors, not performance bars: the serve loop must sustain a
+    # non-trivial request rate even on the smallest CI machines.
+    assert throughput["single_requests_per_second"] > 50
+    assert throughput["batched_rows_per_second"] > 500

@@ -61,12 +61,32 @@ live in :mod:`repro.config` next to the backend knob.  Fitted state —
 engines via ``snapshot``/``load``, every imputer via ``save``/``load`` on
 :class:`~repro.baselines.base.BaseImputer` — persists as ``.npz`` arrays
 plus a JSON manifest (:mod:`repro.online.artifacts`) and restores
-bit-for-bit.  ``python -m repro.online`` replays a CSV trace against the
+bit-for-bit.  ``python -m repro replay`` replays a CSV trace against the
 engine; ``benchmarks/test_perf_online.py`` tracks the incremental-vs-cold
 speedup in ``BENCH_online.json``.
+
+The service layer
+-----------------
+:mod:`repro.api` unifies both worlds behind one protocol: an
+:class:`~repro.api.ImputationSession` (``fit`` / ``mutate`` / ``impute`` /
+``save`` / ``restore`` / ``stats``) implemented by
+:class:`~repro.api.BatchSession` (any registry method) and
+:class:`~repro.api.OnlineSession` (the incremental engine), typed request
+messages (:class:`~repro.api.ImputeRequest`,
+:class:`~repro.api.MutationOp`, :class:`~repro.api.SessionConfig`), a
+stable error taxonomy, and a stdlib-only JSONL serve loop.  The
+consolidated CLI lives behind ``python -m repro`` (subcommands ``impute``,
+``replay``, ``serve``, ``bench``).
+
+>>> from repro.api import create_session, MutationOp        # doctest: +SKIP
+>>> session = create_session(method="IIM", mode="online")   # doctest: +SKIP
+>>> session.fit(initial_rows)                               # doctest: +SKIP
+>>> session.mutate([MutationOp.append(new_rows)])           # doctest: +SKIP
+>>> filled = session.impute(rows_with_nans)                 # doctest: +SKIP
 """
 
 from .baselines import (
+    METHOD_SPECS,
     BLRImputer,
     ERACERImputer,
     GLRImputer,
@@ -82,6 +102,8 @@ from .baselines import (
     XGBImputer,
     available_methods,
     make_imputer,
+    method_capabilities,
+    method_spec,
 )
 from .config import BACKENDS, get_backend, resolve_backend, set_backend, use_backend
 from .core import (
@@ -119,6 +141,16 @@ from .metrics import (
     sparsity_r2,
 )
 from .online import OnlineImputationEngine
+from .api import (
+    BatchSession,
+    ImputationSession,
+    ImputeRequest,
+    MutationOp,
+    OnlineSession,
+    SessionConfig,
+    create_session,
+    restore_session,
+)
 
 __version__ = "1.0.0"
 
@@ -137,6 +169,15 @@ __all__ = [
     "adaptive_learning",
     # Online serving
     "OnlineImputationEngine",
+    # Service layer
+    "ImputationSession",
+    "BatchSession",
+    "OnlineSession",
+    "create_session",
+    "restore_session",
+    "ImputeRequest",
+    "MutationOp",
+    "SessionConfig",
     # Baselines
     "MeanImputer",
     "KNNImputer",
@@ -153,6 +194,9 @@ __all__ = [
     "XGBImputer",
     "make_imputer",
     "available_methods",
+    "METHOD_SPECS",
+    "method_spec",
+    "method_capabilities",
     # Data
     "Relation",
     "Schema",

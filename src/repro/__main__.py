@@ -1,0 +1,210 @@
+"""The consolidated command-line interface: ``python -m repro``.
+
+Four subcommands front the whole library through the :mod:`repro.api`
+service layer:
+
+* ``impute`` — one-shot batch imputation of a CSV file with any registry
+  method (``python -m repro impute dirty.csv --method IIM --output clean.csv``);
+* ``replay`` — the streaming/lifecycle CSV-trace replay against the online
+  engine (subsumes the deprecated ``python -m repro.online`` entry point;
+  same arguments);
+* ``serve`` — the JSONL serve loop over stdio or a TCP socket
+  (``python -m repro serve --stdio``, ``python -m repro serve --port 7007``);
+* ``bench`` — the service-layer benchmark (facade overhead + serve-loop
+  throughput), written to ``BENCH_api.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .exceptions import ReproError
+
+PROG = "python -m repro"
+
+
+def _parse_override(token: str):
+    """Parse one ``--set key=value`` override (numbers stay numeric)."""
+    if "=" not in token:
+        raise ReproError(
+            f"--set expects key=value, got {token!r}"
+        )
+    key, raw = token.split("=", 1)
+    value: object = raw
+    lowered = raw.strip().lower()
+    if lowered in ("none", "null"):
+        value = None
+    elif lowered in ("true", "false"):
+        value = lowered == "true"
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+    return key.strip(), value
+
+
+def _cmd_impute(args) -> int:
+    from .api import BatchSession
+    from .data.io import read_csv, write_csv
+
+    try:
+        overrides = dict(_parse_override(token) for token in args.set or [])
+        session = BatchSession(args.method, **overrides)
+        relation = read_csv(args.csv, has_header=not args.no_header)
+        if relation.n_missing_cells == 0:
+            print(f"{args.csv}: no missing cells; nothing to impute")
+            imputed = relation
+        else:
+            session.fit(relation)
+            imputed = session.impute_relation(relation)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = session.stats()
+    print(
+        f"method {stats['method']} imputed {stats['counters']['imputed_cells']} "
+        f"cells across {relation.n_tuples} tuples "
+        f"(fitted on {stats['n_tuples']} complete tuples)"
+    )
+    if args.output:
+        write_csv(imputed, args.output)
+        print(f"imputed relation written to {args.output}")
+    return 0
+
+
+def _cmd_replay(args, extras) -> int:
+    from .online.cli import main as replay_main
+
+    return replay_main(extras, prog=f"{PROG} replay")
+
+
+def _cmd_serve(args) -> int:
+    from .api.serve import SessionServer, serve_stdio, serve_tcp
+
+    # Wire-supplied save/restore paths are confined to the artifact root
+    # (default: the working directory) so clients cannot touch the rest of
+    # the filesystem.
+    server = SessionServer(artifact_root=args.artifact_root)
+    if args.port is not None:
+        print(
+            f"serving JSONL sessions on {args.host}:{args.port} "
+            f"(send {{\"cmd\": \"shutdown\"}} to stop)",
+            file=sys.stderr,
+        )
+        return serve_tcp(args.host, args.port, server)
+    return serve_stdio(server=server)
+
+
+def _cmd_bench(args) -> int:
+    from .api.bench import run_api_benchmark
+    from .experiments.settings import get_profile
+
+    profile = get_profile(args.profile) if args.profile else None
+    report = run_api_benchmark(profile=profile)
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    overhead = report["facade_overhead"]
+    throughput = report["serve_throughput"]
+    print(
+        f"facade overhead: session {overhead['session_seconds']:.4f}s vs "
+        f"direct {overhead['direct_seconds']:.4f}s "
+        f"(x{overhead['overhead_ratio']:.3f}, bit-identical)"
+    )
+    print(
+        f"serve throughput: {throughput['single_requests_per_second']:,.0f} "
+        f"single-row req/s; {throughput['batched_requests_per_second']:,.0f} "
+        f"batched req/s ({throughput['batched_rows_per_second']:,.0f} rows/s "
+        f"at batch {throughput['batch_size']})"
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Unified CLI over the repro imputation service layer.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    impute = commands.add_parser(
+        "impute", help="impute a CSV relation with any registry method"
+    )
+    impute.add_argument("csv", help="CSV file with missing cells")
+    impute.add_argument(
+        "--method", default="IIM", help="registry method name (default: IIM)"
+    )
+    impute.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="constructor override, repeatable (e.g. --set k=5)",
+    )
+    impute.add_argument(
+        "--no-header", action="store_true", help="the CSV file has no header row"
+    )
+    impute.add_argument("--output", metavar="CSV", help="write the imputed relation")
+
+    commands.add_parser(
+        "replay",
+        help="replay a CSV trace against the online engine "
+        "(see 'replay --help' for its arguments)",
+        add_help=False,
+    )
+
+    serve = commands.add_parser("serve", help="run the JSONL session server")
+    transport = serve.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--stdio", action="store_true",
+        help="serve newline-delimited JSON over stdin/stdout (default)",
+    )
+    transport.add_argument("--port", type=int, help="serve over a TCP socket")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--artifact-root", default=".", metavar="DIR",
+        help="directory save/restore paths are confined to (default: the "
+        "working directory)",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="measure facade overhead and serve-loop throughput"
+    )
+    bench.add_argument(
+        "--profile", default=None, help="scale profile (smoke|bench|paper)"
+    )
+    bench.add_argument(
+        "--output", default="BENCH_api.json",
+        help="report path (default: BENCH_api.json)",
+    )
+
+    return parser
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = _build_parser()
+    # `replay` forwards everything after the subcommand to the trace-replay
+    # parser unchanged, so the deprecated entry point and the consolidated
+    # CLI accept identical arguments.
+    if argv and argv[0] == "replay":
+        return _cmd_replay(None, argv[1:])
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "impute":
+        return _cmd_impute(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    return _cmd_bench(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Service-layer benchmarks: facade overhead and serve-loop throughput.
+
+Two questions decide whether the :mod:`repro.api` redesign is free:
+
+* **Facade overhead** — the streaming scenario driven through an
+  :class:`~repro.api.OnlineSession` versus the identical trace driven by
+  calling the :class:`~repro.online.OnlineImputationEngine` directly.  Both
+  sides run the same seeds over the same engine configuration, so the
+  imputations must be bit-identical and the wall-clock ratio isolates the
+  session layer's dispatch cost (the acceptance bar is ≤ 5%).
+* **Serve-loop throughput** — requests/s through the full JSONL path
+  (JSON decode → session dispatch → impute → JSON encode) for single-row
+  and batched impute requests, the first real serving numbers of the
+  project.
+
+:func:`run_api_benchmark` returns one JSON-shaped report;
+``benchmarks/test_perf_api.py`` asserts the bars and writes it to
+``BENCH_api.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data import load_dataset
+from ..online.engine import OnlineImputationEngine
+from .messages import ImputeRequest, MutationOp
+from .serve import SessionServer
+from .sessions import OnlineSession
+
+__all__ = ["run_api_benchmark"]
+
+
+def _build_trace(
+    dataset: str, size: int, n_rounds: int, queries_per_round: int, seed: int
+) -> Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]:
+    """One deterministic append+query trace shared by every drive."""
+    values = load_dataset(dataset, size=size).raw
+    initial = values.shape[0] // 2
+    batch = (values.shape[0] - initial) // n_rounds
+    rng = np.random.default_rng(seed)
+    blocks, query_blocks = [], []
+    offset = initial
+    for round_index in range(n_rounds):
+        stop = offset + batch if round_index < n_rounds - 1 else values.shape[0]
+        blocks.append(values[offset:stop])
+        rows = rng.choice(offset, size=queries_per_round, replace=False)
+        queries = values[rows].copy()
+        blanked = rng.integers(0, values.shape[1], size=queries_per_round)
+        queries[np.arange(queries_per_round), blanked] = np.nan
+        query_blocks.append(queries)
+        offset = stop
+    return values[:initial], blocks, query_blocks
+
+
+def _drive_direct(engine_params, initial, blocks, query_blocks):
+    """The trace through raw engine calls; returns (seconds, imputations)."""
+    engine = OnlineImputationEngine(**engine_params)
+    outputs = []
+    start = time.perf_counter()
+    engine.append(initial)
+    for block, queries in zip(blocks, query_blocks):
+        engine.append(block)
+        outputs.append(engine.impute_batch(queries))
+    return time.perf_counter() - start, outputs
+
+
+def _drive_session(engine_params, initial, blocks, query_blocks):
+    """The identical trace through the session facade."""
+    session = OnlineSession(**engine_params)
+    outputs = []
+    start = time.perf_counter()
+    session.mutate([MutationOp.append(initial)])
+    for block, queries in zip(blocks, query_blocks):
+        session.mutate([MutationOp.append(block)])
+        outputs.append(session.impute(ImputeRequest(queries)))
+    return time.perf_counter() - start, outputs
+
+
+def _measure_overhead(
+    dataset: str,
+    size: int,
+    n_rounds: int,
+    queries_per_round: int,
+    engine_params: Dict[str, object],
+    repeats: int,
+) -> Dict[str, object]:
+    initial, blocks, query_blocks = _build_trace(
+        dataset, size, n_rounds, queries_per_round, seed=0
+    )
+    direct_seconds, session_seconds = [], []
+    for _ in range(repeats):
+        seconds, direct_out = _drive_direct(
+            engine_params, initial, blocks, query_blocks
+        )
+        direct_seconds.append(seconds)
+        seconds, session_out = _drive_session(
+            engine_params, initial, blocks, query_blocks
+        )
+        session_seconds.append(seconds)
+        for direct_block, session_block in zip(direct_out, session_out):
+            if not np.array_equal(direct_block, session_block):
+                raise AssertionError(
+                    "session facade diverged from direct engine calls"
+                )
+    direct_best = min(direct_seconds)
+    session_best = min(session_seconds)
+    return {
+        "dataset": dataset,
+        "size": size,
+        "n_rounds": n_rounds,
+        "queries_per_round": queries_per_round,
+        "direct_seconds": direct_best,
+        "session_seconds": session_best,
+        "overhead_ratio": session_best / direct_best,
+        "bit_identical": True,
+    }
+
+
+def _measure_serve_throughput(
+    dataset: str,
+    store_rows: int,
+    n_single: int,
+    n_batched: int,
+    batch_size: int,
+    engine_params: Dict[str, object],
+) -> Dict[str, object]:
+    """Requests/s through the full JSONL path, single-row and batched."""
+    values = load_dataset(dataset, size=store_rows + n_single + batch_size).raw
+    width = values.shape[1]
+    server = SessionServer()
+    config_params = dict(engine_params)
+
+    def ask(request: Dict[str, object]) -> Dict[str, object]:
+        response = server.handle_line(json.dumps(request))
+        if not response["ok"]:
+            raise AssertionError(f"serve request failed: {response['error']}")
+        return response["result"]
+
+    ask({
+        "v": 1, "cmd": "create", "session": "bench",
+        "config": {"method": "IIM", "mode": "online", "params": config_params},
+    })
+    ask({
+        "v": 1, "cmd": "append", "session": "bench",
+        "rows": [[float(cell) for cell in row] for row in values[:store_rows]],
+    })
+
+    rng = np.random.default_rng(1)
+
+    def wire_row(row: np.ndarray, blank: int) -> List[Optional[float]]:
+        cells: List[Optional[float]] = [float(cell) for cell in row]
+        cells[blank] = None
+        return cells
+
+    # Warm every attribute state before timing: production serving runs warm.
+    for attribute in range(width):
+        ask({
+            "v": 1, "cmd": "impute", "session": "bench",
+            "rows": [wire_row(values[store_rows], attribute)],
+        })
+
+    single_lines = []
+    for i in range(n_single):
+        row = wire_row(
+            values[store_rows + (i % n_single)], int(rng.integers(width))
+        )
+        single_lines.append(json.dumps(
+            {"v": 1, "id": i, "cmd": "impute", "session": "bench", "rows": [row]}
+        ))
+    start = time.perf_counter()
+    for line in single_lines:
+        response = server.handle_line(line)
+        if not response["ok"]:
+            raise AssertionError(f"serve request failed: {response['error']}")
+    single_seconds = time.perf_counter() - start
+
+    batched_lines = []
+    for i in range(n_batched):
+        rows = []
+        for j in range(batch_size):
+            rows.append(wire_row(
+                values[store_rows + ((i * batch_size + j) % n_single)],
+                int(rng.integers(width)),
+            ))
+        batched_lines.append(json.dumps(
+            {"v": 1, "id": i, "cmd": "impute", "session": "bench", "rows": rows}
+        ))
+    start = time.perf_counter()
+    for line in batched_lines:
+        response = server.handle_line(line)
+        if not response["ok"]:
+            raise AssertionError(f"serve request failed: {response['error']}")
+    batched_seconds = time.perf_counter() - start
+
+    stats = ask({"v": 1, "cmd": "stats", "session": "bench"})
+    return {
+        "dataset": dataset,
+        "store_rows": store_rows,
+        "single_requests": n_single,
+        "single_seconds": single_seconds,
+        "single_requests_per_second": n_single / single_seconds,
+        "batched_requests": n_batched,
+        "batch_size": batch_size,
+        "batched_seconds": batched_seconds,
+        "batched_requests_per_second": n_batched / batched_seconds,
+        "batched_rows_per_second": n_batched * batch_size / batched_seconds,
+        "engine_counters": stats["counters"],
+        "memory": stats["memory"],
+    }
+
+
+def run_api_benchmark(
+    profile=None,
+    *,
+    dataset: str = "sn",
+    overhead_size: Optional[int] = None,
+    n_rounds: int = 8,
+    queries_per_round: Optional[int] = None,
+    repeats: int = 2,
+    store_rows: Optional[int] = None,
+    n_single: int = 200,
+    n_batched: int = 40,
+    batch_size: int = 64,
+) -> Dict[str, object]:
+    """Measure facade overhead and serve throughput; returns the report."""
+    from ..experiments.settings import get_profile
+
+    profile = profile or get_profile()
+    overhead_size = overhead_size or 2 * profile.dataset_sizes[dataset]
+    queries_per_round = queries_per_round or min(
+        profile.asf_incomplete, overhead_size // 8
+    )
+    store_rows = store_rows or profile.dataset_sizes[dataset]
+    engine_params = dict(
+        k=profile.default_k,
+        learning="adaptive",
+        stepping=profile.iim_stepping,
+        max_learning_neighbors=min(25, profile.iim_max_learning_neighbors),
+    )
+    return {
+        "profile": profile.name,
+        "facade_overhead": _measure_overhead(
+            dataset, overhead_size, n_rounds, queries_per_round,
+            engine_params, repeats,
+        ),
+        "serve_throughput": _measure_serve_throughput(
+            dataset, store_rows, n_single, n_batched, batch_size, engine_params,
+        ),
+    }

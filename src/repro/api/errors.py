@@ -1,0 +1,58 @@
+"""The unified error taxonomy of the service layer.
+
+Every exception the library raises derives from
+:class:`~repro.exceptions.ReproError`; the service layer maps each concrete
+class onto a *stable, wire-safe error code* so clients of the JSONL protocol
+can dispatch on ``error.code`` without parsing Python class names or
+messages.  Unexpected exceptions (bugs, not bad requests) map to
+``"internal"`` so a serve loop never leaks a traceback as a protocol
+response.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..exceptions import (
+    ConfigurationError,
+    DataError,
+    DatasetError,
+    ExperimentError,
+    MissingValueError,
+    NotFittedError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+    UnsupportedOperationError,
+)
+
+__all__ = ["ERROR_CODES", "error_code", "error_payload"]
+
+#: Exception class → stable wire code.  Ordered most-specific-first; the
+#: mapping is resolved by ``isinstance`` walking this order, so subclasses
+#: added later inherit their parent's code automatically.
+ERROR_CODES: Dict[Type[BaseException], str] = {
+    ProtocolError: "protocol",
+    UnsupportedOperationError: "unsupported",
+    ConfigurationError: "configuration",
+    NotFittedError: "not_fitted",
+    SchemaError: "schema",
+    MissingValueError: "missing_value",
+    DatasetError: "dataset",
+    DataError: "data",
+    ExperimentError: "experiment",
+    ReproError: "error",
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code of an exception (``"internal"`` for non-library ones)."""
+    for klass, code in ERROR_CODES.items():
+        if isinstance(exc, klass):
+            return code
+    return "internal"
+
+
+def error_payload(exc: BaseException) -> Dict[str, str]:
+    """The ``error`` object of a failed wire response."""
+    return {"code": error_code(exc), "message": str(exc)}

@@ -1,0 +1,387 @@
+"""The JSONL serve loop: named sessions multiplexed over a byte stream.
+
+The wire format is newline-delimited JSON — one request object per line in,
+one response object per line out, stdlib only.  Every request carries the
+protocol version, an optional client-chosen ``id`` (echoed back so clients
+can pipeline), a command, and — for session commands — the session name::
+
+    {"v": 1, "id": 7, "cmd": "impute", "session": "s", "rows": [[1.0, null]]}
+
+and every response is either a result or a typed error::
+
+    {"v": 1, "id": 7, "ok": true, "result": {"rows": [[1.0, 2.5]]}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": "not_fitted", "message": "..."}}
+
+Commands
+--------
+``create`` (session, config), ``fit`` / ``append`` (session, rows),
+``delete`` (session, indices), ``update`` (session, index, row),
+``mutate`` (session, ops), ``impute`` (session, rows), ``stats`` (session),
+``save`` (session, path), ``restore`` (session, path), ``close`` (session),
+``sessions``, ``methods``, ``ping``, ``shutdown``.
+
+Transport is either stdio (``python -m repro serve --stdio``) or a TCP
+socket (``--port``); the TCP server multiplexes every connection over one
+shared session table behind a lock, so two clients can talk to the same
+named session.  Malformed lines answer with an error response instead of
+killing the loop — a serving process must outlive a bad client.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, Optional, TextIO, Union
+
+import numpy as np
+
+from ..baselines.registry import METHOD_SPECS
+from ..exceptions import ProtocolError
+from .errors import error_payload
+from .messages import (
+    PROTOCOL_VERSION,
+    ImputeRequest,
+    MutationOp,
+    SessionConfig,
+    decode_rows,
+    encode_rows,
+)
+from .sessions import ImputationSession, create_session, restore_session
+
+__all__ = ["SessionServer", "serve_stdio", "serve_tcp"]
+
+
+class SessionServer:
+    """The transport-agnostic request handler behind every serve loop.
+
+    Holds the named-session table and answers one decoded request at a
+    time; :func:`serve_stdio` and :func:`serve_tcp` are thin transports
+    around :meth:`handle_line`.  All methods are safe to call from multiple
+    transport threads — session state is guarded by one lock (imputation is
+    CPU-bound numpy work, so a finer grain would buy nothing under the GIL).
+
+    ``artifact_root`` confines every ``save``/``restore`` path from the
+    wire to one directory: requests naming paths that resolve outside it
+    are rejected with a ``protocol`` error, so a client never gains a
+    write-anywhere/read-anywhere primitive on the serving host.  The
+    transport entry points (:func:`serve_stdio`, :func:`serve_tcp`, the
+    ``serve`` CLI) default it to the working directory; the bare
+    constructor leaves it ``None`` for in-process servers whose requests
+    you author yourself.
+    """
+
+    def __init__(self, artifact_root: Optional[Union[str, Path]] = None):
+        self.sessions: Dict[str, ImputationSession] = {}
+        self.running = True
+        self.artifact_root = (
+            None if artifact_root is None else Path(artifact_root).resolve()
+        )
+        #: Bound port once :func:`serve_tcp` is listening (None for stdio).
+        self.tcp_port: Optional[int] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Envelope
+    # ------------------------------------------------------------------ #
+    def handle_line(self, line: str) -> Optional[Dict[str, object]]:
+        """Answer one raw request line (``None`` for blank lines)."""
+        line = line.strip()
+        if not line:
+            return None
+        request_id = None
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"malformed JSON request: {exc}") from exc
+            if not isinstance(request, dict):
+                raise ProtocolError("a request must be a JSON object")
+            request_id = request.get("id")
+            return self.handle_request(request)
+        except Exception as exc:  # noqa: BLE001 - the loop must survive bad input
+            return self._error(request_id, exc)
+
+    def handle_request(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one decoded request object."""
+        request_id = request.get("id")
+        try:
+            version = request.get("v", PROTOCOL_VERSION)
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r}; this server "
+                    f"speaks version {PROTOCOL_VERSION}"
+                )
+            cmd = request.get("cmd")
+            handler = self._COMMANDS.get(cmd)
+            if handler is None:
+                raise ProtocolError(
+                    f"unknown command {cmd!r}; available commands: "
+                    f"{sorted(self._COMMANDS)}"
+                )
+            with self._lock:
+                result = handler(self, request)
+            return {
+                "v": PROTOCOL_VERSION,
+                "id": request_id,
+                "ok": True,
+                "result": result,
+            }
+        except Exception as exc:  # noqa: BLE001 - typed error response instead
+            return self._error(request_id, exc)
+
+    @staticmethod
+    def _error(request_id, exc: BaseException) -> Dict[str, object]:
+        return {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "ok": False,
+            "error": error_payload(exc),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Command implementations (called with the lock held)
+    # ------------------------------------------------------------------ #
+    def _get_session(self, request) -> ImputationSession:
+        name = self._session_name(request)
+        session = self.sessions.get(name)
+        if session is None:
+            raise ProtocolError(
+                f"no session named {name!r}; create or restore it first "
+                f"(open sessions: {sorted(self.sessions)})"
+            )
+        return session
+
+    def _session_name(self, request) -> str:
+        name = request.get("session")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("this command needs a 'session' name")
+        return name
+
+    def _describe(self, name: str, session: ImputationSession) -> Dict[str, object]:
+        return {
+            "session": name,
+            "kind": session.kind,
+            "method": session.method,
+            "capabilities": session.capabilities.as_dict(),
+        }
+
+    def _cmd_create(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
+        if name in self.sessions:
+            raise ProtocolError(f"session {name!r} already exists")
+        config = SessionConfig.from_wire(request.get("config"))
+        session = create_session(config)
+        self.sessions[name] = session
+        return self._describe(name, session)
+
+    def _cmd_fit(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        rows = decode_rows(request.get("rows"), what="fit rows")
+        session.fit(rows)
+        # Sessions learn from the *complete* rows only; report both counts
+        # so a client sees how many submitted tuples actually trained.
+        n_complete = int((~np.isnan(rows).any(axis=1)).sum())
+        return {
+            "fitted": True,
+            "n_rows": int(rows.shape[0]),
+            "n_complete": n_complete,
+        }
+
+    def _cmd_append(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        rows = decode_rows(request.get("rows"), what="append rows")
+        session.mutate([MutationOp.append(rows)])
+        return {"appended": int(rows.shape[0])}
+
+    def _cmd_delete(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        op = MutationOp.from_wire(
+            {"op": "delete", "indices": request.get("indices")}
+        )
+        session.mutate([op])
+        return {"deleted": int(op.indices.shape[0])}
+
+    def _cmd_update(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        op = MutationOp.from_wire(
+            {"op": "update", "index": request.get("index"), "row": request.get("row")}
+        )
+        session.mutate([op])
+        return {"updated": int(op.index)}
+
+    def _cmd_mutate(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        ops_wire = request.get("ops")
+        if not isinstance(ops_wire, list) or not ops_wire:
+            raise ProtocolError("mutate needs a non-empty 'ops' list")
+        ops = [MutationOp.from_wire(op) for op in ops_wire]
+        session.mutate(ops)
+        return {"applied": len(ops)}
+
+    def _cmd_impute(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        impute_request = ImputeRequest.from_wire({"rows": request.get("rows")})
+        values = session.impute(impute_request)
+        return {
+            "rows": encode_rows(values),
+            "imputed_cells": impute_request.n_missing,
+        }
+
+    def _cmd_stats(self, request) -> Dict[str, object]:
+        return self._get_session(request).stats()
+
+    def _artifact_path(self, request, command: str) -> Path:
+        path = request.get("path")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError(f"{command} needs an artifact 'path'")
+        resolved = Path(path)
+        if self.artifact_root is not None:
+            resolved = (self.artifact_root / resolved).resolve()
+            if (
+                self.artifact_root != resolved
+                and self.artifact_root not in resolved.parents
+            ):
+                raise ProtocolError(
+                    f"artifact path {path!r} escapes the server's artifact "
+                    f"root; use a relative path inside it"
+                )
+        return resolved
+
+    def _cmd_save(self, request) -> Dict[str, object]:
+        session = self._get_session(request)
+        return {"path": str(session.save(self._artifact_path(request, "save")))}
+
+    def _cmd_restore(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
+        if name in self.sessions:
+            raise ProtocolError(f"session {name!r} already exists")
+        session = restore_session(self._artifact_path(request, "restore"))
+        self.sessions[name] = session
+        return self._describe(name, session)
+
+    def _cmd_close(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
+        if name not in self.sessions:
+            raise ProtocolError(f"no session named {name!r}")
+        del self.sessions[name]
+        return {"closed": name}
+
+    def _cmd_sessions(self, request) -> Dict[str, object]:
+        return {
+            "sessions": [
+                self._describe(name, session)
+                for name, session in sorted(self.sessions.items())
+            ]
+        }
+
+    def _cmd_methods(self, request) -> Dict[str, object]:
+        return {
+            "methods": [
+                {"method": name, "capabilities": spec.capabilities.as_dict()}
+                for name, spec in METHOD_SPECS.items()
+            ]
+        }
+
+    def _cmd_ping(self, request) -> Dict[str, object]:
+        return {"pong": True, "protocol": PROTOCOL_VERSION}
+
+    def _cmd_shutdown(self, request) -> Dict[str, object]:
+        self.running = False
+        return {"stopping": True}
+
+    _COMMANDS = {
+        "create": _cmd_create,
+        "fit": _cmd_fit,
+        "append": _cmd_append,
+        "delete": _cmd_delete,
+        "update": _cmd_update,
+        "mutate": _cmd_mutate,
+        "impute": _cmd_impute,
+        "stats": _cmd_stats,
+        "save": _cmd_save,
+        "restore": _cmd_restore,
+        "close": _cmd_close,
+        "sessions": _cmd_sessions,
+        "methods": _cmd_methods,
+        "ping": _cmd_ping,
+        "shutdown": _cmd_shutdown,
+    }
+
+
+def serve_stdio(
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+    server: Optional[SessionServer] = None,
+) -> int:
+    """Serve requests line-by-line from ``stdin`` until EOF or ``shutdown``.
+
+    Without an explicit ``server`` the loop runs confined to the working
+    directory (save/restore paths may not escape it); pass a
+    :class:`SessionServer` of your own to choose a different artifact root
+    or to run unconfined.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    server = server or SessionServer(artifact_root=".")
+    for line in stdin:
+        response = server.handle_line(line)
+        if response is None:
+            continue
+        stdout.write(json.dumps(response) + "\n")
+        stdout.flush()
+        if not server.running:
+            break
+    return 0
+
+
+class _JsonlTCPHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        server: SessionServer = self.server.session_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            response = server.handle_line(raw.decode("utf-8", errors="replace"))
+            if response is None:
+                continue
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if not server.running:
+                self.server.shutdown_event.set()  # type: ignore[attr-defined]
+                break
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_tcp(
+    host: str = "127.0.0.1",
+    port: int = 7007,
+    server: Optional[SessionServer] = None,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Serve requests over TCP until a client sends ``shutdown``.
+
+    Every connection shares one session table, so a client can create a
+    session, disconnect, and another can keep mutating it.  ``ready`` (if
+    given) is set once the socket is listening — handy for tests.  Without
+    an explicit ``server`` the loop runs confined to the working directory
+    (save/restore paths may not escape it).
+    """
+    session_server = server or SessionServer(artifact_root=".")
+    with _ThreadingTCPServer((host, port), _JsonlTCPHandler) as tcp:
+        tcp.session_server = session_server  # type: ignore[attr-defined]
+        tcp.shutdown_event = threading.Event()  # type: ignore[attr-defined]
+        thread = threading.Thread(target=tcp.serve_forever, daemon=True)
+        thread.start()
+        session_server.tcp_port = tcp.server_address[1]
+        if ready is not None:
+            ready.set()
+        try:
+            tcp.shutdown_event.wait()  # type: ignore[attr-defined]
+        finally:
+            tcp.shutdown()
+            thread.join(timeout=5)
+    return 0

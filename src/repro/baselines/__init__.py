@@ -14,9 +14,14 @@ from .mean import MeanImputer
 from .pmm import PMMImputer
 from .registry import (
     IMPUTER_FACTORIES,
+    METHOD_SPECS,
+    MethodCapabilities,
+    MethodSpec,
     available_methods,
     figure_comparison_methods,
     make_imputer,
+    method_capabilities,
+    method_spec,
     paper_table2_methods,
 )
 from .svd_impute import SVDImputer
@@ -39,6 +44,11 @@ __all__ = [
     "PMMImputer",
     "XGBImputer",
     "IMPUTER_FACTORIES",
+    "METHOD_SPECS",
+    "MethodSpec",
+    "MethodCapabilities",
+    "method_spec",
+    "method_capabilities",
     "make_imputer",
     "available_methods",
     "paper_table2_methods",

@@ -1,14 +1,27 @@
 """Registry of every imputation method evaluated in the paper (Table II + IIM).
 
-The experiment harness asks this module for imputers by their short paper
-name (``"IIM"``, ``"kNN"``, ``"GLR"``, ...).  Each factory builds a fresh,
-unfitted imputer; keyword overrides are forwarded so the parameter sweeps of
-Section VI can vary ``k``, ``ℓ``, stepping, etc. without special cases.
+The experiment harness and the :mod:`repro.api` service layer ask this module
+for imputers by their short paper name (``"IIM"``, ``"kNN"``, ``"GLR"``, ...).
+Each method is described by a :class:`MethodSpec` — its factory plus a
+*capability descriptor* (:class:`MethodCapabilities`) that the session layer
+surfaces to callers: whether the method can be served mutably through the
+online engine, whether its fitted state persists as an artifact, and whether
+it performs adaptive per-tuple learning.
+
+:func:`make_imputer` builds a fresh, unfitted imputer; keyword overrides are
+forwarded so the parameter sweeps of Section VI can vary ``k``, ``ℓ``,
+stepping, etc. without special cases.  Unknown method names fail with
+closest-match suggestions, and override kwargs the method's constructor does
+not accept are rejected up front with the offending names listed — a typo'd
+sweep fails at configuration time, not after minutes of fitting.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import difflib
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import ConfigurationError
 from .base import BaseImputer
@@ -27,7 +40,12 @@ from .svd_impute import SVDImputer
 from .xgb import XGBImputer
 
 __all__ = [
+    "MethodCapabilities",
+    "MethodSpec",
+    "METHOD_SPECS",
     "IMPUTER_FACTORIES",
+    "method_spec",
+    "method_capabilities",
     "make_imputer",
     "available_methods",
     "paper_table2_methods",
@@ -35,10 +53,43 @@ __all__ = [
 ]
 
 
-def _iim_factory(**overrides) -> BaseImputer:
+@dataclass(frozen=True)
+class MethodCapabilities:
+    """What a registered method supports through the service layer.
+
+    Attributes
+    ----------
+    supports_mutation:
+        The method can be served *mutably* — appends, deletes and in-place
+        updates maintained incrementally by the online engine (IIM only;
+        the Table-II baselines refit from scratch).
+    supports_persistence:
+        Fitted state round-trips through ``save``/``load`` artifacts.
+    supports_adaptive:
+        The method learns per-tuple adaptive models (Algorithm 3).
+    """
+
+    supports_mutation: bool = False
+    supports_persistence: bool = True
+    supports_adaptive: bool = False
+
+    def as_dict(self) -> Dict[str, bool]:
+        """Plain-dict form for manifests and wire responses."""
+        return {
+            "supports_mutation": self.supports_mutation,
+            "supports_persistence": self.supports_persistence,
+            "supports_adaptive": self.supports_adaptive,
+        }
+
+
+def _iim_class():
     # Imported lazily to avoid a circular import (core depends on baselines.base).
     from ..core import IIMImputer
 
+    return IIMImputer
+
+
+def _iim_factory(**overrides) -> BaseImputer:
     defaults = dict(
         k=10,
         learning="adaptive",
@@ -47,39 +98,88 @@ def _iim_factory(**overrides) -> BaseImputer:
         validation_neighbors=30,
     )
     defaults.update(overrides)
-    return IIMImputer(**defaults)
+    return _iim_class()(**defaults)
 
 
-#: Factories keyed by the method names used in the paper's tables.
+@dataclass(frozen=True)
+class MethodSpec:
+    """One registered imputation method: factory + capabilities.
+
+    ``target`` names the class whose constructor signature governs which
+    override kwargs :func:`make_imputer` accepts; it is resolved lazily so
+    the IIM entry does not import :mod:`repro.core` at registry import time.
+    """
+
+    name: str
+    factory: Callable[..., BaseImputer]
+    capabilities: MethodCapabilities
+    target: Optional[Callable[[], type]] = None
+
+    def target_class(self) -> type:
+        """The imputer class this spec constructs."""
+        return self.target() if self.target is not None else self.factory
+
+    def parameter_names(self) -> Optional[frozenset]:
+        """Constructor parameter names, or ``None`` if it accepts anything."""
+        signature = inspect.signature(self.target_class().__init__)
+        names = set()
+        for name, parameter in signature.parameters.items():
+            if name == "self":
+                continue
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                return None
+            if parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+                continue
+            names.add(name)
+        return frozenset(names)
+
+
+_BASELINE = MethodCapabilities()
+
+#: Every method of the paper keyed by its table name, with capabilities.
+METHOD_SPECS: Dict[str, MethodSpec] = {
+    "IIM": MethodSpec(
+        "IIM",
+        _iim_factory,
+        MethodCapabilities(
+            supports_mutation=True,
+            supports_persistence=True,
+            supports_adaptive=True,
+        ),
+        target=_iim_class,
+    ),
+    "Mean": MethodSpec("Mean", MeanImputer, _BASELINE),
+    "kNN": MethodSpec("kNN", KNNImputer, _BASELINE),
+    "kNNE": MethodSpec("kNNE", KNNEnsembleImputer, _BASELINE),
+    "IFC": MethodSpec("IFC", IFCImputer, _BASELINE),
+    "GMM": MethodSpec("GMM", GMMImputer, _BASELINE),
+    "SVD": MethodSpec("SVD", SVDImputer, _BASELINE),
+    "ILLS": MethodSpec("ILLS", ILLSImputer, _BASELINE),
+    "GLR": MethodSpec("GLR", GLRImputer, _BASELINE),
+    "LOESS": MethodSpec("LOESS", LoessImputer, _BASELINE),
+    "BLR": MethodSpec("BLR", BLRImputer, _BASELINE),
+    "ERACER": MethodSpec("ERACER", ERACERImputer, _BASELINE),
+    "PMM": MethodSpec("PMM", PMMImputer, _BASELINE),
+    "XGB": MethodSpec("XGB", XGBImputer, _BASELINE),
+}
+
+#: Factories keyed by method name (the pre-capability registry surface).
 IMPUTER_FACTORIES: Dict[str, Callable[..., BaseImputer]] = {
-    "IIM": _iim_factory,
-    "Mean": MeanImputer,
-    "kNN": KNNImputer,
-    "kNNE": KNNEnsembleImputer,
-    "IFC": IFCImputer,
-    "GMM": GMMImputer,
-    "SVD": SVDImputer,
-    "ILLS": ILLSImputer,
-    "GLR": GLRImputer,
-    "LOESS": LoessImputer,
-    "BLR": BLRImputer,
-    "ERACER": ERACERImputer,
-    "PMM": PMMImputer,
-    "XGB": XGBImputer,
+    name: spec.factory for name, spec in METHOD_SPECS.items()
 }
 
 #: Canonical case-insensitive lookup.
-_CANONICAL = {name.lower(): name for name in IMPUTER_FACTORIES}
+_CANONICAL = {name.lower(): name for name in METHOD_SPECS}
 
 
 def available_methods() -> List[str]:
     """All registered method names (paper spelling)."""
-    return list(IMPUTER_FACTORIES)
+    return list(METHOD_SPECS)
 
 
 def paper_table2_methods() -> List[str]:
     """The 13 existing methods of Table II (everything except IIM)."""
-    return [name for name in IMPUTER_FACTORIES if name != "IIM"]
+    return [name for name in METHOD_SPECS if name != "IIM"]
 
 
 def figure_comparison_methods() -> List[str]:
@@ -87,16 +187,70 @@ def figure_comparison_methods() -> List[str]:
     return ["kNN", "IIM", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"]
 
 
-def make_imputer(name: str, **overrides) -> BaseImputer:
-    """Build a fresh imputer by (case-insensitive) method name.
+def method_spec(name: str) -> MethodSpec:
+    """Look up a method spec by (case-insensitive) name.
 
-    Keyword arguments are forwarded to the method's constructor; unknown
-    names raise :class:`~repro.exceptions.ConfigurationError`.
+    Unknown names raise :class:`~repro.exceptions.ConfigurationError`
+    carrying the closest registered spellings.
     """
     canonical = _CANONICAL.get(str(name).lower())
     if canonical is None:
-        raise ConfigurationError(
-            f"unknown imputation method {name!r}; available: {available_methods()}"
+        close = difflib.get_close_matches(
+            str(name).lower(), _CANONICAL, n=3, cutoff=0.4
         )
-    factory = IMPUTER_FACTORIES[canonical]
-    return factory(**overrides)
+        hint = ""
+        if close:
+            suggestions = ", ".join(repr(_CANONICAL[match]) for match in close)
+            hint = f"; did you mean {suggestions}?"
+        raise ConfigurationError(
+            f"unknown imputation method {name!r}{hint} "
+            f"(available: {available_methods()})"
+        )
+    return METHOD_SPECS[canonical]
+
+
+def method_capabilities(name: str) -> MethodCapabilities:
+    """The capability descriptor of a registered method."""
+    return method_spec(name).capabilities
+
+
+def _validate_overrides(spec: MethodSpec, overrides: Dict[str, object]) -> None:
+    """Reject override kwargs the method's constructor does not accept."""
+    allowed = spec.parameter_names()
+    if allowed is None or not overrides:
+        return
+    unknown = sorted(set(overrides) - allowed)
+    if not unknown:
+        return
+    # A case-variant of an accepted parameter is a *duplicate* spelling of
+    # it, not a new knob; call that out explicitly.
+    lowered = {name.lower(): name for name in allowed}
+    notes = []
+    for name in unknown:
+        twin = lowered.get(name.lower())
+        if twin is not None:
+            notes.append(f"{name!r} (duplicate spelling of {twin!r})")
+            continue
+        close = difflib.get_close_matches(name, allowed, n=1, cutoff=0.6)
+        if close:
+            notes.append(f"{name!r} (did you mean {close[0]!r}?)")
+        else:
+            notes.append(repr(name))
+    raise ConfigurationError(
+        f"unknown override kwargs for method {spec.name!r}: {', '.join(notes)}; "
+        f"accepted parameters: {sorted(allowed)}"
+    )
+
+
+def make_imputer(name: str, **overrides) -> BaseImputer:
+    """Build a fresh imputer by (case-insensitive) method name.
+
+    Keyword arguments are forwarded to the method's constructor after being
+    validated against its signature; unknown method names and unknown or
+    duplicate override kwargs raise
+    :class:`~repro.exceptions.ConfigurationError` with the offending names
+    (and closest matches) listed.
+    """
+    spec = method_spec(name)
+    _validate_overrides(spec, overrides)
+    return spec.factory(**overrides)

@@ -38,3 +38,20 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was asked to run an inconsistent configuration."""
+
+
+class UnsupportedOperationError(ReproError):
+    """A session was asked for an operation its capabilities do not include.
+
+    Raised by the :mod:`repro.api` service layer when, e.g., a batch session
+    adapting a Table-II imputer receives a mutation — the capability
+    descriptor of every session advertises what it can do ahead of time.
+    """
+
+
+class ProtocolError(ReproError):
+    """A wire request violates the :mod:`repro.api` JSONL protocol.
+
+    Covers malformed JSON, missing/unknown fields, unsupported protocol
+    versions and commands addressed to sessions that do not exist.
+    """

@@ -7,6 +7,10 @@ The harness factors out the paper's evaluation protocol:
 3. fit each method on the complete part, impute, and time the two phases;
 4. score the imputations against the held-out truth with RMS error.
 
+Every method runs through the :mod:`repro.api` session protocol
+(:class:`~repro.api.BatchSession` adapting the registry imputer), the same
+surface the CLI and the serve loop speak — the sessions delegate verbatim,
+so the harness numbers are bit-identical to driving the imputers directly.
 Results come back as plain dataclasses so the table/figure runners and the
 pytest benchmarks can format or assert on them without re-running anything.
 """
@@ -15,14 +19,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-import numpy as np
-
-from ..baselines import make_imputer
+from ..api.sessions import BatchSession, ImputationSession
 from ..baselines.base import BaseImputer
 from ..data.missing import InjectionResult
-from ..data.relation import Relation
 from ..exceptions import ExperimentError
 from ..metrics import rms_error
 
@@ -116,28 +117,35 @@ def default_method_overrides(profile) -> Dict[str, Dict[str, object]]:
 
 
 def run_method_on_injection(
-    imputer: BaseImputer,
+    imputer: Union[BaseImputer, ImputationSession],
     injection: InjectionResult,
     method_name: Optional[str] = None,
 ) -> MethodRun:
     """Fit, impute and score one method on one injected relation.
 
-    A method that raises is reported as failed rather than aborting the
-    whole comparison (the paper similarly omits methods that are undefined
-    on a dataset, e.g. SVD on two-attribute data).
+    ``imputer`` may be a raw :class:`BaseImputer` (adapted into a
+    :class:`~repro.api.BatchSession` on the spot) or any
+    :class:`~repro.api.ImputationSession`.  A method that raises is
+    reported as failed rather than aborting the whole comparison (the paper
+    similarly omits methods that are undefined on a dataset, e.g. SVD on
+    two-attribute data).
     """
-    name = method_name or getattr(imputer, "name", type(imputer).__name__)
+    if isinstance(imputer, ImputationSession):
+        session = imputer
+    else:
+        session = BatchSession(imputer=imputer)
+    name = method_name or session.method
     dirty = injection.dirty
     try:
         start = time.perf_counter()
-        imputer.fit(dirty)
+        session.fit(dirty)
         fit_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        imputed = imputer.impute(dirty)
+        imputed = session.impute(dirty)
         impute_seconds = time.perf_counter() - start
 
-        values = imputed.raw[injection.rows, injection.attributes]
+        values = imputed[injection.rows, injection.attributes]
         rms = rms_error(injection.truth, values)
         return MethodRun(
             method=name,
@@ -163,7 +171,11 @@ def compare_methods(
     dataset_name: str = "",
     method_overrides: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> ComparisonRun:
-    """Run a list of registered methods on the same injected relation."""
+    """Run a list of registered methods on the same injected relation.
+
+    Each method is served through a fresh :class:`~repro.api.BatchSession`,
+    so the comparison exercises the exact surface production callers use.
+    """
     overrides = method_overrides or {}
     dirty = injection.dirty
     comparison = ComparisonRun(
@@ -173,6 +185,6 @@ def compare_methods(
         n_incomplete=len(injection),
     )
     for method in methods:
-        imputer = make_imputer(method, **overrides.get(method, {}))
-        comparison.runs[method] = run_method_on_injection(imputer, injection, method)
+        session = BatchSession(method, **overrides.get(method, {}))
+        comparison.runs[method] = run_method_on_injection(session, injection, method)
     return comparison

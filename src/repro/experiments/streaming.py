@@ -25,6 +25,12 @@ test suite); the interesting numbers are the per-round latencies and their
 ratio, which ``benchmarks/test_perf_online.py`` records in
 ``BENCH_online.json``.
 
+The online side is driven through the :mod:`repro.api` session protocol
+(:class:`~repro.api.OnlineSession` + :class:`~repro.api.MutationOp`) — the
+same surface the serve loop exposes — so these scenarios double as the
+proof that the facade adds no overhead over raw engine calls
+(``benchmarks/test_perf_api.py`` asserts the ratio).
+
 Queries come in two flavours (``query_mode``): ``"store"`` samples tuples
 the store has seen (the paper's setting), while ``"ood"`` shifts each
 sampled tuple by ``ood_shift`` column standard deviations before blanking a
@@ -41,12 +47,13 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..api.messages import MutationOp
+from ..api.sessions import OnlineSession
 from ..core.iim import IIMImputer
 from ..data import load_dataset
 from ..data.relation import Relation
 from ..exceptions import ExperimentError
 from ..metrics import rms_error
-from ..online import OnlineImputationEngine
 from .settings import ScaleProfile, get_profile
 
 __all__ = [
@@ -262,14 +269,14 @@ def run_streaming(
     iim_params.update(iim_overrides)
 
     rng = np.random.default_rng(random_state)
-    engine = OnlineImputationEngine(
+    session = OnlineSession(
         refresh_policy=refresh_policy,
         model_cache_size=model_cache_size,
         shard_capacity=shard_capacity,
         journal_capacity=journal_capacity,
         **iim_params,
     )
-    engine.append(values[:initial])
+    session.fit(values[:initial])
 
     result = StreamingResult(
         dataset=dataset, learning=learning, initial_store=initial,
@@ -278,7 +285,7 @@ def run_streaming(
     offset = initial
     for round_index in range(n_rounds):
         stop = offset + batch if round_index < n_rounds - 1 else n_total
-        append_block = values[offset:stop]
+        append_op = MutationOp.append(values[offset:stop])
 
         # Queries: tuples sampled from the cumulative store — optionally
         # shifted out of distribution — with one attribute blanked each
@@ -288,8 +295,8 @@ def run_streaming(
         )
 
         start_time = time.perf_counter()
-        engine.append(append_block)
-        online_values = engine.impute_batch(queries)
+        session.mutate([append_op])
+        online_values = session.impute(queries)
         online_seconds = time.perf_counter() - start_time
         rms_online = rms_error(
             truth, online_values[np.arange(queries_per_round), blanked]
@@ -324,8 +331,9 @@ def run_streaming(
         )
         offset = stop
 
-    result.engine_stats = dict(engine.stats)
-    result.engine_memory = engine.memory_stats()
+    session_stats = session.stats()
+    result.engine_stats = dict(session_stats["counters"])
+    result.engine_memory = dict(session_stats["memory"])
     return result
 
 
@@ -491,7 +499,7 @@ def run_churn(
     iim_params.update(iim_overrides)
 
     rng = np.random.default_rng(random_state)
-    engine = OnlineImputationEngine(
+    session = OnlineSession(
         refresh_policy=refresh_policy,
         model_cache_size=model_cache_size,
         incremental_fallback_fraction=fallback_fraction,
@@ -500,7 +508,7 @@ def run_churn(
         delete_cost_mode=delete_cost_mode,
         **iim_params,
     )
-    engine.append(values[:initial])
+    session.fit(values[:initial])
     store = values[:initial].copy()
     column_stds = values.std(axis=0)
     column_stds[column_stds == 0] = 1.0
@@ -510,7 +518,7 @@ def run_churn(
         learning=learning,
         initial_store=initial,
         query_mode=query_mode,
-        fallback_fraction=engine.incremental_fallback_fraction,
+        fallback_fraction=session.engine.incremental_fallback_fraction,
     )
     offset = initial
     for round_index in range(n_rounds):
@@ -538,12 +546,18 @@ def run_churn(
             surviving, rng, queries_per_round, query_mode, ood_shift
         )
 
+        # The whole round as one typed mutation batch — exactly what a
+        # serve-loop client would send — followed by the impute request.
+        ops = [MutationOp.append(append_block)]
+        ops.extend(
+            MutationOp.update(int(target_index), row)
+            for target_index, row in zip(update_targets, update_rows)
+        )
+        if n_deletes:
+            ops.append(MutationOp.delete(delete_targets))
         start_time = time.perf_counter()
-        engine.append(append_block)
-        for target_index, row in zip(update_targets, update_rows):
-            engine.update(int(target_index), row)
-        engine.delete(delete_targets)
-        online_values = engine.impute_batch(queries)
+        session.mutate(ops)
+        online_values = session.impute(queries)
         online_seconds = time.perf_counter() - start_time
         store = surviving
         rms_online = rms_error(
@@ -581,6 +595,7 @@ def run_churn(
         )
         offset = stop
 
-    result.engine_stats = dict(engine.stats)
-    result.engine_memory = engine.memory_stats()
+    session_stats = session.stats()
+    result.engine_stats = dict(session_stats["counters"])
+    result.engine_memory = dict(session_stats["memory"])
     return result

@@ -1,0 +1,122 @@
+"""Tests for the consolidated CLI and the deprecated entry-point shim."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.data import load_dataset
+from repro.data.io import read_csv, write_csv
+from repro.data.missing import inject_missing
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    relation = load_dataset("asf", size=80)
+    injection = inject_missing(relation, fraction=0.05, random_state=0)
+    path = tmp_path / "dirty.csv"
+    write_csv(injection.dirty, path)
+    return path
+
+
+class TestImputeSubcommand:
+    def test_imputes_a_csv_end_to_end(self, dirty_csv, tmp_path, capsys):
+        out = tmp_path / "clean.csv"
+        code = repro_main([
+            "impute", str(dirty_csv), "--method", "kNN", "--set", "k=4",
+            "--output", str(out),
+        ])
+        assert code == 0
+        assert "imputed" in capsys.readouterr().out
+        cleaned = read_csv(out)
+        assert cleaned.n_missing_cells == 0
+
+    def test_unknown_method_fails_with_suggestion(self, dirty_csv, capsys):
+        code = repro_main(["impute", str(dirty_csv), "--method", "knnn"])
+        assert code == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_unknown_override_fails_early(self, dirty_csv, capsys):
+        code = repro_main([
+            "impute", str(dirty_csv), "--method", "kNN", "--set", "neighbors=4",
+        ])
+        assert code == 2
+        assert "neighbors" in capsys.readouterr().err
+
+    def test_complete_relation_is_a_noop(self, tmp_path, capsys):
+        relation = load_dataset("sn", size=30)
+        path = tmp_path / "complete.csv"
+        write_csv(relation, path)
+        assert repro_main(["impute", str(path), "--method", "Mean"]) == 0
+        assert "nothing to impute" in capsys.readouterr().out
+
+
+class TestReplaySubcommand:
+    def test_forwards_to_the_trace_replay(self, capsys):
+        code = repro_main([
+            "replay", "--demo", "60", "--dataset", "sn", "--k", "3",
+            "--learning", "fixed", "--learning-neighbors", "3",
+        ])
+        assert code == 0
+        assert "store holds" in capsys.readouterr().out
+
+    def test_replay_does_not_warn(self, capsys):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro_main([
+                "replay", "--demo", "40", "--dataset", "sn", "--k", "3",
+                "--learning", "fixed", "--learning-neighbors", "3",
+            ])
+        capsys.readouterr()
+        assert not [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+
+
+class TestDeprecatedOnlineEntryPoint:
+    def test_shim_warns_exactly_once_and_still_works(self, capsys):
+        from repro.online.__main__ import main as deprecated_main
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            code = deprecated_main([
+                "--demo", "40", "--dataset", "sn", "--k", "3",
+                "--learning", "fixed", "--learning-neighbors", "3",
+            ])
+        assert code == 0
+        assert "store holds" in capsys.readouterr().out
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "python -m repro replay" in str(deprecations[0].message)
+
+    def test_shim_produces_identical_results(self, tmp_path, capsys):
+        """The shim and the new subcommand replay a trace identically."""
+        from repro.online.__main__ import main as deprecated_main
+
+        relation = load_dataset("sn", size=60)
+        injection = inject_missing(relation, fraction=0.1, random_state=3)
+        trace = tmp_path / "trace.csv"
+        write_csv(injection.dirty, trace)
+        args = [
+            str(trace), "--k", "3", "--learning", "fixed",
+            "--learning-neighbors", "3",
+        ]
+        old_out = tmp_path / "old.csv"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert deprecated_main(args + ["--output", str(old_out)]) == 0
+        new_out = tmp_path / "new.csv"
+        assert repro_main(["replay"] + args + ["--output", str(new_out)]) == 0
+        capsys.readouterr()
+        np.testing.assert_array_equal(read_csv(old_out).raw, read_csv(new_out).raw)
+
+
+class TestBareInvocation:
+    def test_no_subcommand_prints_help(self, capsys):
+        assert repro_main([]) == 2
+        assert "impute" in capsys.readouterr().out

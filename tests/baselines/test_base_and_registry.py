@@ -4,12 +4,16 @@ import numpy as np
 import pytest
 
 from repro.baselines import (
+    IMPUTER_FACTORIES,
+    METHOD_SPECS,
     BaseImputer,
     KNNImputer,
     MeanImputer,
     available_methods,
     figure_comparison_methods,
     make_imputer,
+    method_capabilities,
+    method_spec,
     paper_table2_methods,
 )
 from repro.core import IIMImputer
@@ -117,7 +121,67 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             make_imputer("deep-learning")
 
+    def test_unknown_method_suggests_closest_matches(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'kNN'"):
+            make_imputer("knnn")
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            make_imputer("ERASER")
+
+    def test_unknown_override_kwargs_rejected_early(self):
+        with pytest.raises(ConfigurationError, match="'neighbors'"):
+            make_imputer("kNN", neighbors=5)
+        # ...with a closest-match hint for near misses...
+        with pytest.raises(ConfigurationError, match="did you mean 'stepping'"):
+            make_imputer("IIM", steping=5)
+        # ...and case-variants called out as duplicate spellings.
+        with pytest.raises(ConfigurationError, match="duplicate spelling of 'k'"):
+            make_imputer("kNN", K=5)
+
+    def test_override_rejection_lists_every_offender(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_imputer("kNN", neighbors=5, metrick="euclidean")
+        message = str(excinfo.value)
+        assert "'neighbors'" in message and "'metrick'" in message
+
     @pytest.mark.parametrize("name", ["Mean", "kNN", "kNNE", "GLR", "LOESS", "BLR", "PMM", "XGB",
                                       "IFC", "GMM", "SVD", "ILLS", "ERACER", "IIM"])
     def test_every_factory_builds_a_base_imputer(self, name):
         assert isinstance(make_imputer(name), BaseImputer)
+
+
+class TestMethodCapabilities:
+    def test_every_method_has_a_spec(self):
+        assert set(METHOD_SPECS) == set(available_methods())
+        assert set(IMPUTER_FACTORIES) == set(METHOD_SPECS)
+
+    def test_iim_is_the_only_mutable_method(self):
+        mutable = [
+            name for name in available_methods()
+            if method_capabilities(name).supports_mutation
+        ]
+        assert mutable == ["IIM"]
+
+    def test_every_method_persists(self):
+        assert all(
+            method_capabilities(name).supports_persistence
+            for name in available_methods()
+        )
+
+    def test_adaptive_learning_is_iim_only(self):
+        adaptive = [
+            name for name in available_methods()
+            if method_capabilities(name).supports_adaptive
+        ]
+        assert adaptive == ["IIM"]
+
+    def test_spec_lookup_is_case_insensitive(self):
+        assert method_spec("iim").name == "IIM"
+        assert method_spec("LOESS").parameter_names() is not None
+
+    def test_capabilities_serialise_for_the_wire(self):
+        payload = method_capabilities("IIM").as_dict()
+        assert payload == {
+            "supports_mutation": True,
+            "supports_persistence": True,
+            "supports_adaptive": True,
+        }

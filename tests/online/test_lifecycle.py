@@ -304,7 +304,7 @@ def test_ops_trace_cli_roundtrip(tmp_path, stream_values):
     """The --ops CSV replay drives the full lifecycle end to end."""
     import csv
 
-    from repro.online.__main__ import main
+    from repro.online.cli import main
 
     values = stream_values
     width = values.shape[1]
@@ -342,7 +342,7 @@ def test_ops_trace_cli_roundtrip(tmp_path, stream_values):
 
 
 def test_ops_trace_cli_rejects_bad_traces(tmp_path):
-    from repro.online.__main__ import main
+    from repro.online.cli import main
 
     trace = tmp_path / "bad.csv"
     trace.write_text("op,index,a,b\nfrobnicate,,1.0,2.0\n")
