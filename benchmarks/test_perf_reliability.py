@@ -1,0 +1,63 @@
+"""Reliability benchmarks: WAL overhead on the serve path + recovery speed.
+
+Writes ``BENCH_reliability.json`` at the repository root:
+
+* **wal_overhead** — the same mixed impute+append request stream through
+  the JSONL serve path with no WAL and with each sync policy
+  (``off`` / ``batch`` / ``always``).  The acceptance bar of the
+  reliability PR: the default ``batch`` policy costs at most 15% over the
+  WAL-less baseline;
+* **recovery** — wall-clock to rebuild a session by replaying the
+  ``batch`` run's WAL from scratch, so the cost of a crash is a number.
+"""
+
+import json
+from pathlib import Path
+
+from repro.reliability.bench import run_reliability_benchmark
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_reliability.json"
+
+#: The acceptance bar: the default (batch) WAL sync policy may cost at most
+#: 15% wall-clock on the mixed serve stream.
+BATCH_OVERHEAD_TOLERANCE = 1.15
+
+
+def test_wal_overhead_and_recovery(profile, record_result):
+    report = run_reliability_benchmark(profile=profile)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    overhead = report["wal_overhead"]
+    recovery = report["recovery"]
+    record_result(
+        "reliability",
+        "\n".join(
+            [
+                f"mixed stream ({report['n_requests']} requests, store of "
+                f"{report['store_rows']} tuples, append every "
+                f"{report['append_every']}th):"
+            ]
+            + [
+                f"  wal={mode:>6}: {entry['requests_per_second']:,.0f} req/s"
+                + (
+                    f" (x{entry['overhead_vs_none']:.3f} vs no WAL)"
+                    if "overhead_vs_none" in entry
+                    else ""
+                )
+                for mode, entry in overhead.items()
+            ]
+            + [
+                f"recovery: {recovery['replayed_ops']} WAL op(s) replayed in "
+                f"{recovery['seconds']:.3f}s -> {recovery['n_tuples']} tuples"
+            ]
+        ),
+    )
+
+    assert overhead["batch"]["overhead_vs_none"] <= BATCH_OVERHEAD_TOLERANCE, (
+        f"wal_sync=batch costs x{overhead['batch']['overhead_vs_none']:.3f} "
+        f"over the WAL-less serve path (bar: x{BATCH_OVERHEAD_TOLERANCE})"
+    )
+    # Sanity floors: off should not beat the baseline by magic, always must
+    # still sustain a workable rate (it fsyncs per append, not per impute).
+    assert overhead["always"]["requests_per_second"] > 10
+    assert recovery["replayed_ops"] >= 1

@@ -9,7 +9,12 @@ service layer:
   engine (subsumes the deprecated ``python -m repro.online`` entry point;
   same arguments);
 * ``serve`` — the JSONL serve loop over stdio or a TCP socket
-  (``python -m repro serve --stdio``, ``python -m repro serve --port 7007``);
+  (``python -m repro serve --stdio``, ``python -m repro serve --port 7007``),
+  with crash-safe durability via ``--wal-dir`` and request hardening via
+  ``--deadline`` / ``--max-request-bytes``;
+* ``recover`` — rebuild an online session from a write-ahead log (plus the
+  last checkpoint, when one exists) after a crash, and optionally write a
+  fresh checkpoint (``python -m repro recover wal/s --output ckpt``);
 * ``bench`` — the service-layer benchmark (facade overhead + serve-loop
   throughput), written to ``BENCH_api.json``.
 """
@@ -91,7 +96,13 @@ def _cmd_serve(args) -> int:
     # Wire-supplied save/restore paths are confined to the artifact root
     # (default: the working directory) so clients cannot touch the rest of
     # the filesystem.
-    server = SessionServer(artifact_root=args.artifact_root)
+    server = SessionServer(
+        artifact_root=args.artifact_root,
+        wal_root=args.wal_dir,
+        wal_sync=args.sync,
+        deadline_seconds=args.deadline,
+        max_request_bytes=args.max_request_bytes,
+    )
     if args.port is not None:
         print(
             f"serving JSONL sessions on {args.host}:{args.port} "
@@ -100,6 +111,47 @@ def _cmd_serve(args) -> int:
         )
         return serve_tcp(args.host, args.port, server)
     return serve_stdio(server=server)
+
+
+def _cmd_recover(args) -> int:
+    from .api.sessions import recover_session
+
+    try:
+        session, report = recover_session(
+            args.wal_dir,
+            checkpoint=args.checkpoint,
+            # Recovery only reads; reattach the WAL solely when we are about
+            # to checkpoint (--output), which truncates it afterwards.
+            reattach=args.output is not None,
+        )
+        if args.output is not None:
+            report["output"] = str(session.save(args.output))
+            session.close()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        f"recovered session from {args.wal_dir}: replayed "
+        f"{report['replayed_ops']} WAL op(s) "
+        f"(skipped {report['skipped_ops']} already in the checkpoint) "
+        f"onto checkpoint {report['checkpoint'] or '<none>'}; "
+        f"{report['n_tuples']} tuples live"
+    )
+    if report["torn_tail"]:
+        torn = report["torn_tail"]
+        print(
+            f"torn WAL tail truncated at {torn['segment']} offset "
+            f"{torn['offset']} ({torn['reason']})"
+        )
+    if args.output is not None:
+        print(
+            f"fresh checkpoint written to {report['output']} "
+            f"(the WAL was truncated; old segments are gone)"
+        )
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -172,6 +224,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory save/restore paths are confined to (default: the "
         "working directory)",
     )
+    serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="write-ahead-log root: every online session logs its mutations "
+        "to DIR/<session>/ so they survive a crash (default: no WAL)",
+    )
+    serve.add_argument(
+        "--sync", default="default", metavar="POLICY",
+        help="WAL fsync policy: always|batch|off "
+        "(default: REPRO_WAL_SYNC or 'batch')",
+    )
+    serve.add_argument(
+        "--deadline", default="default", metavar="SECONDS",
+        help="per-request deadline in seconds; overruns answer a 'deadline' "
+        "error (default: REPRO_REQUEST_DEADLINE or none)",
+    )
+    serve.add_argument(
+        "--max-request-bytes", default="default", metavar="N",
+        help="bound on one request line; longer lines answer a 'protocol' "
+        "error (default: REPRO_MAX_REQUEST_BYTES or 1048576)",
+    )
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild an online session from its write-ahead log after a crash",
+    )
+    recover.add_argument(
+        "wal_dir", help="the session's WAL directory (e.g. wal/<session>)"
+    )
+    recover.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="last saved artifact to replay the WAL tail onto "
+        "(default: WAL-only recovery from the logged config)",
+    )
+    recover.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write a fresh checkpoint of the recovered session; this "
+        "truncates the WAL, so keep a copy if you need the old segments",
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="print the recovery report as JSON"
+    )
 
     bench = commands.add_parser(
         "bench", help="measure facade overhead and serve-loop throughput"
@@ -203,6 +296,8 @@ def main(argv=None) -> int:
         return _cmd_impute(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     return _cmd_bench(args)
 
 

@@ -28,7 +28,11 @@ The pieces:
   uses (:func:`error_code`).
 * :mod:`repro.api.serve` — the stdlib-only JSONL serve loop
   (``python -m repro serve``) multiplexing named sessions over
-  stdin/stdout or a TCP socket.
+  stdin/stdout or a TCP socket, with per-session quarantine, request
+  deadlines and bounded request lines.
+* :func:`recover_session` — rebuild an online session from its
+  write-ahead log (plus the last checkpoint, when one exists) after a
+  crash; see :mod:`repro.reliability` for the WAL itself.
 """
 
 from .errors import ERROR_CODES, error_code, error_payload
@@ -40,6 +44,7 @@ from .messages import (
     SessionConfig,
     decode_rows,
     encode_rows,
+    validate_session_name,
 )
 from .serve import SessionServer, serve_stdio, serve_tcp
 from .sessions import (
@@ -47,6 +52,7 @@ from .sessions import (
     ImputationSession,
     OnlineSession,
     create_session,
+    recover_session,
     restore_session,
 )
 
@@ -57,7 +63,9 @@ __all__ = [
     "BatchSession",
     "OnlineSession",
     "create_session",
+    "recover_session",
     "restore_session",
+    "validate_session_name",
     "ImputeRequest",
     "MutationOp",
     "SessionConfig",

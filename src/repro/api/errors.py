@@ -17,12 +17,14 @@ from ..exceptions import (
     ConfigurationError,
     DataError,
     DatasetError,
+    DeadlineExceededError,
     ExperimentError,
     MissingValueError,
     NotFittedError,
     ProtocolError,
     ReproError,
     SchemaError,
+    SessionQuarantinedError,
     UnsupportedOperationError,
 )
 
@@ -32,6 +34,8 @@ __all__ = ["ERROR_CODES", "error_code", "error_payload"]
 #: mapping is resolved by ``isinstance`` walking this order, so subclasses
 #: added later inherit their parent's code automatically.
 ERROR_CODES: Dict[Type[BaseException], str] = {
+    SessionQuarantinedError: "quarantined",
+    DeadlineExceededError: "deadline",
     ProtocolError: "protocol",
     UnsupportedOperationError: "unsupported",
     ConfigurationError: "configuration",

@@ -20,6 +20,7 @@ back to ``numpy.nan``; the wire protocol itself is versioned through
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -31,8 +32,10 @@ from ..exceptions import ConfigurationError, DataError, ProtocolError
 __all__ = [
     "PROTOCOL_VERSION",
     "SESSION_MODES",
+    "SESSION_NAME_PATTERN",
     "encode_rows",
     "decode_rows",
+    "validate_session_name",
     "ImputeRequest",
     "MutationOp",
     "SessionConfig",
@@ -58,6 +61,25 @@ ENGINE_KNOBS = (
     "journal_capacity",
     "delete_cost_mode",
 )
+
+
+#: Filesystem-safe session names, required whenever a session name becomes
+#: a directory name (the serve loop's per-session WAL directories): a wire
+#: name like ``"../x"`` must never escape the WAL root.
+SESSION_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_session_name(name: str, *, durable: bool = False) -> str:
+    """Validate a wire session name; ``durable`` also demands it be a safe
+    directory name (no separators, no leading dot, at most 64 chars)."""
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("this command needs a 'session' name")
+    if durable and not SESSION_NAME_PATTERN.match(name):
+        raise ProtocolError(
+            f"session name {name!r} cannot name a WAL directory; durable "
+            f"sessions need names matching {SESSION_NAME_PATTERN.pattern}"
+        )
+    return name
 
 
 def encode_rows(values: np.ndarray) -> List[List[Optional[float]]]:

@@ -18,13 +18,27 @@ Commands
 ``delete`` (session, indices), ``update`` (session, index, row),
 ``mutate`` (session, ops), ``impute`` (session, rows), ``stats`` (session),
 ``save`` (session, path), ``restore`` (session, path), ``close`` (session),
-``sessions``, ``methods``, ``ping``, ``shutdown``.
+``sessions``, ``methods``, ``health``, ``ping``, ``shutdown``.
 
 Transport is either stdio (``python -m repro serve --stdio``) or a TCP
 socket (``--port``); the TCP server multiplexes every connection over one
 shared session table behind a lock, so two clients can talk to the same
 named session.  Malformed lines answer with an error response instead of
 killing the loop — a serving process must outlive a bad client.
+
+Failure containment
+-------------------
+With a ``wal_root``, every online session logs its accepted mutations to a
+per-session :class:`~repro.reliability.WriteAheadLog` (``save`` checkpoints
+atomically and truncates the log; ``restore`` replays any surviving WAL
+tail onto the checkpoint).  A session whose engine raises mid-mutation is
+*quarantined* — marked degraded, answering
+:class:`~repro.exceptions.SessionQuarantinedError` instead of serving
+half-applied state — while every other session keeps serving.  Request
+lines are bounded (``max_request_bytes``), requests can carry a deadline
+(``deadline_seconds`` → :class:`~repro.exceptions.DeadlineExceededError`),
+and the ``health`` command reports per-session state, WAL lag and
+last-checkpoint age.
 """
 
 from __future__ import annotations
@@ -33,13 +47,28 @@ import json
 import socketserver
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Dict, Optional, TextIO, Union
 
 import numpy as np
 
 from ..baselines.registry import METHOD_SPECS
-from ..exceptions import ProtocolError
+from ..config import (
+    resolve_max_request_bytes,
+    resolve_request_deadline,
+    resolve_wal_sync,
+)
+from ..exceptions import (
+    ConfigurationError,
+    DataError,
+    DeadlineExceededError,
+    NotFittedError,
+    ProtocolError,
+    SessionQuarantinedError,
+    UnsupportedOperationError,
+)
+from ..reliability.wal import SEGMENT_SUFFIX, WriteAheadLog, read_wal
 from .errors import error_payload
 from .messages import (
     PROTOCOL_VERSION,
@@ -48,10 +77,27 @@ from .messages import (
     SessionConfig,
     decode_rows,
     encode_rows,
+    validate_session_name,
 )
-from .sessions import ImputationSession, create_session, restore_session
+from .sessions import (
+    ImputationSession,
+    OnlineSession,
+    create_session,
+    recover_session,
+    restore_session,
+)
 
 __all__ = ["SessionServer", "serve_stdio", "serve_tcp"]
+
+#: Exceptions a command may raise *without* quarantining its session:
+#: they are rejected up front by validation, before any state changed.
+_CLEAN_REJECTIONS = (
+    ProtocolError,
+    UnsupportedOperationError,
+    ConfigurationError,
+    NotFittedError,
+    DataError,
+)
 
 
 class SessionServer:
@@ -71,16 +117,45 @@ class SessionServer:
     ``serve`` CLI) default it to the working directory; the bare
     constructor leaves it ``None`` for in-process servers whose requests
     you author yourself.
+
+    ``wal_root`` (optional) gives every online session a write-ahead log
+    under ``wal_root/<session>/`` so its mutations survive a crash of the
+    serving process; ``wal_sync`` picks the durability/latency trade-off
+    (see :mod:`repro.reliability`).  ``deadline_seconds`` bounds each
+    request's wall-clock, ``max_request_bytes`` bounds each request line,
+    and ``fault_injector`` threads a :class:`~repro.reliability.FaultPlan`
+    through the WAL, the artifact writer and request dispatch for chaos
+    testing.  The ``"default"`` sentinels resolve through the
+    :mod:`repro.config` knobs.
     """
 
-    def __init__(self, artifact_root: Optional[Union[str, Path]] = None):
+    def __init__(
+        self,
+        artifact_root: Optional[Union[str, Path]] = None,
+        *,
+        wal_root: Optional[Union[str, Path]] = None,
+        wal_sync: str = "default",
+        deadline_seconds: Union[str, float, None] = "default",
+        max_request_bytes: Union[str, int, None] = "default",
+        fault_injector=None,
+    ):
         self.sessions: Dict[str, ImputationSession] = {}
         self.running = True
         self.artifact_root = (
             None if artifact_root is None else Path(artifact_root).resolve()
         )
+        self.wal_root = None if wal_root is None else Path(wal_root).resolve()
+        self.wal_sync = resolve_wal_sync(wal_sync)
+        self.deadline_seconds = resolve_request_deadline(deadline_seconds)
+        self.max_request_bytes = resolve_max_request_bytes(max_request_bytes)
+        self.fault_injector = fault_injector
+        #: Quarantined sessions: name -> reason the engine was declared
+        #: untrustworthy.  Populated when a mutation fails mid-apply.
+        self.quarantined: Dict[str, str] = {}
         #: Bound port once :func:`serve_tcp` is listening (None for stdio).
         self.tcp_port: Optional[int] = None
+        self._checkpoint_at: Dict[str, float] = {}
+        self._started = time.monotonic()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -93,6 +168,16 @@ class SessionServer:
             return None
         request_id = None
         try:
+            if (
+                self.max_request_bytes is not None
+                and len(line.encode("utf-8", errors="surrogateescape"))
+                > self.max_request_bytes
+            ):
+                raise ProtocolError(
+                    f"request line exceeds max_request_bytes="
+                    f"{self.max_request_bytes}; split the request into "
+                    f"smaller batches"
+                )
             try:
                 request = json.loads(line)
             except json.JSONDecodeError as exc:
@@ -115,14 +200,16 @@ class SessionServer:
                     f"speaks version {PROTOCOL_VERSION}"
                 )
             cmd = request.get("cmd")
-            handler = self._COMMANDS.get(cmd)
+            # `cmd` may be any JSON value, including unhashable ones.
+            handler = (
+                self._COMMANDS.get(cmd) if isinstance(cmd, str) else None
+            )
             if handler is None:
                 raise ProtocolError(
                     f"unknown command {cmd!r}; available commands: "
                     f"{sorted(self._COMMANDS)}"
                 )
-            with self._lock:
-                result = handler(self, request)
+            result = self._dispatch(handler, request)
             return {
                 "v": PROTOCOL_VERSION,
                 "id": request_id,
@@ -131,6 +218,46 @@ class SessionServer:
             }
         except Exception as exc:  # noqa: BLE001 - typed error response instead
             return self._error(request_id, exc)
+
+    def _dispatch(self, handler, request: Dict[str, object]):
+        """Run one command under the lock, bounded by the deadline (if any).
+
+        With a deadline the handler runs in a worker thread; on overrun the
+        caller gets :class:`DeadlineExceededError` while the worker finishes
+        in the background still holding the lock — the engine cannot be
+        preempted mid-mutation, so the session stays consistent and later
+        requests simply queue on the lock.
+        """
+        if self.deadline_seconds is None:
+            with self._lock:
+                if self.fault_injector is not None:
+                    self.fault_injector.fire("serve.dispatch")
+                return handler(self, request)
+        outcome: Dict[str, object] = {}
+        done = threading.Event()
+
+        def run():
+            try:
+                with self._lock:
+                    if self.fault_injector is not None:
+                        self.fault_injector.fire("serve.dispatch")
+                    outcome["result"] = handler(self, request)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                outcome["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        if not done.wait(self.deadline_seconds):
+            raise DeadlineExceededError(
+                f"request {request.get('cmd')!r} exceeded the "
+                f"{self.deadline_seconds}s deadline; it keeps running in the "
+                f"background and later requests will queue behind it"
+            )
+        if "error" in outcome:
+            raise outcome["error"]  # type: ignore[misc]
+        return outcome.get("result")
 
     @staticmethod
     def _error(request_id, exc: BaseException) -> Dict[str, object]:
@@ -141,11 +268,28 @@ class SessionServer:
             "error": error_payload(exc),
         }
 
+    def oversized_response(self, request_id=None) -> Dict[str, object]:
+        """The typed error a transport answers for an over-long line."""
+        return self._error(
+            request_id,
+            ProtocolError(
+                f"request line exceeds max_request_bytes="
+                f"{self.max_request_bytes}; split the request into smaller "
+                f"batches"
+            ),
+        )
+
     # ------------------------------------------------------------------ #
     # Command implementations (called with the lock held)
     # ------------------------------------------------------------------ #
     def _get_session(self, request) -> ImputationSession:
         name = self._session_name(request)
+        if name in self.quarantined:
+            raise SessionQuarantinedError(
+                f"session {name!r} is quarantined "
+                f"({self.quarantined[name]}); close it and recover from its "
+                f"checkpoint/WAL"
+            )
         session = self.sessions.get(name)
         if session is None:
             raise ProtocolError(
@@ -155,10 +299,7 @@ class SessionServer:
         return session
 
     def _session_name(self, request) -> str:
-        name = request.get("session")
-        if not isinstance(name, str) or not name:
-            raise ProtocolError("this command needs a 'session' name")
-        return name
+        return validate_session_name(request.get("session"))
 
     def _describe(self, name: str, session: ImputationSession) -> Dict[str, object]:
         return {
@@ -166,7 +307,47 @@ class SessionServer:
             "kind": session.kind,
             "method": session.method,
             "capabilities": session.capabilities.as_dict(),
+            "durable": getattr(session, "wal", None) is not None,
         }
+
+    def _quarantine(self, name: str, exc: BaseException) -> SessionQuarantinedError:
+        """Mark a session degraded and build the error its caller gets.
+
+        Invoked when the engine raised past the point where state may have
+        changed: the session's in-memory view can no longer be trusted, so
+        it stops answering until closed and recovered.  Other sessions are
+        untouched.
+        """
+        reason = f"{type(exc).__name__}: {exc}"
+        self.quarantined[name] = reason
+        return SessionQuarantinedError(
+            f"session {name!r} is quarantined: its engine raised {reason} "
+            f"mid-mutation; other sessions are unaffected — close it and "
+            f"recover from its checkpoint/WAL"
+        )
+
+    def _apply_ops(self, name: str, session: ImputationSession, ops) -> int:
+        """Apply mutation ops one at a time with quarantine-on-failure.
+
+        A *clean rejection* (validation error before any op touched the
+        store) propagates as-is; any failure after the first applied op —
+        or any unexpected exception type — quarantines the session, because
+        the store may now hold a half-applied batch.
+        """
+        applied = 0
+        try:
+            for op in ops:
+                session.mutate([op])
+                applied += 1
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if isinstance(exc, _CLEAN_REJECTIONS) and applied == 0:
+                raise
+            raise self._quarantine(name, exc) from exc
+        return applied
+
+    def _wal_dir(self, name: str) -> Path:
+        validate_session_name(name, durable=True)
+        return self.wal_root / name
 
     def _cmd_create(self, request) -> Dict[str, object]:
         name = self._session_name(request)
@@ -174,13 +355,41 @@ class SessionServer:
             raise ProtocolError(f"session {name!r} already exists")
         config = SessionConfig.from_wire(request.get("config"))
         session = create_session(config)
+        if self.wal_root is not None and isinstance(session, OnlineSession):
+            wal_dir = self._wal_dir(name)
+            if wal_dir.is_dir() and any(wal_dir.glob("*" + SEGMENT_SUFFIX)):
+                state = read_wal(wal_dir)
+                if state.ops or state.base_seq > 0 or state.torn is not None:
+                    raise ProtocolError(
+                        f"session {name!r} has an existing WAL at {wal_dir}; "
+                        f"'restore' it to recover the logged mutations (or "
+                        f"run `python -m repro recover`), or remove the "
+                        f"directory to start fresh"
+                    )
+                # Only an empty open record survives from a previous life:
+                # safe to discard so the new session's config governs.
+                for segment in sorted(wal_dir.glob("*" + SEGMENT_SUFFIX)):
+                    segment.unlink()
+            wal = WriteAheadLog(
+                wal_dir,
+                sync=self.wal_sync,
+                config=config.to_wire(),
+                injector=self.fault_injector,
+            )
+            session.attach_wal(wal, fault_injector=self.fault_injector)
         self.sessions[name] = session
         return self._describe(name, session)
 
     def _cmd_fit(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
         session = self._get_session(request)
         rows = decode_rows(request.get("rows"), what="fit rows")
-        session.fit(rows)
+        try:
+            session.fit(rows)
+        except _CLEAN_REJECTIONS:
+            raise
+        except Exception as exc:  # noqa: BLE001 - mid-mutation failure
+            raise self._quarantine(name, exc) from exc
         # Sessions learn from the *complete* rows only; report both counts
         # so a client sees how many submitted tuples actually trained.
         n_complete = int((~np.isnan(rows).any(axis=1)).sum())
@@ -191,35 +400,38 @@ class SessionServer:
         }
 
     def _cmd_append(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
         session = self._get_session(request)
         rows = decode_rows(request.get("rows"), what="append rows")
-        session.mutate([MutationOp.append(rows)])
+        self._apply_ops(name, session, [MutationOp.append(rows)])
         return {"appended": int(rows.shape[0])}
 
     def _cmd_delete(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
         session = self._get_session(request)
         op = MutationOp.from_wire(
             {"op": "delete", "indices": request.get("indices")}
         )
-        session.mutate([op])
+        self._apply_ops(name, session, [op])
         return {"deleted": int(op.indices.shape[0])}
 
     def _cmd_update(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
         session = self._get_session(request)
         op = MutationOp.from_wire(
             {"op": "update", "index": request.get("index"), "row": request.get("row")}
         )
-        session.mutate([op])
+        self._apply_ops(name, session, [op])
         return {"updated": int(op.index)}
 
     def _cmd_mutate(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
         session = self._get_session(request)
         ops_wire = request.get("ops")
         if not isinstance(ops_wire, list) or not ops_wire:
             raise ProtocolError("mutate needs a non-empty 'ops' list")
         ops = [MutationOp.from_wire(op) for op in ops_wire]
-        session.mutate(ops)
-        return {"applied": len(ops)}
+        return {"applied": self._apply_ops(name, session, ops)}
 
     def _cmd_impute(self, request) -> Dict[str, object]:
         session = self._get_session(request)
@@ -251,22 +463,61 @@ class SessionServer:
         return resolved
 
     def _cmd_save(self, request) -> Dict[str, object]:
+        name = self._session_name(request)
         session = self._get_session(request)
-        return {"path": str(session.save(self._artifact_path(request, "save")))}
+        path = str(session.save(self._artifact_path(request, "save")))
+        self._checkpoint_at[name] = time.monotonic()
+        return {"path": path}
 
     def _cmd_restore(self, request) -> Dict[str, object]:
         name = self._session_name(request)
         if name in self.sessions:
             raise ProtocolError(f"session {name!r} already exists")
-        session = restore_session(self._artifact_path(request, "restore"))
+        path = self._artifact_path(request, "restore")
+        if self.wal_root is not None:
+            wal_dir = self._wal_dir(name)
+            if wal_dir.is_dir() and any(wal_dir.glob("*" + SEGMENT_SUFFIX)):
+                # A WAL survives from a previous life of this session:
+                # replay its tail onto the checkpoint instead of silently
+                # serving the (possibly stale) checkpoint alone.
+                session, report = recover_session(
+                    wal_dir,
+                    checkpoint=path,
+                    sync=self.wal_sync,
+                    fault_injector=self.fault_injector,
+                )
+                self.sessions[name] = session
+                self.quarantined.pop(name, None)
+                description = self._describe(name, session)
+                description["recovered"] = {
+                    "replayed_ops": report["replayed_ops"],
+                    "skipped_ops": report["skipped_ops"],
+                    "torn_tail": report["torn_tail"],
+                }
+                return description
+        session = restore_session(path)
+        if self.wal_root is not None and isinstance(session, OnlineSession):
+            wal = WriteAheadLog(
+                self._wal_dir(name),
+                sync=self.wal_sync,
+                config=session.config_wire(),
+                injector=self.fault_injector,
+            )
+            session.attach_wal(wal, fault_injector=self.fault_injector)
         self.sessions[name] = session
         return self._describe(name, session)
 
     def _cmd_close(self, request) -> Dict[str, object]:
         name = self._session_name(request)
-        if name not in self.sessions:
+        session = self.sessions.get(name)
+        if session is None:
             raise ProtocolError(f"no session named {name!r}")
+        close = getattr(session, "close", None)
+        if callable(close):
+            close()
         del self.sessions[name]
+        self.quarantined.pop(name, None)
+        self._checkpoint_at.pop(name, None)
         return {"closed": name}
 
     def _cmd_sessions(self, request) -> Dict[str, object]:
@@ -288,8 +539,53 @@ class SessionServer:
     def _cmd_ping(self, request) -> Dict[str, object]:
         return {"pong": True, "protocol": PROTOCOL_VERSION}
 
+    def _cmd_health(self, request) -> Dict[str, object]:
+        """Liveness + per-session durability report (never raises)."""
+        now = time.monotonic()
+        sessions: Dict[str, Dict[str, object]] = {}
+        for name, session in sorted(self.sessions.items()):
+            entry: Dict[str, object] = {
+                "state": "degraded" if name in self.quarantined else "ok",
+            }
+            if name in self.quarantined:
+                entry["reason"] = self.quarantined[name]
+            wal = getattr(session, "wal", None)
+            if wal is not None:
+                stats = wal.stats()
+                entry["wal"] = {
+                    "sync": stats["sync"],
+                    "lag_records": stats["lag_records"],
+                    "segments": stats["segments"],
+                    "bytes": stats["bytes"],
+                }
+            checkpointed = self._checkpoint_at.get(name)
+            entry["last_checkpoint_age_seconds"] = (
+                None if checkpointed is None else round(now - checkpointed, 3)
+            )
+            sessions[name] = entry
+        return {
+            "status": "serving" if self.running else "stopping",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(now - self._started, 3),
+            "sessions": sessions,
+            "degraded": sorted(self.quarantined),
+        }
+
+    def close_sessions(self) -> None:
+        """Release every session's resources (WAL handles stay on disk).
+
+        Idempotent; the transports call it when their input ends — EOF is
+        an orderly end of a stdio pipeline, not a crash, so file handles
+        must not be left to the garbage collector.
+        """
+        for session in self.sessions.values():
+            close = getattr(session, "close", None)
+            if callable(close):
+                close()
+
     def _cmd_shutdown(self, request) -> Dict[str, object]:
         self.running = False
+        self.close_sessions()
         return {"stopping": True}
 
     _COMMANDS = {
@@ -306,6 +602,7 @@ class SessionServer:
         "close": _cmd_close,
         "sessions": _cmd_sessions,
         "methods": _cmd_methods,
+        "health": _cmd_health,
         "ping": _cmd_ping,
         "shutdown": _cmd_shutdown,
     }
@@ -326,29 +623,84 @@ def serve_stdio(
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     server = server or SessionServer(artifact_root=".")
-    for line in stdin:
-        response = server.handle_line(line)
+    limit = server.max_request_bytes
+    try:
+        _serve_stdio_loop(stdin, stdout, server, limit)
+    finally:
+        server.close_sessions()
+    return 0
+
+
+def _serve_stdio_loop(stdin, stdout, server, limit) -> None:
+    while True:
+        line = stdin.readline() if limit is None else stdin.readline(limit + 1)
+        if not line:
+            break
+        if limit is not None and len(line) > limit and not line.endswith("\n"):
+            # Over-long line: answer a typed error *without* buffering the
+            # rest of it — drain to the next newline in bounded chunks.
+            while True:
+                rest = stdin.readline(1 << 16)
+                if not rest or rest.endswith("\n"):
+                    break
+            response = server.oversized_response()
+        else:
+            response = server.handle_line(line)
         if response is None:
             continue
         stdout.write(json.dumps(response) + "\n")
         stdout.flush()
         if not server.running:
             break
-    return 0
 
 
 class _JsonlTCPHandler(socketserver.StreamRequestHandler):
     def handle(self):
         server: SessionServer = self.server.session_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            response = server.handle_line(raw.decode("utf-8", errors="replace"))
+        limit = server.max_request_bytes
+        while True:
+            try:
+                raw = (
+                    self.rfile.readline()
+                    if limit is None
+                    else self.rfile.readline(limit + 1)
+                )
+            except (ConnectionResetError, OSError):
+                return  # client vanished: nothing left to answer
+            if not raw:
+                return
+            if not raw.endswith(b"\n"):
+                if limit is not None and len(raw) > limit:
+                    # Over-long line: drain to its newline, then answer a
+                    # typed error so the client can correct itself.
+                    try:
+                        while True:
+                            rest = self.rfile.readline(1 << 16)
+                            if not rest or rest.endswith(b"\n"):
+                                break
+                    except (ConnectionResetError, OSError):
+                        return
+                    if not rest:
+                        return  # disconnected mid-line: discard the torn frame
+                    response = server.oversized_response()
+                else:
+                    # Client disconnected mid-line: the frame is torn, so
+                    # discard it and close this connection quietly.
+                    return
+            else:
+                response = server.handle_line(
+                    raw.decode("utf-8", errors="replace")
+                )
             if response is None:
                 continue
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
+            try:
+                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                return
             if not server.running:
                 self.server.shutdown_event.set()  # type: ignore[attr-defined]
-                break
+                return
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -361,6 +713,7 @@ def serve_tcp(
     port: int = 7007,
     server: Optional[SessionServer] = None,
     ready: Optional[threading.Event] = None,
+    join_timeout: float = 5.0,
 ) -> int:
     """Serve requests over TCP until a client sends ``shutdown``.
 
@@ -369,6 +722,11 @@ def serve_tcp(
     given) is set once the socket is listening — handy for tests.  Without
     an explicit ``server`` the loop runs confined to the working directory
     (save/restore paths may not escape it).
+
+    If the accept-loop thread fails to stop within ``join_timeout`` seconds
+    of shutdown, the leak is reported on stderr and raised as
+    :class:`RuntimeError` — a silently surviving serve thread would keep
+    the session table (and any WAL handles) alive behind the caller's back.
     """
     session_server = server or SessionServer(artifact_root=".")
     with _ThreadingTCPServer((host, port), _JsonlTCPHandler) as tcp:
@@ -382,6 +740,14 @@ def serve_tcp(
         try:
             tcp.shutdown_event.wait()  # type: ignore[attr-defined]
         finally:
+            session_server.close_sessions()
             tcp.shutdown()
-            thread.join(timeout=5)
+            thread.join(timeout=join_timeout)
+            if thread.is_alive():
+                message = (
+                    f"serve_tcp: accept loop still alive {join_timeout}s "
+                    f"after shutdown; a handler thread may be wedged"
+                )
+                print(f"error: {message}", file=sys.stderr)
+                raise RuntimeError(message)
     return 0

@@ -42,6 +42,7 @@ from ..exceptions import (
 )
 from ..online.artifacts import load_imputer, read_artifact
 from ..online.engine import OnlineImputationEngine
+from ..reliability.wal import WriteAheadLog, read_wal
 from .messages import PROTOCOL_VERSION, ImputeRequest, MutationOp, SessionConfig
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "OnlineSession",
     "create_session",
     "restore_session",
+    "recover_session",
 ]
 
 Queries = Union[ImputeRequest, np.ndarray, Relation]
@@ -279,7 +281,14 @@ class OnlineSession(ImputationSession):
 
     kind = "online"
 
-    def __init__(self, engine: Optional[OnlineImputationEngine] = None, **kwargs):
+    def __init__(
+        self,
+        engine: Optional[OnlineImputationEngine] = None,
+        *,
+        wal: Optional[WriteAheadLog] = None,
+        fault_injector=None,
+        **kwargs,
+    ):
         if engine is not None:
             if kwargs:
                 raise ConfigurationError(
@@ -294,6 +303,8 @@ class OnlineSession(ImputationSession):
             self.engine = engine
         else:
             self.engine = OnlineImputationEngine(**kwargs)
+        self.wal = wal
+        self.fault_injector = fault_injector
 
     @classmethod
     def from_config(cls, config: SessionConfig) -> "OnlineSession":
@@ -331,20 +342,36 @@ class OnlineSession(ImputationSession):
                 "cannot fit a session: the relation has no complete tuple"
             )
         self.engine.append(complete)
+        if self.wal is not None:
+            try:
+                self.wal.log_op(MutationOp.append(complete.raw).to_wire())
+            finally:
+                self.wal.commit()
         return self
 
     def mutate(self, ops: Iterable[MutationOp]) -> "OnlineSession":
+        ops = list(ops)
         for op in ops:
             if not isinstance(op, MutationOp):
                 raise ConfigurationError(
                     f"mutate expects MutationOp instances, got {type(op).__name__}"
                 )
-            if op.kind == "append":
-                self.engine.append(op.rows)
-            elif op.kind == "delete":
-                self.engine.delete(op.indices)
-            else:
-                self.engine.update(op.index, op.row)
+        try:
+            for op in ops:
+                if op.kind == "append":
+                    self.engine.append(op.rows)
+                elif op.kind == "delete":
+                    self.engine.delete(op.indices)
+                else:
+                    self.engine.update(op.index, op.row)
+                # Log *after* the engine accepted the op: the WAL holds
+                # exactly the applied prefix, so a crash mid-batch
+                # recovers the last consistent pre-crash state.
+                if self.wal is not None:
+                    self.wal.log_op(op.to_wire())
+        finally:
+            if self.wal is not None:
+                self.wal.commit()
         return self
 
     def impute(self, queries: Queries) -> np.ndarray:
@@ -352,12 +379,57 @@ class OnlineSession(ImputationSession):
             return self.engine.impute_batch(queries)
         return self.engine.impute_batch(_as_request(queries).values)
 
+    def attach_wal(
+        self, wal: WriteAheadLog, *, fault_injector=None
+    ) -> "OnlineSession":
+        """Log every subsequently accepted mutation to ``wal``."""
+        self.wal = wal
+        if fault_injector is not None:
+            self.fault_injector = fault_injector
+        return self
+
+    def config_wire(self) -> Dict[str, object]:
+        """A :class:`SessionConfig` wire form rebuilding this session's
+        engine (recorded in the WAL so recovery works without a checkpoint)."""
+        engine = self.engine
+        return {
+            "method": self.method,
+            "mode": "online",
+            "params": engine.imputer.get_params(),
+            "engine": {
+                "model_cache_size": engine.model_cache_size,
+                "refresh_policy": engine.refresh_policy,
+                "incremental_fallback_fraction": (
+                    engine.incremental_fallback_fraction
+                ),
+                "shard_capacity": engine.shard_capacity,
+                "journal_capacity": engine.journal_capacity,
+                "delete_cost_mode": engine.delete_cost_mode,
+            },
+        }
+
     def save(self, path: Union[str, Path]) -> Path:
-        return self.engine.snapshot(path)
+        """Checkpoint the engine; with a WAL attached, the manifest records
+        the covered WAL position and the committed checkpoint truncates
+        the log (its ops are now durable in the artifact)."""
+        manifest_extra = None
+        if self.wal is not None:
+            manifest_extra = {"wal": {"last_seq": self.wal.last_seq}}
+        out = self.engine.snapshot(
+            path, manifest_extra=manifest_extra, injector=self.fault_injector
+        )
+        if self.wal is not None:
+            self.wal.truncate(config=self.config_wire())
+        return out
 
     @classmethod
     def restore(cls, path: Union[str, Path]) -> "OnlineSession":
         return cls(engine=OnlineImputationEngine.load(path))
+
+    def close(self) -> None:
+        """Release the WAL file handle (the log itself stays on disk)."""
+        if self.wal is not None:
+            self.wal.close()
 
     def stats(self) -> Dict[str, object]:
         engine = self.engine
@@ -370,6 +442,8 @@ class OnlineSession(ImputationSession):
             counters=dict(engine.stats),
             memory=engine.memory_stats(),
         )
+        if self.wal is not None:
+            stats["wal"] = self.wal.stats()
         return stats
 
     def __repr__(self) -> str:
@@ -421,3 +495,102 @@ def restore_session(path: Union[str, Path]) -> ImputationSession:
         f"artifact at {path} holds a {kind!r}, expected an 'engine' or "
         f"'imputer' artifact"
     )
+
+
+def recover_session(
+    wal_dir: Union[str, Path],
+    checkpoint: Optional[Union[str, Path]] = None,
+    *,
+    reattach: bool = True,
+    sync: Optional[str] = "default",
+    fault_injector=None,
+):
+    """Rebuild an :class:`OnlineSession` from its checkpoint + WAL tail.
+
+    Loads the last committed checkpoint (when ``checkpoint`` names a
+    readable engine artifact), then replays every WAL op with a sequence
+    number beyond the checkpoint's recorded position.  Without a usable
+    checkpoint the session is rebuilt from the config recorded in the
+    WAL's open record — valid only while the log still starts at sequence
+    0 (an already-truncated log depends on its checkpoint).  A torn WAL
+    tail (crash mid-frame) is dropped and reported, exactly matching what
+    the crashed process never acknowledged.
+
+    Returns ``(session, report)``; the report documents the checkpoint
+    used, sequence window, replayed/skipped op counts and any torn tail.
+    With ``reattach=True`` (default) the session continues logging to the
+    same WAL directory, whose torn tail is repaired on open.
+    """
+    state = read_wal(wal_dir)
+    session: Optional[OnlineSession] = None
+    checkpoint_seq = 0
+    checkpoint_used = False
+    if checkpoint is not None:
+        try:
+            manifest, _ = read_artifact(checkpoint, expected_kind="engine")
+        except ConfigurationError:
+            if state.base_seq > 0:
+                raise ConfigurationError(
+                    f"cannot recover: the WAL at {wal_dir} was truncated at "
+                    f"a checkpoint (base_seq={state.base_seq}) but the "
+                    f"checkpoint at {checkpoint} is missing or unreadable"
+                ) from None
+            manifest = None
+        if manifest is not None:
+            session = OnlineSession.restore(checkpoint)
+            wal_info = manifest.get("wal")
+            if isinstance(wal_info, dict):
+                checkpoint_seq = int(wal_info.get("last_seq", 0))
+            checkpoint_used = True
+    if session is None:
+        if state.base_seq > 0:
+            raise ConfigurationError(
+                f"cannot recover from the WAL at {wal_dir} alone: it starts "
+                f"at sequence {state.base_seq}, so the ops before it live in "
+                f"the checkpoint it was truncated against — pass that "
+                f"checkpoint path"
+            )
+        if state.config is None:
+            raise ConfigurationError(
+                f"cannot recover from the WAL at {wal_dir}: no checkpoint "
+                f"was given and the log records no session config"
+            )
+        built = create_session(SessionConfig.from_wire(state.config))
+        if not isinstance(built, OnlineSession):
+            raise ConfigurationError(
+                "WAL recovery rebuilds online sessions only; the recorded "
+                "config resolves to a batch session"
+            )
+        session = built
+
+    start_seq = max(checkpoint_seq, state.base_seq)
+    replayed = 0
+    skipped = 0
+    for seq, op_wire in state.ops:
+        if seq <= start_seq:
+            skipped += 1
+            continue
+        session.mutate([MutationOp.from_wire(op_wire)])
+        replayed += 1
+
+    if reattach:
+        wal = WriteAheadLog(
+            wal_dir,
+            sync=sync,
+            config=state.config or session.config_wire(),
+            injector=fault_injector,
+        )
+        session.attach_wal(wal, fault_injector=fault_injector)
+
+    report = {
+        "checkpoint": str(checkpoint) if checkpoint_used else None,
+        "base_seq": state.base_seq,
+        "start_seq": start_seq,
+        "last_seq": state.last_seq,
+        "replayed_ops": replayed,
+        "skipped_ops": skipped,
+        "torn_tail": state.torn,
+        "segments": len(state.segments),
+        "n_tuples": session.engine.n_tuples,
+    }
+    return session, report

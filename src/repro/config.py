@@ -83,6 +83,19 @@ __all__ = [
     "get_online_delete_cost_mode",
     "set_online_delete_cost_mode",
     "resolve_online_delete_cost_mode",
+    "WAL_SYNC_POLICIES",
+    "DEFAULT_WAL_SYNC",
+    "get_wal_sync",
+    "set_wal_sync",
+    "resolve_wal_sync",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "get_max_request_bytes",
+    "set_max_request_bytes",
+    "resolve_max_request_bytes",
+    "DEFAULT_REQUEST_DEADLINE",
+    "get_request_deadline",
+    "set_request_deadline",
+    "resolve_request_deadline",
 ]
 
 #: Recognised kernel backends.
@@ -422,3 +435,168 @@ def resolve_online_delete_cost_mode(mode=None) -> str:
     if mode is None or (isinstance(mode, str) and mode == "default"):
         return get_online_delete_cost_mode()
     return _validate_delete_cost_mode(mode)
+
+
+# --------------------------------------------------------------------------- #
+# Reliability knobs (write-ahead log + serve loop)
+# --------------------------------------------------------------------------- #
+
+#: Recognised WAL fsync policies of :class:`repro.reliability.WriteAheadLog`:
+#: ``"always"`` fsyncs every record (survives power loss), ``"batch"``
+#: flushes to the OS once per accepted mutation batch (survives a process
+#: kill, not power loss), ``"off"`` leaves records in the Python buffer
+#: until rotation or close (fastest; a kill may lose the buffered tail,
+#: the CRC framing still recovers the valid prefix).
+WAL_SYNC_POLICIES = ("always", "batch", "off")
+
+#: WAL sync policy used when neither an argument nor the knob selects one.
+DEFAULT_WAL_SYNC = "batch"
+
+#: Longest request line (bytes) the serve loop accepts before answering a
+#: typed ``protocol`` error instead of buffering it whole (``None`` =
+#: unbounded, for in-process servers whose requests you author yourself).
+DEFAULT_MAX_REQUEST_BYTES: Optional[int] = 1_048_576
+
+#: Per-request deadline (seconds) of the serve loop (``None`` = no
+#: deadline).  An overrunning request answers ``DeadlineExceededError``
+#: while the worker finishes in the background.
+DEFAULT_REQUEST_DEADLINE: Optional[float] = None
+
+
+def _validate_wal_sync(policy) -> str:
+    key = str(policy).lower()
+    if key not in WAL_SYNC_POLICIES:
+        raise ConfigurationError(
+            f"unknown WAL sync policy {policy!r}; available policies: "
+            f"{sorted(WAL_SYNC_POLICIES)}"
+        )
+    return key
+
+
+def _validate_max_request_bytes(limit) -> Optional[int]:
+    if limit is None:
+        return None
+    if isinstance(limit, str):
+        key = limit.strip().lower()
+        if key in ("none", "unbounded", ""):
+            return None
+        try:
+            limit = int(key)
+        except ValueError:
+            raise ConfigurationError(
+                f"max request bytes must be a positive integer or 'none', "
+                f"got {limit!r}"
+            ) from None
+    if isinstance(limit, bool) or not isinstance(limit, int):
+        raise ConfigurationError(
+            f"max request bytes must be a positive integer or None, got {limit!r}"
+        )
+    if limit <= 0:
+        raise ConfigurationError(
+            f"max request bytes must be positive, got {limit}"
+        )
+    return limit
+
+
+def _validate_request_deadline(deadline) -> Optional[float]:
+    if deadline is None:
+        return None
+    if isinstance(deadline, str):
+        key = deadline.strip().lower()
+        if key in ("none", "off", ""):
+            return None
+        try:
+            deadline = float(key)
+        except ValueError:
+            raise ConfigurationError(
+                f"request deadline must be a positive number of seconds or "
+                f"'none', got {deadline!r}"
+            ) from None
+    if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+        raise ConfigurationError(
+            f"request deadline must be a positive number of seconds or None, "
+            f"got {deadline!r}"
+        )
+    deadline = float(deadline)
+    if deadline <= 0:
+        raise ConfigurationError(
+            f"request deadline must be positive, got {deadline}"
+        )
+    return deadline
+
+
+_wal_sync = os.environ.get("REPRO_WAL_SYNC", DEFAULT_WAL_SYNC)
+_max_request_bytes = os.environ.get(
+    "REPRO_MAX_REQUEST_BYTES", DEFAULT_MAX_REQUEST_BYTES
+)
+_request_deadline = os.environ.get(
+    "REPRO_REQUEST_DEADLINE", DEFAULT_REQUEST_DEADLINE
+)
+
+
+def get_wal_sync() -> str:
+    """The process-wide WAL sync policy (``always``/``batch``/``off``)."""
+    return _validate_wal_sync(_wal_sync)
+
+
+def set_wal_sync(policy) -> str:
+    """Select the process-wide WAL sync policy; returns the previous one."""
+    global _wal_sync
+    previous = _wal_sync
+    _wal_sync = _validate_wal_sync(policy)
+    return previous
+
+
+def resolve_wal_sync(policy=None) -> str:
+    """Resolve an optional per-WAL sync policy against the knob."""
+    if policy is None or (isinstance(policy, str) and policy == "default"):
+        return get_wal_sync()
+    return _validate_wal_sync(policy)
+
+
+def get_max_request_bytes() -> Optional[int]:
+    """The process-wide request-line bound (``None`` = unbounded)."""
+    return _validate_max_request_bytes(_max_request_bytes)
+
+
+def set_max_request_bytes(limit):
+    """Select the process-wide request-line bound; returns the previous one."""
+    global _max_request_bytes
+    previous = _max_request_bytes
+    _max_request_bytes = _validate_max_request_bytes(limit)
+    return previous
+
+
+def resolve_max_request_bytes(limit=None) -> Optional[int]:
+    """Resolve an optional per-server line bound against the knob.
+
+    The sentinel ``"default"`` defers to the process-wide knob; ``None``
+    explicitly disables the bound.
+    """
+    if isinstance(limit, str) and limit == "default":
+        return get_max_request_bytes()
+    return _validate_max_request_bytes(limit)
+
+
+def get_request_deadline() -> Optional[float]:
+    """The process-wide per-request deadline in seconds (``None`` = none)."""
+    return _validate_request_deadline(_request_deadline)
+
+
+def set_request_deadline(deadline):
+    """Select the process-wide request deadline; returns the previous one."""
+    global _request_deadline
+    previous = _request_deadline
+    _request_deadline = _validate_request_deadline(deadline)
+    return previous
+
+
+def resolve_request_deadline(deadline=None) -> Optional[float]:
+    """Resolve an optional per-server deadline against the knob.
+
+    The sentinel ``"default"`` defers to the process-wide knob; ``None``
+    explicitly disables the deadline.
+    """
+    if isinstance(deadline, str) and deadline == "default":
+        return get_request_deadline()
+    return _validate_request_deadline(deadline)

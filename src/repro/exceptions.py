@@ -55,3 +55,23 @@ class ProtocolError(ReproError):
     Covers malformed JSON, missing/unknown fields, unsupported protocol
     versions and commands addressed to sessions that do not exist.
     """
+
+
+class SessionQuarantinedError(ReproError):
+    """A session was quarantined after its engine failed mid-mutation.
+
+    Raised by the :mod:`repro.api` serve loop when a mutating command dies
+    somewhere the engine cannot guarantee a consistent in-memory state (for
+    example an I/O error halfway through a multi-op ``mutate``).  The
+    session is marked ``degraded`` and refuses further commands instead of
+    serving half-applied state; recover it from its checkpoint and WAL.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A request ran past the serve loop's per-request deadline.
+
+    The worker is not preempted (imputation is CPU-bound numpy under the
+    GIL); the client gets this typed error while the slow request finishes
+    in the background, so its state changes land but are unacknowledged.
+    """

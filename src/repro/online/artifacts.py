@@ -20,11 +20,22 @@ Restoration is bit-for-bit: arrays round-trip through the ``.npz`` binary
 format exactly, so a restored imputer or engine produces imputations
 identical to the original.  A corrupted or version-mismatched manifest
 raises :class:`~repro.exceptions.ConfigurationError` with a clear message.
+
+Writes are *atomic*: both files are staged into a sibling temp directory,
+fsynced, and renamed into place with the manifest rename last — the
+commit point.  The arrays land under a unique name recorded in the
+manifest's ``arrays_file`` field (legacy artifacts without the field fall
+back to ``arrays.npz``), so a crash at any byte leaves either the old
+artifact or the new one, never a torn mix of the two.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import shutil
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -58,9 +69,37 @@ ARTIFACT_VERSION = 3
 SUPPORTED_ARTIFACT_VERSIONS = (2, 3)
 
 MANIFEST_FILENAME = "manifest.json"
+#: Legacy array-file name, still read when a manifest lacks ``arrays_file``.
 ARRAYS_FILENAME = "arrays.npz"
 
 _PAYLOAD_PREFIX = "payload_"
+
+
+def _fsync_dir(path: Path) -> None:
+    # Directory fsync makes renames durable on POSIX; platforms that
+    # refuse to open directories simply skip it.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_staged(target: Path, data: bytes, injector, site: str) -> None:
+    raise_after = None
+    if injector is not None:
+        data, raise_after = injector.intercept_write(site, data)
+    with open(target, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if raise_after is not None:
+        raise raise_after
 
 
 def _jsonify(value):
@@ -85,19 +124,61 @@ def write_artifact(
     kind: str,
     manifest: Dict[str, object],
     arrays: Dict[str, np.ndarray],
+    *,
+    injector=None,
 ) -> Path:
-    """Write one artifact directory (manifest + arrays) and return its path."""
+    """Atomically write one artifact directory and return its path.
+
+    Both files are staged into a sibling temp directory (same filesystem,
+    so renames are atomic), fsynced, and renamed in: first the uniquely
+    named arrays file, then — the commit point — the manifest that
+    references it.  A crash before the manifest rename leaves any previous
+    artifact untouched; stale arrays files from overwritten or crashed
+    writes are garbage-collected after a successful commit.  ``injector``
+    threads a :class:`~repro.reliability.FaultPlan` through the byte
+    writes (sites ``artifact.arrays`` / ``artifact.manifest``) and the
+    commit rename (``artifact.commit``).
+    """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    token = os.urandom(4).hex()
+    arrays_name = f"arrays-{token}.npz"
     document = {
         "format": ARTIFACT_FORMAT,
         "version": ARTIFACT_VERSION,
         "kind": str(kind),
         "arrays": sorted(arrays),
+        "arrays_file": arrays_name,
     }
     document.update(_jsonify(manifest))
-    (path / MANIFEST_FILENAME).write_text(json.dumps(document, indent=2) + "\n")
-    np.savez(path / ARRAYS_FILENAME, **arrays)
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    manifest_bytes = (json.dumps(document, indent=2) + "\n").encode("utf-8")
+
+    staging = path.parent / f".{path.name}.stage-{token}"
+    staging.mkdir(parents=True, exist_ok=True)
+    try:
+        staged_arrays = staging / arrays_name
+        staged_manifest = staging / MANIFEST_FILENAME
+        _write_staged(staged_arrays, buffer.getvalue(), injector, "artifact.arrays")
+        _write_staged(staged_manifest, manifest_bytes, injector, "artifact.manifest")
+        os.replace(staged_arrays, path / arrays_name)
+        _fsync_dir(path)
+        if injector is not None:
+            injector.fire("artifact.commit")
+        os.replace(staged_manifest, path / MANIFEST_FILENAME)
+        _fsync_dir(path)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+    # Committed: drop arrays files of overwritten versions or torn writes
+    # (including the legacy fixed-name file).
+    for stale in path.glob("arrays*.npz"):
+        if stale.name != arrays_name:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
     return path
 
 
@@ -114,11 +195,8 @@ def read_artifact(
     """
     path = Path(path)
     manifest_path = path / MANIFEST_FILENAME
-    arrays_path = path / ARRAYS_FILENAME
     if not manifest_path.exists():
         raise ConfigurationError(f"artifact manifest not found: {manifest_path}")
-    if not arrays_path.exists():
-        raise ConfigurationError(f"artifact array file not found: {arrays_path}")
 
     try:
         manifest = json.loads(manifest_path.read_text())
@@ -153,8 +231,23 @@ def read_artifact(
             f"expected a {expected_kind!r}"
         )
 
-    with np.load(arrays_path, allow_pickle=False) as stored:
-        arrays = {key: stored[key] for key in stored.files}
+    arrays_name = manifest.get("arrays_file", ARRAYS_FILENAME)
+    if not isinstance(arrays_name, str) or Path(arrays_name).name != arrays_name:
+        raise ConfigurationError(
+            f"corrupted artifact manifest {manifest_path}: invalid "
+            f"arrays_file {arrays_name!r}"
+        )
+    arrays_path = path / arrays_name
+    if not arrays_path.exists():
+        raise ConfigurationError(f"artifact array file not found: {arrays_path}")
+    try:
+        with np.load(arrays_path, allow_pickle=False) as stored:
+            arrays = {key: stored[key] for key in stored.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise ConfigurationError(
+            f"corrupted artifact array file {arrays_path}: {exc}; the "
+            f"artifact is torn — re-create the snapshot"
+        ) from exc
     promised = manifest.get("arrays")
     if not isinstance(promised, list) or sorted(arrays) != sorted(promised):
         raise ConfigurationError(

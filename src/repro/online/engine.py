@@ -1369,14 +1369,23 @@ class OnlineImputationEngine:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def snapshot(self, path: Union[str, Path]) -> Path:
+    def snapshot(
+        self,
+        path: Union[str, Path],
+        *,
+        manifest_extra: Optional[Dict[str, object]] = None,
+        injector=None,
+    ) -> Path:
         """Persist the engine (store, index, models, costs) as an artifact.
 
         Pending lazy mutations are folded into every resident state first,
         so the artifact always holds fully-synced states.  The artifact
-        directory holds ``arrays.npz`` + ``manifest.json``; :meth:`load`
+        directory holds the manifest + arrays files (written atomically,
+        see :func:`~repro.online.artifacts.write_artifact`); :meth:`load`
         restores an engine whose subsequent imputations are bit-identical
-        to this one's.
+        to this one's.  ``manifest_extra`` merges extra top-level manifest
+        fields (the session layer records its WAL position there);
+        ``injector`` threads a fault plan through the artifact writer.
         """
         if self._schema is None:
             raise NotFittedError("cannot snapshot an engine with no schema")
@@ -1417,7 +1426,9 @@ class OnlineImputationEngine:
             manifest["states"].append(state.state_metadata())
             for key, value in state.state_arrays().items():
                 arrays[f"state{target_index}_{key}"] = value
-        return write_artifact(path, "engine", manifest, arrays)
+        if manifest_extra:
+            manifest.update(manifest_extra)
+        return write_artifact(path, "engine", manifest, arrays, injector=injector)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "OnlineImputationEngine":

@@ -1,0 +1,36 @@
+"""``repro.reliability`` — crash-safe durability for the online stack.
+
+Two pieces:
+
+* :mod:`repro.reliability.wal` — a length+CRC-framed write-ahead log of
+  accepted mutation ops with fsync policy knobs, segment rotation and
+  torn-tail tolerance; :class:`~repro.api.OnlineSession` logs every
+  accepted mutation through it and recovery
+  (:func:`repro.api.recover_session`, ``python -m repro recover``) replays
+  the tail onto the last checkpoint;
+* :mod:`repro.reliability.faults` — deterministic fault injection
+  (``io_error`` / ``crash`` / ``torn_write`` / ``corrupt_frame`` /
+  ``slow``) threaded through the WAL, the artifact writer and the serve
+  dispatch, driving the chaos property tests.
+"""
+
+from .faults import FAULT_KINDS, Fault, FaultPlan, SimulatedCrash
+from .wal import (
+    FRAME_HEADER_BYTES,
+    WAL_VERSION,
+    WalState,
+    WriteAheadLog,
+    read_wal,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "SimulatedCrash",
+    "FRAME_HEADER_BYTES",
+    "WAL_VERSION",
+    "WalState",
+    "WriteAheadLog",
+    "read_wal",
+]

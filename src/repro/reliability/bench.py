@@ -1,0 +1,182 @@
+"""Reliability benchmarks: WAL overhead on the serve path + recovery speed.
+
+Durability is only adoptable if it is close to free on the hot path, so the
+benchmark drives the *same* mixed request stream — mostly single-row
+imputes with a periodic single-row append, the pattern that actually
+touches the WAL — through four servers: no WAL at all, and one per sync
+policy (``off`` / ``batch`` / ``always``).  The headline number is the
+wall-clock ratio of each durable mode over the WAL-less baseline; the
+acceptance bar of the reliability PR is **batch ≤ 1.15×** (asserted in
+``benchmarks/test_perf_reliability.py``, written to
+``BENCH_reliability.json``).
+
+The report also times recovery itself: replaying the ``batch`` run's WAL
+from scratch into a fresh session, ops/s included, so the cost of a crash
+is a number rather than folklore.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data import load_dataset
+
+__all__ = ["run_reliability_benchmark"]
+
+
+def _wire_rows(values: np.ndarray) -> List[List[float]]:
+    return [[float(cell) for cell in row] for row in values]
+
+
+def _build_stream(
+    values: np.ndarray,
+    store_rows: int,
+    n_requests: int,
+    append_every: int,
+    seed: int,
+) -> List[str]:
+    """Pre-encoded JSONL request lines: imputes with periodic appends."""
+    rng = np.random.default_rng(seed)
+    width = values.shape[1]
+    lines = []
+    for i in range(n_requests):
+        if append_every and i % append_every == append_every - 1:
+            row = values[store_rows + i % (len(values) - store_rows)]
+            lines.append(json.dumps({
+                "v": 1, "id": i, "cmd": "append", "session": "bench",
+                "rows": [[float(cell) for cell in row]],
+            }))
+        else:
+            row = [float(cell) for cell in values[int(rng.integers(store_rows))]]
+            row[int(rng.integers(width))] = None
+            lines.append(json.dumps({
+                "v": 1, "id": i, "cmd": "impute", "session": "bench",
+                "rows": [row],
+            }))
+    return lines
+
+
+def _drive(server, lines: List[str]) -> float:
+    start = time.perf_counter()
+    for line in lines:
+        response = server.handle_line(line)
+        if not response["ok"]:
+            raise AssertionError(f"serve request failed: {response['error']}")
+    return time.perf_counter() - start
+
+
+def run_reliability_benchmark(
+    profile=None,
+    *,
+    dataset: str = "sn",
+    store_rows: Optional[int] = None,
+    n_requests: int = 240,
+    append_every: int = 4,
+    repeats: int = 3,
+    engine_params: Optional[Dict[str, object]] = None,
+    work_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure WAL overhead per sync policy and recovery speed."""
+    from ..api.serve import SessionServer
+    from ..api.sessions import recover_session
+    from ..experiments.settings import get_profile
+
+    profile = profile or get_profile()
+    store_rows = store_rows or profile.dataset_sizes[dataset]
+    engine_params = engine_params or dict(
+        k=profile.default_k,
+        learning="adaptive",
+        stepping=profile.iim_stepping,
+        max_learning_neighbors=min(25, profile.iim_max_learning_neighbors),
+    )
+    values = load_dataset(dataset, size=2 * store_rows).raw
+    lines = _build_stream(values, store_rows, n_requests, append_every, seed=2)
+    config = {"method": "IIM", "mode": "online", "params": dict(engine_params)}
+
+    owns_work_dir = work_dir is None
+    root = Path(work_dir) if work_dir else Path(tempfile.mkdtemp(prefix="repro-wal-bench-"))
+    root.mkdir(parents=True, exist_ok=True)
+
+    def ask(server, request):
+        response = server.handle_line(json.dumps(request))
+        if not response["ok"]:
+            raise AssertionError(f"serve request failed: {response['error']}")
+        return response["result"]
+
+    modes = ("none", "off", "batch", "always")
+    overhead: Dict[str, Dict[str, object]] = {}
+    batch_wal_dir: Optional[Path] = None
+    try:
+        # Interleave the repeats round-robin over the modes: a transient
+        # machine stall then lands on every mode about equally instead of
+        # poisoning one mode's whole block, and the per-mode minimum gives
+        # a stable overhead ratio.
+        seconds: Dict[str, List[float]] = {mode: [] for mode in modes}
+        for repeat in range(repeats):
+            for mode in modes:
+                wal_root = None
+                if mode != "none":
+                    wal_root = root / f"{mode}-{repeat}"
+                server = SessionServer(
+                    wal_root=wal_root,
+                    wal_sync=mode if mode != "none" else "default",
+                )
+                ask(server, {"v": 1, "cmd": "create", "session": "bench",
+                             "config": config})
+                ask(server, {"v": 1, "cmd": "append", "session": "bench",
+                             "rows": _wire_rows(values[:store_rows])})
+                # Warm every attribute state: production serving runs warm.
+                for attribute in range(values.shape[1]):
+                    query = [float(cell) for cell in values[store_rows]]
+                    query[attribute] = None
+                    ask(server, {"v": 1, "cmd": "impute", "session": "bench",
+                                 "rows": [query]})
+                seconds[mode].append(_drive(server, lines))
+                ask(server, {"v": 1, "cmd": "shutdown"})
+                if mode == "batch":
+                    batch_wal_dir = wal_root / "bench"
+        for mode in modes:
+            best = min(seconds[mode])
+            overhead[mode] = {
+                "seconds": best,
+                "requests_per_second": n_requests / best,
+            }
+        baseline = overhead["none"]["seconds"]
+        for mode in modes[1:]:
+            overhead[mode]["overhead_vs_none"] = (
+                overhead[mode]["seconds"] / baseline
+            )
+
+        # Recovery: rebuild a fresh session from the batch run's WAL alone.
+        start = time.perf_counter()
+        session, report = recover_session(batch_wal_dir, reattach=False)
+        recovery_seconds = time.perf_counter() - start
+        recovery = {
+            "seconds": recovery_seconds,
+            "replayed_ops": report["replayed_ops"],
+            "ops_per_second": (
+                report["replayed_ops"] / recovery_seconds
+                if recovery_seconds > 0 else float("inf")
+            ),
+            "n_tuples": report["n_tuples"],
+        }
+    finally:
+        if owns_work_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "profile": profile.name,
+        "dataset": dataset,
+        "store_rows": store_rows,
+        "n_requests": n_requests,
+        "append_every": append_every,
+        "wal_overhead": overhead,
+        "recovery": recovery,
+    }

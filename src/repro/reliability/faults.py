@@ -1,0 +1,165 @@
+"""Deterministic fault injection for the durability stack.
+
+A :class:`FaultPlan` is an explicit, seeded-by-the-caller list of
+:class:`Fault` descriptors, each naming an *injection site* (a stable
+string like ``"wal.frame"``), the 1-based occurrence of that site at which
+it triggers, and what happens then:
+
+* ``io_error`` — raise :class:`OSError` before any byte is written;
+* ``crash`` — raise :class:`SimulatedCrash` (the stand-in for ``kill -9``);
+* ``torn_write`` — write only the first ``byte_offset`` bytes of the
+  payload, then crash (the half-written frame stays on disk);
+* ``corrupt_frame`` — flip one payload byte and keep going (silent disk
+  corruption the CRC framing must catch on read);
+* ``slow`` — sleep ``delay`` seconds (drives the serve loop's deadline).
+
+Plans are threaded *explicitly* through the components under test (the
+WAL, the artifact writer, the serve dispatch) — no globals, no
+monkeypatching — so a chaos test that replays the same plan observes the
+same failure at the same byte.  Sites a component fires:
+
+========================  =====================================================
+``wal.frame``             one op record about to be framed into the WAL
+``wal.control``           a WAL open/rotation control record
+``artifact.arrays``       the staged ``.npz`` blob of an artifact write
+``artifact.manifest``     the staged manifest of an artifact write
+``artifact.commit``       just before the manifest rename that commits
+``serve.dispatch``        a serve-loop command handler about to run
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["FAULT_KINDS", "SimulatedCrash", "Fault", "FaultPlan"]
+
+#: Recognised fault kinds, in the order documented above.
+FAULT_KINDS = ("io_error", "crash", "torn_write", "corrupt_frame", "slow")
+
+
+class SimulatedCrash(Exception):
+    """An injected crash: the process is considered dead at this point.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError` — a real
+    crash is not a typed wire error, and tests must be able to catch it
+    without catching the library's own failure modes.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault: at occurrence ``hit`` of ``site``, do ``kind``."""
+
+    site: str
+    kind: str
+    hit: int = 1
+    byte_offset: int = 0  # torn_write: payload bytes written before the tear
+    delay: float = 0.0  # slow: seconds to sleep
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not isinstance(self.hit, int) or isinstance(self.hit, bool) or self.hit < 1:
+            raise ConfigurationError(
+                f"a fault triggers at a 1-based site occurrence, got hit={self.hit!r}"
+            )
+        if self.byte_offset < 0:
+            raise ConfigurationError(
+                f"byte_offset must be non-negative, got {self.byte_offset}"
+            )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over named injection sites.
+
+    The plan counts how often each site fires (thread-safe — the serve
+    loop dispatches from transport threads) and triggers each fault at
+    exactly its planned occurrence.  ``fired`` records the faults that
+    actually triggered, in order, for test assertions.
+    """
+
+    def __init__(self, faults: Optional[List[Fault]] = None):
+        self.faults: List[Fault] = list(faults or [])
+        self.fired: List[Fault] = []
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def crash_after_ops(cls, n_ops: int) -> "FaultPlan":
+        """Crash on the WAL frame of op ``n_ops + 1``: exactly ``n_ops``
+        accepted mutations are durable, the next one dies before logging."""
+        return cls([Fault("wal.frame", "crash", hit=n_ops + 1)])
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has fired so far."""
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    def _take(self, site: str) -> Optional[Fault]:
+        with self._lock:
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
+            for fault in self.faults:
+                if fault.site == site and fault.hit == count:
+                    self.fired.append(fault)
+                    return fault
+        return None
+
+    def fire(self, site: str) -> None:
+        """Injection point for sites that carry no payload bytes."""
+        fault = self._take(site)
+        if fault is None:
+            return
+        if fault.kind == "slow":
+            time.sleep(fault.delay)
+        elif fault.kind == "io_error":
+            raise OSError(f"injected I/O error at {site} (hit {fault.hit})")
+        elif fault.kind in ("crash", "torn_write"):
+            raise SimulatedCrash(f"injected crash at {site} (hit {fault.hit})")
+        # corrupt_frame needs bytes to corrupt; at a byte-less site it is
+        # a no-op by design.
+
+    def intercept_write(
+        self, site: str, data: bytes
+    ) -> Tuple[bytes, Optional[BaseException]]:
+        """Injection point for byte-level writes.
+
+        Returns ``(bytes_to_write, exception_to_raise_after_writing)``.
+        ``io_error``/``crash`` raise before any byte lands; ``torn_write``
+        hands back a prefix plus a :class:`SimulatedCrash` the writer must
+        raise *after* flushing the prefix; ``corrupt_frame`` hands back
+        silently-corrupted bytes.
+        """
+        fault = self._take(site)
+        if fault is None:
+            return data, None
+        if fault.kind == "slow":
+            time.sleep(fault.delay)
+            return data, None
+        if fault.kind == "io_error":
+            raise OSError(f"injected I/O error at {site} (hit {fault.hit})")
+        if fault.kind == "crash":
+            raise SimulatedCrash(f"injected crash at {site} (hit {fault.hit})")
+        if fault.kind == "torn_write":
+            cut = min(fault.byte_offset, len(data))
+            return data[:cut], SimulatedCrash(
+                f"injected torn write at {site}: wrote {cut} of {len(data)} bytes"
+            )
+        # corrupt_frame: flip one byte in place, keep running.
+        if not data:
+            return data, None
+        corrupted = bytearray(data)
+        position = min(fault.byte_offset, len(data) - 1)
+        corrupted[position] ^= 0x5A
+        return bytes(corrupted), None
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(faults={self.faults!r}, fired={len(self.fired)})"

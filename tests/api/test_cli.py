@@ -116,6 +116,57 @@ class TestDeprecatedOnlineEntryPoint:
         np.testing.assert_array_equal(read_csv(old_out).raw, read_csv(new_out).raw)
 
 
+class TestRecoverSubcommand:
+    @pytest.fixture
+    def crashed_wal(self, tmp_path):
+        """A WAL left behind by a session that never checkpointed."""
+        from repro.api import MutationOp, OnlineSession
+        from repro.reliability import WriteAheadLog
+
+        values = load_dataset("sn", size=60).raw
+        session = OnlineSession(k=3, learning="fixed", learning_neighbors=3)
+        session.attach_wal(
+            WriteAheadLog(tmp_path / "wal", config=session.config_wire())
+        )
+        session.fit(values[:40])
+        session.mutate([MutationOp.append(values[40:44])])
+        session.close()
+        return tmp_path / "wal"
+
+    def test_recovers_and_reports(self, crashed_wal, capsys):
+        assert repro_main(["recover", str(crashed_wal)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2 WAL op(s)" in out
+        assert "44 tuples live" in out
+
+    def test_json_report(self, crashed_wal, capsys):
+        import json
+
+        assert repro_main(["recover", str(crashed_wal), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["replayed_ops"] == 2
+        assert report["n_tuples"] == 44
+        assert report["torn_tail"] is None
+
+    def test_output_writes_checkpoint_and_truncates(self, crashed_wal, tmp_path, capsys):
+        from repro.api import restore_session
+        from repro.reliability import read_wal
+
+        ckpt = tmp_path / "ckpt"
+        assert repro_main([
+            "recover", str(crashed_wal), "--output", str(ckpt),
+        ]) == 0
+        assert "fresh checkpoint" in capsys.readouterr().out
+        session = restore_session(ckpt)
+        assert session.stats()["n_tuples"] == 44
+        state = read_wal(crashed_wal)
+        assert state.base_seq == 2 and not state.ops
+
+    def test_missing_wal_dir_fails_cleanly(self, tmp_path, capsys):
+        assert repro_main(["recover", str(tmp_path / "nowhere")]) == 2
+        assert "no WAL directory" in capsys.readouterr().err
+
+
 class TestBareInvocation:
     def test_no_subcommand_prints_help(self, capsys):
         assert repro_main([]) == 2

@@ -1,0 +1,179 @@
+"""Malformed-wire-frame fuzzing: every bad frame answers a *typed* error.
+
+A table of hostile request lines — invalid UTF-8, truncated JSON,
+wrong-typed commands and operands, ``NaN`` leaking into non-value fields,
+ragged and non-list batches — is thrown at one long-lived server.  Each
+frame must produce a typed error response (never a traceback, never
+``internal`` unless the table says so) and the server must answer a clean
+``ping`` immediately afterwards: a serving process outlives every bad
+client.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import SessionServer, encode_rows, serve_tcp
+from repro.data import load_dataset
+
+#: (case id, raw request line, expected error code, message fragment).
+#: ``json.dumps`` is deliberately avoided for the raw lines — the point is
+#: what arrives on the wire, including frames ``json.dumps`` cannot make.
+MALFORMED_FRAMES = [
+    ("truncated-json", '{"v": 1, "cmd": "ping"', "protocol", "malformed JSON"),
+    ("bare-word", "ping", "protocol", "malformed JSON"),
+    ("invalid-utf8-replaced", '��{"cmd": "ping"}', "protocol",
+     "malformed JSON"),
+    ("array-request", "[1, 2, 3]", "protocol", "JSON object"),
+    ("string-request", '"ping"', "protocol", "JSON object"),
+    ("number-request", "42", "protocol", "JSON object"),
+    ("null-request", "null", "protocol", "JSON object"),
+    ("missing-command", '{"v": 1}', "protocol", "unknown command"),
+    ("numeric-command", '{"v": 1, "cmd": 5}', "protocol", "unknown command"),
+    ("array-command", '{"v": 1, "cmd": ["impute"]}', "protocol",
+     "unknown command"),
+    ("unknown-command", '{"v": 1, "cmd": "frobnicate"}', "protocol",
+     "unknown command"),
+    ("nan-version", '{"v": NaN, "cmd": "ping"}', "protocol", "version"),
+    ("string-version", '{"v": "1", "cmd": "ping"}', "protocol", "version"),
+    ("nan-session-name", '{"v": 1, "cmd": "stats", "session": NaN}',
+     "protocol", "'session' name"),
+    ("numeric-session-name", '{"v": 1, "cmd": "stats", "session": 7}',
+     "protocol", "'session' name"),
+    ("nan-method", '{"v": 1, "cmd": "create", "session": "f", '
+     '"config": {"method": NaN}}', "configuration", "unknown imputation"),
+    ("unknown-config-field", '{"v": 1, "cmd": "create", "session": "f", '
+     '"config": {"method": "IIM", "mode": "online", "wat": 1}}',
+     "protocol", "unknown session config"),
+    ("config-not-object", '{"v": 1, "cmd": "create", "session": "f", '
+     '"config": "IIM"}', "protocol", "must be an object"),
+]
+
+#: Frames addressed to a live fitted session ``s`` (so validation reaches
+#: the operand decoding, not just the session lookup).
+MALFORMED_SESSION_FRAMES = [
+    ("rows-not-list", '{"v": 1, "cmd": "impute", "session": "s", '
+     '"rows": "oops"}', "protocol", "non-empty list"),
+    ("rows-empty", '{"v": 1, "cmd": "impute", "session": "s", "rows": []}',
+     "protocol", "non-empty list"),
+    ("ragged-rows", '{"v": 1, "cmd": "append", "session": "s", '
+     '"rows": [[1.0, 2.0], [3.0]]}', "protocol", "equal length"),
+    ("string-cell", '{"v": 1, "cmd": "append", "session": "s", '
+     '"rows": [[1.0, "2.0"]]}', "protocol", "number or null"),
+    ("bool-cell", '{"v": 1, "cmd": "append", "session": "s", '
+     '"rows": [[1.0, true]]}', "protocol", "number or null"),
+    ("nan-update-index", '{"v": 1, "cmd": "update", "session": "s", '
+     '"index": NaN, "row": [1.0, 2.0]}', "protocol", "integer 'index'"),
+    ("bool-update-index", '{"v": 1, "cmd": "update", "session": "s", '
+     '"index": true, "row": [1.0, 2.0]}', "protocol", "integer 'index'"),
+    ("nan-delete-index", '{"v": 1, "cmd": "delete", "session": "s", '
+     '"indices": [NaN]}', "protocol", "integer indices"),
+    ("float-delete-index", '{"v": 1, "cmd": "delete", "session": "s", '
+     '"indices": [1.5]}', "protocol", "integer indices"),
+    ("ops-not-list", '{"v": 1, "cmd": "mutate", "session": "s", '
+     '"ops": {"op": "append"}}', "protocol", "non-empty 'ops' list"),
+    ("ops-empty", '{"v": 1, "cmd": "mutate", "session": "s", "ops": []}',
+     "protocol", "non-empty 'ops' list"),
+    ("op-not-object", '{"v": 1, "cmd": "mutate", "session": "s", '
+     '"ops": ["append"]}', "protocol", "must be an object"),
+    ("op-unknown-kind", '{"v": 1, "cmd": "mutate", "session": "s", '
+     '"ops": [{"op": "truncate"}]}', "protocol", "unknown mutation op"),
+    ("oversized-append-width", '{"v": 1, "cmd": "append", "session": "s", '
+     '"rows": [[1.0, 2.0, 3.0, 4.0, 5.0]]}', "data", "attributes"),
+    ("update-many-rows", '{"v": 1, "cmd": "update", "session": "s", '
+     '"index": 0, "row": [[1.0, 2.0], [3.0, 4.0]]}', "protocol",
+     "exactly one row"),
+]
+
+
+@pytest.fixture(scope="module")
+def fitted_server():
+    server = SessionServer()
+    values = load_dataset("sn", size=40).raw
+    response = server.handle_line(json.dumps({
+        "v": 1, "cmd": "create", "session": "s",
+        "config": {"method": "IIM", "mode": "online",
+                   "params": {"k": 3, "learning": "fixed",
+                              "learning_neighbors": 3}},
+    }))
+    assert response["ok"], response
+    response = server.handle_line(json.dumps({
+        "v": 1, "cmd": "append", "session": "s",
+        "rows": encode_rows(values[:30]),
+    }))
+    assert response["ok"], response
+    return server
+
+
+def _assert_rejected_then_serving(server, raw, code, fragment):
+    response = server.handle_line(raw)
+    assert response is not None, f"server swallowed {raw!r}"
+    assert response["ok"] is False
+    assert response["error"]["code"] == code, response
+    assert fragment in response["error"]["message"], response
+    ping = server.handle_line('{"v": 1, "cmd": "ping"}')
+    assert ping["ok"] and ping["result"]["pong"] is True
+
+
+@pytest.mark.parametrize(
+    "raw, code, fragment",
+    [frame[1:] for frame in MALFORMED_FRAMES],
+    ids=[frame[0] for frame in MALFORMED_FRAMES],
+)
+def test_malformed_frames_answer_typed_errors(fitted_server, raw, code, fragment):
+    _assert_rejected_then_serving(fitted_server, raw, code, fragment)
+
+
+@pytest.mark.parametrize(
+    "raw, code, fragment",
+    [frame[1:] for frame in MALFORMED_SESSION_FRAMES],
+    ids=[frame[0] for frame in MALFORMED_SESSION_FRAMES],
+)
+def test_malformed_operands_answer_typed_errors(
+    fitted_server, raw, code, fragment
+):
+    _assert_rejected_then_serving(fitted_server, raw, code, fragment)
+
+
+def test_whole_table_leaves_no_session_quarantined(fitted_server):
+    """Pure validation failures never degrade the session they target."""
+    for _, raw, _, _ in MALFORMED_FRAMES + MALFORMED_SESSION_FRAMES:
+        fitted_server.handle_line(raw)
+    health = fitted_server.handle_line('{"v": 1, "cmd": "health"}')
+    assert health["result"]["degraded"] == []
+    assert health["result"]["sessions"]["s"]["state"] == "ok"
+    stats = fitted_server.handle_line(
+        '{"v": 1, "cmd": "stats", "session": "s"}'
+    )
+    assert stats["ok"] and stats["result"]["n_tuples"] == 30
+
+
+def test_raw_invalid_utf8_over_tcp_answers_protocol_error():
+    """Undecodable bytes arrive via the real transport's replace decoding."""
+    server = SessionServer()
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=serve_tcp, args=("127.0.0.1", 0, server, ready), daemon=True
+    )
+    thread.start()
+    assert ready.wait(10)
+    try:
+        with socket.create_connection(
+            ("127.0.0.1", server.tcp_port), timeout=10
+        ) as conn:
+            reader = conn.makefile()
+            conn.sendall(b'\xff\xfe\x80{"cmd": "ping"}\n')
+            response = json.loads(reader.readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            conn.sendall(b'{"v": 1, "cmd": "ping"}\n')
+            assert json.loads(reader.readline())["result"]["pong"] is True
+    finally:
+        with socket.create_connection(
+            ("127.0.0.1", server.tcp_port), timeout=10
+        ) as conn:
+            conn.sendall(b'{"v": 1, "cmd": "shutdown"}\n')
+            conn.makefile().readline()
+        thread.join(timeout=10)

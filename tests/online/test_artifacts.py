@@ -250,13 +250,75 @@ def test_wrong_format_and_kind_raise(tmp_path):
         read_artifact(path)
 
 
+def _arrays_path(path):
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    return path / manifest["arrays_file"]
+
+
 def test_missing_files_raise(tmp_path):
     with pytest.raises(ConfigurationError, match="manifest not found"):
         read_artifact(tmp_path / "nowhere")
     path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.zeros(3)})
-    (path / "arrays.npz").unlink()
+    _arrays_path(path).unlink()
     with pytest.raises(ConfigurationError, match="array file not found"):
         read_artifact(path)
+
+
+def test_legacy_fixed_arrays_name_still_reads(tmp_path):
+    """Artifacts written before unique array names keep loading."""
+    path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.arange(3.0)})
+    manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+    _arrays_path(path).rename(path / "arrays.npz")
+    del manifest["arrays_file"]
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+    _, arrays = read_artifact(path)
+    np.testing.assert_array_equal(arrays["x"], np.arange(3.0))
+
+
+def test_torn_arrays_file_rejected_with_recreate_hint(tmp_path):
+    """A half-written .npz is detected, not deserialized into garbage."""
+    path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.arange(8.0)})
+    arrays_path = _arrays_path(path)
+    data = arrays_path.read_bytes()
+    arrays_path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(ConfigurationError, match="re-create the snapshot"):
+        read_artifact(path)
+
+
+@pytest.mark.parametrize(
+    "site", ["artifact.arrays", "artifact.manifest", "artifact.commit"]
+)
+def test_crashed_overwrite_leaves_old_artifact_intact(tmp_path, site):
+    """A crash at any point of an overwrite leaves old-or-new, never torn."""
+    from repro.reliability import Fault, FaultPlan, SimulatedCrash
+
+    path = write_artifact(tmp_path / "a", "imputer", {}, {"x": np.zeros(3)})
+    plan = FaultPlan([Fault(site, "crash")])
+    with pytest.raises(SimulatedCrash):
+        write_artifact(
+            tmp_path / "a", "imputer", {}, {"x": np.ones(3)}, injector=plan
+        )
+    _, arrays = read_artifact(path)
+    np.testing.assert_array_equal(arrays["x"], np.zeros(3))
+    # The next (uninjected) overwrite commits and GCs the debris.
+    write_artifact(tmp_path / "a", "imputer", {}, {"x": np.full(3, 2.0)})
+    _, arrays = read_artifact(path)
+    np.testing.assert_array_equal(arrays["x"], np.full(3, 2.0))
+    assert sorted(p.name for p in path.glob("arrays*.npz")) == [
+        json.loads((path / MANIFEST_FILENAME).read_text())["arrays_file"]
+    ]
+
+
+def test_torn_arrays_write_never_commits(tmp_path):
+    """A torn byte-level write dies in staging; the target stays absent."""
+    from repro.reliability import Fault, FaultPlan, SimulatedCrash
+
+    plan = FaultPlan([Fault("artifact.arrays", "torn_write", byte_offset=10)])
+    with pytest.raises(SimulatedCrash):
+        write_artifact(tmp_path / "a", "imputer", {}, {"x": np.zeros(3)},
+                       injector=plan)
+    with pytest.raises(ConfigurationError, match="manifest not found"):
+        read_artifact(tmp_path / "a")
 
 
 def test_array_mismatch_raises(tmp_path):

@@ -1,0 +1,107 @@
+"""Fault-plan unit coverage: deterministic triggers, byte-level effects."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.reliability import Fault, FaultPlan, SimulatedCrash
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            Fault("wal.frame", "explode")
+
+    def test_hit_must_be_positive_int(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            Fault("wal.frame", "crash", hit=0)
+        with pytest.raises(ConfigurationError, match="1-based"):
+            Fault("wal.frame", "crash", hit=True)
+
+    def test_negative_byte_offset_rejected(self):
+        with pytest.raises(ConfigurationError, match="byte_offset"):
+            Fault("wal.frame", "torn_write", byte_offset=-1)
+
+
+class TestTriggering:
+    def test_fires_at_exactly_the_planned_hit(self):
+        plan = FaultPlan([Fault("wal.frame", "crash", hit=3)])
+        plan.fire("wal.frame")
+        plan.fire("wal.frame")
+        with pytest.raises(SimulatedCrash):
+            plan.fire("wal.frame")
+        assert plan.hits("wal.frame") == 3
+        assert len(plan.fired) == 1
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([Fault("artifact.commit", "io_error", hit=1)])
+        plan.fire("wal.frame")  # different site: no trigger
+        with pytest.raises(OSError, match="injected I/O error"):
+            plan.fire("artifact.commit")
+        assert plan.hits("wal.frame") == 1
+        assert plan.hits("artifact.commit") == 1
+
+    def test_crash_after_ops_schedules_the_next_frame(self):
+        plan = FaultPlan.crash_after_ops(2)
+        _, err = plan.intercept_write("wal.frame", b"a")
+        assert err is None
+        _, err = plan.intercept_write("wal.frame", b"b")
+        assert err is None
+        with pytest.raises(SimulatedCrash):
+            plan.intercept_write("wal.frame", b"c")
+
+    def test_same_plan_shape_fires_identically(self):
+        def run():
+            plan = FaultPlan([Fault("wal.frame", "torn_write", hit=2,
+                                    byte_offset=4)])
+            written = []
+            for payload in (b"AAAAAAAA", b"BBBBBBBB", b"CCCCCCCC"):
+                try:
+                    data, err = plan.intercept_write("wal.frame", payload)
+                    written.append(data)
+                    if err is not None:
+                        raise err
+                except SimulatedCrash:
+                    break
+            return written
+
+        assert run() == run() == [b"AAAAAAAA", b"BBBB"]
+
+
+class TestByteEffects:
+    def test_torn_write_hands_back_prefix_and_crash(self):
+        plan = FaultPlan([Fault("wal.frame", "torn_write", byte_offset=3)])
+        data, err = plan.intercept_write("wal.frame", b"0123456789")
+        assert data == b"012"
+        assert isinstance(err, SimulatedCrash)
+
+    def test_torn_write_offset_clamped_to_payload(self):
+        plan = FaultPlan([Fault("wal.frame", "torn_write", byte_offset=999)])
+        data, err = plan.intercept_write("wal.frame", b"abc")
+        assert data == b"abc"
+        assert isinstance(err, SimulatedCrash)
+
+    def test_corrupt_frame_flips_one_byte_same_length(self):
+        plan = FaultPlan([Fault("wal.frame", "corrupt_frame", byte_offset=5)])
+        original = b"0123456789"
+        data, err = plan.intercept_write("wal.frame", original)
+        assert err is None
+        assert len(data) == len(original)
+        diff = [i for i in range(len(data)) if data[i] != original[i]]
+        assert diff == [5]
+
+    def test_corrupt_frame_is_noop_at_byteless_site(self):
+        plan = FaultPlan([Fault("serve.dispatch", "corrupt_frame")])
+        plan.fire("serve.dispatch")  # must not raise
+        assert plan.hits("serve.dispatch") == 1
+
+    def test_io_error_raises_before_any_byte(self):
+        plan = FaultPlan([Fault("wal.frame", "io_error")])
+        with pytest.raises(OSError):
+            plan.intercept_write("wal.frame", b"abc")
+
+    def test_slow_fault_delays_then_continues(self):
+        plan = FaultPlan([Fault("serve.dispatch", "slow", delay=0.01)])
+        plan.fire("serve.dispatch")
+        assert plan.fired[0].delay == 0.01
+        data, err = plan.intercept_write("wal.frame", b"abc")
+        assert (data, err) == (b"abc", None)
