@@ -9,7 +9,10 @@ Writes ``BENCH_api.json`` at the repository root:
   at most 5% more wall-clock — the acceptance bar of the api redesign;
 * **serve_throughput** — requests/s through the full JSONL wire path
   (decode → dispatch → impute → encode) for single-row and batched impute
-  requests, the first real serving numbers of the project.
+  requests, the first real serving numbers of the project;
+* **obs_overhead** — the observability layer's cost on the same trace: the
+  disabled path must stay within 2% of a no-opped build, and enabling the
+  layer may cost at most 1.10× on the serve single-request path.
 """
 
 import json
@@ -23,6 +26,12 @@ RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_api.json"
 #: over direct engine calls on the streaming trace.
 FACADE_OVERHEAD_TOLERANCE = 1.05
 
+#: Observability bars: with the layer disabled, the instrumented engine may
+#: cost at most 2% over the same trace with the call sites no-opped out; on
+#: the serve single-request path, enabling the layer may cost at most 1.10x.
+OBS_DISABLED_TOLERANCE = 1.02
+OBS_SERVE_ENABLED_TOLERANCE = 1.10
+
 
 def test_api_facade_overhead_and_serve_throughput(profile, record_result):
     report = run_api_benchmark(profile=profile)
@@ -30,6 +39,7 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
 
     overhead = report["facade_overhead"]
     throughput = report["serve_throughput"]
+    obs = report["obs_overhead"]
     record_result(
         "api",
         f"facade: session {overhead['session_seconds']:.4f}s vs direct "
@@ -39,7 +49,12 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
         f"{throughput['single_requests_per_second']:,.0f} single-row req/s; "
         f"{throughput['batched_requests_per_second']:,.0f} batched req/s = "
         f"{throughput['batched_rows_per_second']:,.0f} rows/s "
-        f"(batch {throughput['batch_size']})",
+        f"(batch {throughput['batch_size']})\n"
+        f"obs: facade disabled x{obs['facade_disabled_ratio']:.3f} / enabled "
+        f"x{obs['facade_enabled_ratio']:.3f} vs no-op; serve single "
+        f"{obs['serve_single_disabled_rps']:,.0f} req/s disabled vs "
+        f"{obs['serve_single_enabled_rps']:,.0f} req/s enabled "
+        f"(x{obs['serve_single_enabled_ratio']:.3f})",
     )
 
     # run_api_benchmark already asserts bit-identical outputs; the report
@@ -55,3 +70,13 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
     # non-trivial request rate even on the smallest CI machines.
     assert throughput["single_requests_per_second"] > 50
     assert throughput["batched_rows_per_second"] > 500
+
+    assert obs["facade_disabled_ratio"] <= OBS_DISABLED_TOLERANCE, (
+        f"disabled observability costs x{obs['facade_disabled_ratio']:.3f} "
+        f"over the no-opped engine (bar: x{OBS_DISABLED_TOLERANCE})"
+    )
+    assert obs["serve_single_enabled_ratio"] <= OBS_SERVE_ENABLED_TOLERANCE, (
+        f"enabling observability costs x{obs['serve_single_enabled_ratio']:.3f} "
+        f"on the serve single-request path "
+        f"(bar: x{OBS_SERVE_ENABLED_TOLERANCE})"
+    )

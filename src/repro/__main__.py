@@ -16,7 +16,11 @@ service layer:
   last checkpoint, when one exists) after a crash, and optionally write a
   fresh checkpoint (``python -m repro recover wal/s --output ckpt``);
 * ``bench`` — the service-layer benchmark (facade overhead + serve-loop
-  throughput), written to ``BENCH_api.json``.
+  throughput + observability overhead), written to ``BENCH_api.json``;
+* ``metrics-dump`` — print the standard metric catalogue of the
+  observability layer (``python -m repro metrics-dump --format
+  prometheus``), zero-valued in a fresh process — the reference for what a
+  live ``metrics`` serve command can return.
 """
 
 from __future__ import annotations
@@ -102,6 +106,8 @@ def _cmd_serve(args) -> int:
         wal_sync=args.sync,
         deadline_seconds=args.deadline,
         max_request_bytes=args.max_request_bytes,
+        trace_log=args.trace_log,
+        trace_sample=args.trace_sample,
     )
     if args.port is not None:
         print(
@@ -175,7 +181,24 @@ def _cmd_bench(args) -> int:
         f"batched req/s ({throughput['batched_rows_per_second']:,.0f} rows/s "
         f"at batch {throughput['batch_size']})"
     )
+    obs = report["obs_overhead"]
+    print(
+        f"obs overhead: facade disabled x{obs['facade_disabled_ratio']:.3f} / "
+        f"enabled x{obs['facade_enabled_ratio']:.3f} vs no-op; serve single "
+        f"enabled x{obs['serve_single_enabled_ratio']:.3f} vs disabled"
+    )
     print(f"report written to {path}")
+    return 0
+
+
+def _cmd_metrics_dump(args) -> int:
+    from .obs import get_registry
+
+    registry = get_registry()
+    if args.format == "prometheus":
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(json.dumps(registry.snapshot(), indent=2))
     return 0
 
 
@@ -244,6 +267,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bound on one request line; longer lines answer a 'protocol' "
         "error (default: REPRO_MAX_REQUEST_BYTES or 1048576)",
     )
+    serve.add_argument(
+        "--trace-log", default=None, metavar="DIR",
+        help="persist sampled request traces as rotated JSONL segments "
+        "under DIR (default: in-memory ring only)",
+    )
+    serve.add_argument(
+        "--trace-sample", default="default", metavar="RATE",
+        help="fraction of requests whose span tree is captured, in [0, 1] "
+        "(default: REPRO_OBS_TRACE_SAMPLE or 0.1; metrics stay complete "
+        "for every request regardless)",
+    )
 
     recover = commands.add_parser(
         "recover",
@@ -277,6 +311,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report path (default: BENCH_api.json)",
     )
 
+    metrics_dump = commands.add_parser(
+        "metrics-dump",
+        help="print the observability metric catalogue (JSON or Prometheus "
+        "text); zero-valued in a fresh process",
+    )
+    metrics_dump.add_argument(
+        "--format", default="json", choices=("json", "prometheus"),
+        help="output format (default: json)",
+    )
+
     return parser
 
 
@@ -298,6 +342,8 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "metrics-dump":
+        return _cmd_metrics_dump(args)
     return _cmd_bench(args)
 
 

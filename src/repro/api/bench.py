@@ -12,6 +12,10 @@ Two questions decide whether the :mod:`repro.api` redesign is free:
   (JSON decode → session dispatch → impute → JSON encode) for single-row
   and batched impute requests, the first real serving numbers of the
   project.
+* **Observability overhead** — the same facade trace driven with the
+  :mod:`repro.obs` call sites no-opped out, with the layer disabled, and
+  with it fully enabled (bars: disabled ≤ 2% over no-op, and the serve
+  single-request path enabled ≤ 1.10× disabled).
 
 :func:`run_api_benchmark` returns one JSON-shaped report;
 ``benchmarks/test_perf_api.py`` asserts the bars and writes it to
@@ -20,6 +24,7 @@ Two questions decide whether the :mod:`repro.api` redesign is free:
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from typing import Dict, List, Optional, Tuple
@@ -214,6 +219,188 @@ def _measure_serve_throughput(
     }
 
 
+def _measure_obs_overhead(
+    dataset: str,
+    size: int,
+    n_rounds: int,
+    queries_per_round: int,
+    engine_params: Dict[str, object],
+    repeats: int,
+    store_rows: int,
+    n_single: int,
+) -> Dict[str, object]:
+    """Cost of the observability layer on the hot paths.
+
+    Three interleaved drives of the facade trace isolate the layer:
+
+    * ``noop`` — the instrumentation call sites replaced by no-ops, the
+      closest stand-in for the uninstrumented engine;
+    * ``disabled`` — the real helpers with ``obs_enabled`` off (one function
+      call plus one boolean check per site);
+    * ``enabled`` — full metric and span accounting.
+
+    The serve single-request path is additionally timed disabled vs enabled
+    because it layers request histograms and trace-id issue on top of the
+    engine-side sites.  One server handles every round and the knob is
+    toggled between short interleaved rounds — taking the per-mode minimum
+    across rounds isolates the layer's cost from scheduler noise, which on
+    a sub-millisecond request otherwise swamps it.
+    """
+    from .. import config
+    from ..obs import reset_observability
+    from ..online import engine as engine_module
+    from ..online import store as store_module
+
+    initial, blocks, query_blocks = _build_trace(
+        dataset, size, n_rounds, queries_per_round, seed=0
+    )
+
+    def _noop(*args, **kwargs):
+        return None
+
+    class _NoopSpan:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    noop_span = _NoopSpan()
+
+    def _noop_phase(phase):
+        return noop_span
+
+    patch_sites = [
+        (engine_module, "engine_phase", _noop_phase),
+        (engine_module, "observe_imputed_cells", _noop),
+        (store_module, "count_store_rows", _noop),
+        (store_module, "count_journal_spill", _noop),
+    ]
+
+    def _drive_noop() -> float:
+        saved = [(mod, name, getattr(mod, name)) for mod, name, _ in patch_sites]
+        for mod, name, replacement in patch_sites:
+            setattr(mod, name, replacement)
+        try:
+            seconds, _ = _drive_direct(engine_params, initial, blocks, query_blocks)
+        finally:
+            for mod, name, original in saved:
+                setattr(mod, name, original)
+        return seconds
+
+    def _drive_with_obs(enabled: bool) -> float:
+        previous = config.set_obs_enabled(enabled)
+        try:
+            seconds, _ = _drive_direct(engine_params, initial, blocks, query_blocks)
+        finally:
+            config.set_obs_enabled(previous)
+        return seconds
+
+    values = load_dataset(dataset, size=store_rows + n_single + 1).raw
+    width = values.shape[1]
+
+    server = SessionServer()
+
+    def ask(request: Dict[str, object]) -> Dict[str, object]:
+        response = server.handle_line(json.dumps(request))
+        if not response["ok"]:
+            raise AssertionError(f"serve request failed: {response['error']}")
+        return response["result"]
+
+    ask({
+        "v": 1, "cmd": "create", "session": "bench-obs",
+        "config": {
+            "method": "IIM", "mode": "online", "params": dict(engine_params),
+        },
+    })
+    ask({
+        "v": 1, "cmd": "append", "session": "bench-obs",
+        "rows": [[float(cell) for cell in row] for row in values[:store_rows]],
+    })
+    rng = np.random.default_rng(1)
+    # Warm every attribute state before timing: production serving runs warm.
+    for attribute in range(width):
+        warm: List[Optional[float]] = [float(cell) for cell in values[store_rows]]
+        warm[attribute] = None
+        ask({"v": 1, "cmd": "impute", "session": "bench-obs", "rows": [warm]})
+    lines = []
+    for i in range(n_single):
+        row: List[Optional[float]] = [
+            float(cell) for cell in values[store_rows + (i % n_single)]
+        ]
+        row[int(rng.integers(width))] = None
+        lines.append(json.dumps({
+            "v": 1, "id": i, "cmd": "impute", "session": "bench-obs",
+            "rows": [row],
+        }))
+
+    # Short rounds, many of them: each mode's minimum then lands in a quiet
+    # scheduler window, which one long timed run rarely does.
+    round_lines = lines[: min(len(lines), 100)]
+
+    def _serve_round_seconds() -> float:
+        start = time.perf_counter()
+        for line in round_lines:
+            response = server.handle_line(line)
+            if not response["ok"]:
+                raise AssertionError(f"serve request failed: {response['error']}")
+        return time.perf_counter() - start
+
+    serve_rounds = max(12 * repeats, 36)
+    gc_was_enabled = gc.isenabled()
+    noop_seconds, disabled_seconds, enabled_seconds = [], [], []
+    serve_disabled, serve_enabled = [], []
+    # The per-site disabled cost is nanoseconds against a trace of numpy
+    # work, so the 2% bar is really a noise bar: interleave many drives and
+    # let each mode's minimum find its quiet window.
+    facade_repeats = max(2 * repeats, 7)
+    previous = config.get_obs_enabled()
+    try:
+        for _ in range(facade_repeats):
+            noop_seconds.append(_drive_noop())
+            disabled_seconds.append(_drive_with_obs(False))
+            enabled_seconds.append(_drive_with_obs(True))
+        # Collector pauses land unevenly across 30ms rounds and would be
+        # read as observability cost; pyperf does the same for micro-runs.
+        gc.collect()
+        gc.disable()
+        for _ in range(serve_rounds):
+            config.set_obs_enabled(False)
+            serve_disabled.append(_serve_round_seconds())
+            config.set_obs_enabled(True)
+            serve_enabled.append(_serve_round_seconds())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        config.set_obs_enabled(previous)
+        server.close_sessions()
+        reset_observability()
+
+    # Each mode's minimum across many interleaved rounds approximates its
+    # noise-free runtime, so the ratio of minimums isolates the layer's
+    # systematic cost from scheduler bursts.
+    noop_best = min(noop_seconds)
+    disabled_best = min(disabled_seconds)
+    enabled_best = min(enabled_seconds)
+    serve_disabled_best = min(serve_disabled)
+    serve_enabled_best = min(serve_enabled)
+    return {
+        "facade_repeats": facade_repeats,
+        "facade_noop_seconds": noop_best,
+        "facade_disabled_seconds": disabled_best,
+        "facade_enabled_seconds": enabled_best,
+        "facade_disabled_ratio": disabled_best / noop_best,
+        "facade_enabled_ratio": enabled_best / noop_best,
+        "serve_single_requests": len(round_lines),
+        "serve_single_rounds": serve_rounds,
+        "serve_single_disabled_seconds": serve_disabled_best,
+        "serve_single_enabled_seconds": serve_enabled_best,
+        "serve_single_disabled_rps": len(round_lines) / serve_disabled_best,
+        "serve_single_enabled_rps": len(round_lines) / serve_enabled_best,
+        "serve_single_enabled_ratio": serve_enabled_best / serve_disabled_best,
+    }
+
+
 def run_api_benchmark(
     profile=None,
     *,
@@ -250,5 +437,9 @@ def run_api_benchmark(
         ),
         "serve_throughput": _measure_serve_throughput(
             dataset, store_rows, n_single, n_batched, batch_size, engine_params,
+        ),
+        "obs_overhead": _measure_obs_overhead(
+            dataset, overhead_size, n_rounds, queries_per_round,
+            engine_params, max(repeats, 3), store_rows, n_single,
         ),
     }

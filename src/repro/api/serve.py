@@ -18,7 +18,20 @@ Commands
 ``delete`` (session, indices), ``update`` (session, index, row),
 ``mutate`` (session, ops), ``impute`` (session, rows), ``stats`` (session),
 ``save`` (session, path), ``restore`` (session, path), ``close`` (session),
-``sessions``, ``methods``, ``health``, ``ping``, ``shutdown``.
+``sessions``, ``methods``, ``health``, ``ping``, ``metrics`` (format:
+json|prometheus), ``traces`` (limit), ``shutdown``.
+
+Observability
+-------------
+Every request is issued a trace ID, echoed as ``"trace"`` on the response
+envelope (and inside error payloads) so a client log line can be joined
+with the server-side trace.  Request latency and status land in the
+process-wide :mod:`repro.obs` registry
+(``repro_request_seconds{cmd=...}``, ``repro_requests_total``), the
+handler body runs under a root span named ``serve.<cmd>`` (engine phases
+nest beneath it), and the ``metrics`` command exposes the registry as JSON
+or Prometheus text.  ``trace_log``/``trace_sample`` persist sampled traces
+to rotated JSONL segments.
 
 Transport is either stdio (``python -m repro serve --stdio``) or a TCP
 socket (``--port``); the TCP server multiplexes every connection over one
@@ -55,7 +68,9 @@ import numpy as np
 
 from ..baselines.registry import METHOD_SPECS
 from ..config import (
+    get_obs_enabled,
     resolve_max_request_bytes,
+    resolve_obs_trace_sample,
     resolve_request_deadline,
     resolve_wal_sync,
 )
@@ -68,8 +83,15 @@ from ..exceptions import (
     SessionQuarantinedError,
     UnsupportedOperationError,
 )
+from ..obs import (
+    JsonlTraceSink,
+    get_registry,
+    get_tracer,
+    observe_request,
+    set_sessions_open,
+)
 from ..reliability.wal import SEGMENT_SUFFIX, WriteAheadLog, read_wal
-from .errors import error_payload
+from .errors import error_code, error_payload
 from .messages import (
     PROTOCOL_VERSION,
     ImputeRequest,
@@ -138,6 +160,8 @@ class SessionServer:
         deadline_seconds: Union[str, float, None] = "default",
         max_request_bytes: Union[str, int, None] = "default",
         fault_injector=None,
+        trace_log: Optional[Union[str, Path]] = None,
+        trace_sample: Union[str, float, None] = "default",
     ):
         self.sessions: Dict[str, ImputationSession] = {}
         self.running = True
@@ -157,6 +181,19 @@ class SessionServer:
         self._checkpoint_at: Dict[str, float] = {}
         self._started = time.monotonic()
         self._lock = threading.Lock()
+        #: The process-wide observability handles: one registry/tracer per
+        #: process so engine-phase spans land in the same trace as the
+        #: request that triggered them.
+        self.metrics = get_registry()
+        self.tracer = get_tracer()
+        self.trace_sink: Optional[JsonlTraceSink] = None
+        if not (isinstance(trace_sample, str) and trace_sample == "default"):
+            self.tracer.configure(
+                sample=resolve_obs_trace_sample(trace_sample)
+            )
+        if trace_log is not None:
+            self.trace_sink = JsonlTraceSink(trace_log)
+            self.tracer.configure(sink=self.trace_sink)
 
     # ------------------------------------------------------------------ #
     # Envelope
@@ -187,11 +224,24 @@ class SessionServer:
             request_id = request.get("id")
             return self.handle_request(request)
         except Exception as exc:  # noqa: BLE001 - the loop must survive bad input
-            return self._error(request_id, exc)
+            observe_request("unknown", error_code(exc))
+            return self._error(request_id, exc, self.tracer.new_trace_id())
 
     def handle_request(self, request: Dict[str, object]) -> Dict[str, object]:
-        """Answer one decoded request object."""
+        """Answer one decoded request object.
+
+        Every request — valid or not — is issued a trace ID (echoed as
+        ``"trace"`` on the response and inside error payloads) and counted
+        into the per-command latency/status histograms.
+        """
         request_id = request.get("id")
+        cmd = request.get("cmd")
+        # `cmd` may be any JSON value; only known commands become metric
+        # labels, so a hostile client cannot explode label cardinality.
+        cmd_label = cmd if isinstance(cmd, str) and cmd in self._COMMANDS else "unknown"
+        trace_id = self.tracer.new_trace_id()
+        started = time.perf_counter()
+        status = "ok"
         try:
             version = request.get("v", PROTOCOL_VERSION)
             if version != PROTOCOL_VERSION:
@@ -199,7 +249,6 @@ class SessionServer:
                     f"unsupported protocol version {version!r}; this server "
                     f"speaks version {PROTOCOL_VERSION}"
                 )
-            cmd = request.get("cmd")
             # `cmd` may be any JSON value, including unhashable ones.
             handler = (
                 self._COMMANDS.get(cmd) if isinstance(cmd, str) else None
@@ -209,17 +258,25 @@ class SessionServer:
                     f"unknown command {cmd!r}; available commands: "
                     f"{sorted(self._COMMANDS)}"
                 )
-            result = self._dispatch(handler, request)
+            result = self._dispatch(handler, request, cmd_label, trace_id)
             return {
                 "v": PROTOCOL_VERSION,
                 "id": request_id,
                 "ok": True,
                 "result": result,
+                "trace": trace_id,
             }
         except Exception as exc:  # noqa: BLE001 - typed error response instead
-            return self._error(request_id, exc)
+            status = error_code(exc)
+            return self._error(request_id, exc, trace_id)
+        finally:
+            observe_request(
+                cmd_label, status, time.perf_counter() - started
+            )
 
-    def _dispatch(self, handler, request: Dict[str, object]):
+    def _dispatch(self, handler, request: Dict[str, object],
+                  cmd_label: str = "unknown",
+                  trace_id: Optional[str] = None):
         """Run one command under the lock, bounded by the deadline (if any).
 
         With a deadline the handler runs in a worker thread; on overrun the
@@ -228,20 +285,30 @@ class SessionServer:
         preempted mid-mutation, so the session stays consistent and later
         requests simply queue on the lock.
         """
+        session = request.get("session")
+        attrs = {"session": session} if isinstance(session, str) else {}
         if self.deadline_seconds is None:
             with self._lock:
-                if self.fault_injector is not None:
-                    self.fault_injector.fire("serve.dispatch")
-                return handler(self, request)
+                with self.tracer.trace(
+                    f"serve.{cmd_label}", trace_id=trace_id, **attrs
+                ):
+                    if self.fault_injector is not None:
+                        self.fault_injector.fire("serve.dispatch")
+                    return handler(self, request)
         outcome: Dict[str, object] = {}
         done = threading.Event()
 
         def run():
             try:
                 with self._lock:
-                    if self.fault_injector is not None:
-                        self.fault_injector.fire("serve.dispatch")
-                    outcome["result"] = handler(self, request)
+                    # The root span opens in the worker thread — the thread
+                    # the handler body (and its engine child spans) runs on.
+                    with self.tracer.trace(
+                        f"serve.{cmd_label}", trace_id=trace_id, **attrs
+                    ):
+                        if self.fault_injector is not None:
+                            self.fault_injector.fire("serve.dispatch")
+                        outcome["result"] = handler(self, request)
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 outcome["error"] = exc
             finally:
@@ -260,24 +327,29 @@ class SessionServer:
         return outcome.get("result")
 
     @staticmethod
-    def _error(request_id, exc: BaseException) -> Dict[str, object]:
-        return {
+    def _error(request_id, exc: BaseException,
+               trace_id: Optional[str] = None) -> Dict[str, object]:
+        payload = error_payload(exc)
+        response = {
             "v": PROTOCOL_VERSION,
             "id": request_id,
             "ok": False,
-            "error": error_payload(exc),
+            "error": payload,
         }
+        if trace_id is not None:
+            payload["trace"] = trace_id
+            response["trace"] = trace_id
+        return response
 
     def oversized_response(self, request_id=None) -> Dict[str, object]:
         """The typed error a transport answers for an over-long line."""
-        return self._error(
-            request_id,
-            ProtocolError(
-                f"request line exceeds max_request_bytes="
-                f"{self.max_request_bytes}; split the request into smaller "
-                f"batches"
-            ),
+        exc = ProtocolError(
+            f"request line exceeds max_request_bytes="
+            f"{self.max_request_bytes}; split the request into smaller "
+            f"batches"
         )
+        observe_request("unknown", error_code(exc))
+        return self._error(request_id, exc, self.tracer.new_trace_id())
 
     # ------------------------------------------------------------------ #
     # Command implementations (called with the lock held)
@@ -378,6 +450,7 @@ class SessionServer:
             )
             session.attach_wal(wal, fault_injector=self.fault_injector)
         self.sessions[name] = session
+        set_sessions_open(len(self.sessions))
         return self._describe(name, session)
 
     def _cmd_fit(self, request) -> Dict[str, object]:
@@ -442,8 +515,55 @@ class SessionServer:
             "imputed_cells": impute_request.n_missing,
         }
 
+    def _server_config(self) -> Dict[str, object]:
+        """The server's resolved knobs, as health/stats self-description."""
+        return {
+            "wal_sync": self.wal_sync,
+            "wal_root": None if self.wal_root is None else str(self.wal_root),
+            "artifact_root": (
+                None if self.artifact_root is None else str(self.artifact_root)
+            ),
+            "deadline_seconds": self.deadline_seconds,
+            "max_request_bytes": self.max_request_bytes,
+            "obs_enabled": get_obs_enabled(),
+            "trace_sample": self.tracer.sample,
+            "trace_log": (
+                None if self.trace_sink is None
+                else str(self.trace_sink.directory)
+            ),
+        }
+
     def _cmd_stats(self, request) -> Dict[str, object]:
-        return self._get_session(request).stats()
+        stats = self._get_session(request).stats()
+        stats["server"] = {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "config": self._server_config(),
+        }
+        return stats
+
+    def _cmd_metrics(self, request) -> Dict[str, object]:
+        """The process-wide metrics registry, as JSON or Prometheus text."""
+        fmt = request.get("format", "json")
+        if fmt == "json":
+            return {"format": "json", "metrics": self.metrics.snapshot()}
+        if fmt in ("prometheus", "text"):
+            return {
+                "format": "prometheus",
+                "content_type": "text/plain; version=0.0.4",
+                "text": self.metrics.to_prometheus(),
+            }
+        raise ProtocolError(
+            f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+        )
+
+    def _cmd_traces(self, request) -> Dict[str, object]:
+        """The newest completed request traces from the in-memory ring."""
+        limit = request.get("limit", 16)
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+            raise ProtocolError(
+                f"traces 'limit' must be a non-negative integer, got {limit!r}"
+            )
+        return {"traces": self.tracer.recent(limit)}
 
     def _artifact_path(self, request, command: str) -> Path:
         path = request.get("path")
@@ -488,6 +608,7 @@ class SessionServer:
                 )
                 self.sessions[name] = session
                 self.quarantined.pop(name, None)
+                set_sessions_open(len(self.sessions))
                 description = self._describe(name, session)
                 description["recovered"] = {
                     "replayed_ops": report["replayed_ops"],
@@ -505,6 +626,7 @@ class SessionServer:
             )
             session.attach_wal(wal, fault_injector=self.fault_injector)
         self.sessions[name] = session
+        set_sessions_open(len(self.sessions))
         return self._describe(name, session)
 
     def _cmd_close(self, request) -> Dict[str, object]:
@@ -518,6 +640,7 @@ class SessionServer:
         del self.sessions[name]
         self.quarantined.pop(name, None)
         self._checkpoint_at.pop(name, None)
+        set_sessions_open(len(self.sessions))
         return {"closed": name}
 
     def _cmd_sessions(self, request) -> Dict[str, object]:
@@ -567,6 +690,7 @@ class SessionServer:
             "status": "serving" if self.running else "stopping",
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(now - self._started, 3),
+            "config": self._server_config(),
             "sessions": sessions,
             "degraded": sorted(self.quarantined),
         }
@@ -582,6 +706,8 @@ class SessionServer:
             close = getattr(session, "close", None)
             if callable(close):
                 close()
+        if self.trace_sink is not None:
+            self.trace_sink.close()
 
     def _cmd_shutdown(self, request) -> Dict[str, object]:
         self.running = False
@@ -604,6 +730,8 @@ class SessionServer:
         "methods": _cmd_methods,
         "health": _cmd_health,
         "ping": _cmd_ping,
+        "metrics": _cmd_metrics,
+        "traces": _cmd_traces,
         "shutdown": _cmd_shutdown,
     }
 

@@ -182,11 +182,6 @@ class BatchSession(ImputationSession):
         else:
             self.imputer = make_imputer(method, **overrides)
             self._method = method_spec(method).name
-        self.counters: Dict[str, int] = {
-            "fits": 0,
-            "impute_requests": 0,
-            "imputed_cells": 0,
-        }
 
     @property
     def method(self) -> str:
@@ -208,7 +203,6 @@ class BatchSession(ImputationSession):
 
     def fit(self, data: Union[Relation, np.ndarray]) -> "BatchSession":
         self.imputer.fit(_as_relation(data, "fit"))
-        self.counters["fits"] += 1
         return self
 
     def mutate(self, ops: Iterable[MutationOp]) -> "BatchSession":
@@ -225,10 +219,7 @@ class BatchSession(ImputationSession):
             relation = Relation(_as_request(queries).values)
         # .values (a writable copy), not .raw (a read-only view): both
         # session kinds must hand back arrays the caller may mutate.
-        imputed = self.imputer.impute(relation).values
-        self.counters["impute_requests"] += 1
-        self.counters["imputed_cells"] += relation.n_missing_cells
-        return imputed
+        return self.imputer.impute(relation).values
 
     def save(self, path: Union[str, Path]) -> Path:
         return self.imputer.save(path)
@@ -236,6 +227,18 @@ class BatchSession(ImputationSession):
     @classmethod
     def restore(cls, path: Union[str, Path]) -> "BatchSession":
         return cls(imputer=load_imputer(path))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Lifetime counters, read from the imputer's ``observe()`` hook.
+
+        ``impute_requests`` is kept as an alias of the uniform
+        ``impute_batches`` name for wire compatibility with earlier
+        protocol consumers.
+        """
+        observed = self.imputer.observe()
+        observed["impute_requests"] = observed.get("impute_batches", 0)
+        return observed
 
     def stats(self) -> Dict[str, object]:
         fitted = self.imputer.is_fitted()
@@ -246,7 +249,7 @@ class BatchSession(ImputationSession):
             n_attributes=(
                 self.imputer.fitted_relation.n_attributes if fitted else None
             ),
-            counters=dict(self.counters),
+            counters=self.counters,
             memory={},
         )
         return stats

@@ -37,6 +37,7 @@ import numpy as np
 from ..data.missing import InjectionResult
 from ..data.relation import Relation
 from ..exceptions import ConfigurationError, DataError, NotFittedError
+from ..obs import observe_imputed_cells
 
 __all__ = ["BaseImputer", "AttributeImputationTask"]
 
@@ -105,6 +106,7 @@ class BaseImputer(ABC):
         self._fitted_relation = complete
         self._complete_values = complete.raw.copy()
         self._fit(complete)
+        self._observe_counts(fits=1)
         return self
 
     def _fit(self, complete: Relation) -> None:
@@ -123,6 +125,31 @@ class BaseImputer(ABC):
     def _check_fitted(self) -> None:
         if self._fitted_relation is None:
             raise NotFittedError(f"{type(self).__name__} must be fitted before imputing")
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def _observe_counts(self, **increments) -> None:
+        # Lazily initialised so a subclass skipping super().__init__ still
+        # counts correctly.
+        counters = getattr(self, "_observed_counters", None)
+        if counters is None:
+            counters = {"fits": 0, "impute_batches": 0, "imputed_cells": 0}
+            self._observed_counters = counters
+        for name, amount in increments.items():
+            counters[name] = counters.get(name, 0) + int(amount)
+
+    def observe(self) -> Dict[str, int]:
+        """Lifetime usage counters, uniform across batch and online.
+
+        Same names as :attr:`OnlineImputationEngine.stats` uses for the
+        imputation surface (``impute_batches``, ``imputed_cells``), so a
+        batch session and an online session report comparable counters.
+        """
+        counters = getattr(self, "_observed_counters", None)
+        if counters is None:
+            return {"fits": 0, "impute_batches": 0, "imputed_cells": 0}
+        return dict(counters)
 
     # ------------------------------------------------------------------ #
     # Imputation
@@ -194,6 +221,7 @@ class BaseImputer(ABC):
             )
         tasks = self._build_tasks(relation)
         if not tasks:
+            self._observe_counts(impute_batches=1)
             return relation.copy()
 
         values = relation.values
@@ -213,6 +241,9 @@ class BaseImputer(ABC):
                     f"for {len(task)} queries"
                 )
             values[task.rows, task.target_index] = imputed
+        n_imputed = sum(len(task) for task in tasks)
+        self._observe_counts(impute_batches=1, imputed_cells=n_imputed)
+        observe_imputed_cells(n_imputed, kind="batch")
         return relation.with_values(values)
 
     # ------------------------------------------------------------------ #

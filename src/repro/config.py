@@ -96,6 +96,14 @@ __all__ = [
     "get_request_deadline",
     "set_request_deadline",
     "resolve_request_deadline",
+    "DEFAULT_OBS_ENABLED",
+    "get_obs_enabled",
+    "set_obs_enabled",
+    "resolve_obs_enabled",
+    "DEFAULT_OBS_TRACE_SAMPLE",
+    "get_obs_trace_sample",
+    "set_obs_trace_sample",
+    "resolve_obs_trace_sample",
 ]
 
 #: Recognised kernel backends.
@@ -600,3 +608,126 @@ def resolve_request_deadline(deadline=None) -> Optional[float]:
     if isinstance(deadline, str) and deadline == "default":
         return get_request_deadline()
     return _validate_request_deadline(deadline)
+
+
+# --------------------------------------------------------------------------- #
+# Observability knobs (metrics registry + request tracing)
+# --------------------------------------------------------------------------- #
+
+#: Whether the observability layer (:mod:`repro.obs`) records anything.
+#: Disabled, every instrument and span helper returns before taking a
+#: lock, so the remaining cost at a call site is one boolean check.
+DEFAULT_OBS_ENABLED = True
+
+#: Fraction of serve-loop requests whose span tree is captured (trace IDs
+#: are always issued and every request lands in the latency histograms;
+#: sampling only gates span assembly, the trace ring and the sink).  Head
+#: sampling is the norm for production tracing — full capture costs a few
+#: percent on sub-millisecond requests — so the default records one request
+#: in ten; debugging sessions pass ``--trace-sample 1.0``.
+DEFAULT_OBS_TRACE_SAMPLE = 0.1
+
+
+def _validate_obs_enabled(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in ("1", "true", "yes", "on"):
+            return True
+        if key in ("0", "false", "no", "off", ""):
+            return False
+    raise ConfigurationError(
+        f"obs_enabled must be a boolean (or '1'/'0'/'true'/'false'/...), "
+        f"got {value!r}"
+    )
+
+
+def _validate_obs_trace_sample(value) -> float:
+    if isinstance(value, str):
+        try:
+            value = float(value.strip())
+        except ValueError:
+            raise ConfigurationError(
+                f"obs_trace_sample must be a number in [0, 1], got {value!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"obs_trace_sample must be a number in [0, 1], got {value!r}"
+        )
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"obs_trace_sample must be within [0, 1], got {value}"
+        )
+    return value
+
+
+_obs_enabled = os.environ.get("REPRO_OBS_ENABLED", DEFAULT_OBS_ENABLED)
+_obs_trace_sample = os.environ.get(
+    "REPRO_OBS_TRACE_SAMPLE", DEFAULT_OBS_TRACE_SAMPLE
+)
+
+
+def get_obs_enabled() -> bool:
+    """Whether the process-wide observability layer records anything.
+
+    This getter sits on every instrumented hot path (one call per metric
+    mutation), so unlike the other knobs it caches the validated value:
+    an env-supplied string is parsed on first use, after which each call
+    is one ``isinstance`` check.
+    """
+    global _obs_enabled
+    if not isinstance(_obs_enabled, bool):
+        _obs_enabled = _validate_obs_enabled(_obs_enabled)
+    return _obs_enabled
+
+
+def set_obs_enabled(value) -> bool:
+    """Enable/disable observability process-wide; returns the previous value.
+
+    Flipping the knob takes effect immediately for every already-created
+    instrument — the registry and every helper consult it per call.
+    """
+    global _obs_enabled
+    previous = _validate_obs_enabled(_obs_enabled)
+    _obs_enabled = _validate_obs_enabled(value)
+    return previous
+
+
+def resolve_obs_enabled(value=None) -> bool:
+    """Resolve an optional per-call override against the knob."""
+    if value is None or (isinstance(value, str) and value == "default"):
+        return get_obs_enabled()
+    return _validate_obs_enabled(value)
+
+
+def get_obs_trace_sample() -> float:
+    """The process-wide trace sampling rate in ``[0, 1]``.
+
+    Cached like :func:`get_obs_enabled` — consulted once per sampled
+    request, so the steady state is one ``isinstance`` check.
+    """
+    global _obs_trace_sample
+    if not isinstance(_obs_trace_sample, float):
+        _obs_trace_sample = _validate_obs_trace_sample(_obs_trace_sample)
+    return _obs_trace_sample
+
+
+def set_obs_trace_sample(value) -> float:
+    """Select the process-wide trace sampling rate; returns the previous one."""
+    global _obs_trace_sample
+    previous = _validate_obs_trace_sample(_obs_trace_sample)
+    _obs_trace_sample = _validate_obs_trace_sample(value)
+    return previous
+
+
+def resolve_obs_trace_sample(value=None) -> float:
+    """Resolve an optional per-server sampling rate against the knob.
+
+    The sentinel ``"default"`` (and ``None``) defers to the process-wide
+    knob.
+    """
+    if value is None or (isinstance(value, str) and value == "default"):
+        return get_obs_trace_sample()
+    return _validate_obs_trace_sample(value)

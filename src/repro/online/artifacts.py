@@ -35,6 +35,7 @@ import io
 import json
 import os
 import shutil
+import time
 import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -42,6 +43,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import observe_artifact_io
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -139,6 +141,7 @@ def write_artifact(
     writes (sites ``artifact.arrays`` / ``artifact.manifest``) and the
     commit rename (``artifact.commit``).
     """
+    write_started = time.perf_counter()
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     token = os.urandom(4).hex()
@@ -179,6 +182,11 @@ def write_artifact(
                 stale.unlink()
             except OSError:
                 pass
+    observe_artifact_io(
+        "write",
+        time.perf_counter() - write_started,
+        len(buffer.getvalue()) + len(manifest_bytes),
+    )
     return path
 
 
@@ -193,6 +201,7 @@ def read_artifact(
     match, the stored kind differs from ``expected_kind``, or the array file
     does not contain exactly the arrays the manifest promises.
     """
+    read_started = time.perf_counter()
     path = Path(path)
     manifest_path = path / MANIFEST_FILENAME
     if not manifest_path.exists():
@@ -254,6 +263,11 @@ def read_artifact(
             f"artifact arrays in {arrays_path} do not match the manifest: "
             f"stored {sorted(arrays)}, promised {promised}"
         )
+    observe_artifact_io(
+        "read",
+        time.perf_counter() - read_started,
+        arrays_path.stat().st_size + manifest_path.stat().st_size,
+    )
     return manifest, arrays
 
 

@@ -128,6 +128,7 @@ from ..data.relation import Relation, Schema
 from ..exceptions import ConfigurationError, DataError, NotFittedError
 from ..neighbors import BruteForceNeighbors, NeighborOrderCache
 from ..neighbors.brute import drop_self_rows
+from ..obs import engine_phase, observe_imputed_cells
 from ..regression import RidgeRegression, batched_design
 from .artifacts import read_artifact, write_artifact
 from .store import ColumnarTupleStore, MutationJournal, ShardedNeighbors
@@ -267,21 +268,22 @@ class _AttributeState:
             # the final store, and rows no op dirtied kept cold values.
             dirty_models = np.zeros(self.cache.n_points, dtype=bool)
             dirty_costs = np.zeros(self.cache.n_points, dtype=bool)
-            for op, payload in self._coalesced(pending):
-                if op == "append":
-                    dirty_models, dirty_costs = self._track_append(
-                        payload, dirty_models, dirty_costs
-                    )
-                elif op == "delete":
-                    indices, retired_slots = payload
-                    dirty_models, dirty_costs = self._track_delete(
-                        indices, retired_slots, dirty_models, dirty_costs
-                    )
-                else:
-                    index, _, new_slot = payload
-                    dirty_models, dirty_costs = self._track_update(
-                        index, new_slot, dirty_models, dirty_costs
-                    )
+            with engine_phase("order_maintenance"):
+                for op, payload in self._coalesced(pending):
+                    if op == "append":
+                        dirty_models, dirty_costs = self._track_append(
+                            payload, dirty_models, dirty_costs
+                        )
+                    elif op == "delete":
+                        indices, retired_slots = payload
+                        dirty_models, dirty_costs = self._track_delete(
+                            indices, retired_slots, dirty_models, dirty_costs
+                        )
+                    else:
+                        index, _, new_slot = payload
+                        dirty_models, dirty_costs = self._track_update(
+                            index, new_slot, dirty_models, dirty_costs
+                        )
             refreshed = self._finalize_refresh(dirty_models, dirty_costs)
             engine.stats["incremental_refreshes"] += 1
             engine.stats["rows_refreshed"] += refreshed
@@ -338,6 +340,10 @@ class _AttributeState:
         hybrid fallback (which keeps the incrementally-merged cache — it is
         exact — and only redoes the learning vectorized).
         """
+        with engine_phase("full_rebuild"):
+            self._rebuild_from_cache_timed(signature)
+
+    def _rebuild_from_cache_timed(self, signature) -> None:
         imputer = self._imputer
         features = np.asarray(self.cache.data)
         target = self.target_column()
@@ -633,50 +639,55 @@ class _AttributeState:
         orders = self.cache.order_matrix()
 
         if not self._adaptive:
-            ell = self.signature[1]
+            with engine_phase("subset_relearn"):
+                ell = self.signature[1]
+                if model_rows.size:
+                    refreshed = learn_candidate_models_for_rows(
+                        features,
+                        target,
+                        [ell],
+                        orders[model_rows],
+                        alpha=imputer.alpha,
+                        incremental=True,
+                    )[0]
+                    self.parameters[model_rows] = refreshed
+                self.models = IndividualModels(
+                    self.parameters, np.full(n, ell, dtype=int)
+                )
+            return int(model_rows.shape[0])
+
+        _, stepped, k_val, global_active = self.signature
+        with engine_phase("subset_relearn"):
             if model_rows.size:
                 refreshed = learn_candidate_models_for_rows(
                     features,
                     target,
-                    [ell],
+                    self.candidates,
                     orders[model_rows],
                     alpha=imputer.alpha,
-                    incremental=True,
-                )[0]
-                self.parameters[model_rows] = refreshed
-            self.models = IndividualModels(
-                self.parameters, np.full(n, ell, dtype=int)
-            )
-            return int(model_rows.shape[0])
+                    incremental=imputer.incremental,
+                )
+                self.all_parameters[:, model_rows] = refreshed
 
-        _, stepped, k_val, global_active = self.signature
-        if model_rows.size:
-            refreshed = learn_candidate_models_for_rows(
-                features,
-                target,
-                self.candidates,
-                orders[model_rows],
-                alpha=imputer.alpha,
-                incremental=imputer.incremental,
-            )
-            self.all_parameters[:, model_rows] = refreshed
+            # The global ℓ = n candidate changes on every mutation.
+            if global_active:
+                self.global_params = (
+                    RidgeRegression(alpha=imputer.alpha).fit(features, target).coefficients
+                )
 
-        # The global ℓ = n candidate changes on every mutation.
-        if global_active:
-            self.global_params = (
-                RidgeRegression(alpha=imputer.alpha).fit(features, target).coefficients
+        with engine_phase("cost_rebuild"):
+            dirty_mask = dirty_costs | dirty_models
+            guard_rows = self._apply_cost_decrements(dirty_mask, n)
+            if guard_rows.size:
+                dirty_mask[guard_rows] = True
+            dirty_rows = np.flatnonzero(dirty_mask)
+            designs = batched_design(features)
+            self._rebuild_dirty_costs(
+                dirty_rows, self.owners, designs, target, k_val
             )
-
-        dirty_mask = dirty_costs | dirty_models
-        guard_rows = self._apply_cost_decrements(dirty_mask, n)
-        if guard_rows.size:
-            dirty_mask[guard_rows] = True
-        dirty_rows = np.flatnonzero(dirty_mask)
-        designs = batched_design(features)
-        self._rebuild_dirty_costs(dirty_rows, self.owners, designs, target, k_val)
-        self._finish_validation(
-            self.owners, designs, target, k_val, global_active, n
-        )
+            self._finish_validation(
+                self.owners, designs, target, k_val, global_active, n
+            )
         return int(model_rows.shape[0])
 
     def _remap_retired_pairs(self, index_map: np.ndarray) -> None:
@@ -1078,15 +1089,18 @@ class OnlineImputationEngine:
         b = values.shape[0]
         if b == 0:
             return self
-        if self._store is None:
-            self._store = ColumnarTupleStore(
-                self._schema.width, shard_capacity=self.shard_capacity
+        with engine_phase("append"):
+            if self._store is None:
+                self._store = ColumnarTupleStore(
+                    self._schema.width, shard_capacity=self.shard_capacity
+                )
+            slots = self._store.append(np.asarray(values, dtype=float))
+            self.stats["appends"] += 1
+            self.stats["appended_rows"] += b
+            self.stats["shards_touched"] += int(
+                self._store.shards_of(slots).shape[0]
             )
-        slots = self._store.append(np.asarray(values, dtype=float))
-        self.stats["appends"] += 1
-        self.stats["appended_rows"] += b
-        self.stats["shards_touched"] += int(self._store.shards_of(slots).shape[0])
-        self._record("append", slots)
+            self._record("append", slots)
         return self
 
     def delete(self, indices) -> "OnlineImputationEngine":
@@ -1324,42 +1338,51 @@ class OnlineImputationEngine:
         k = min(imputer.k, self._n)
         backend = resolve_backend(imputer.backend)
         for target_index in np.flatnonzero(mask.any(axis=0)):
+            # Syncing the state may replay pending mutations — those get
+            # their own phases; the kernel span covers only the search +
+            # candidate combination below.
             state = self._get_state(int(target_index))
             rows = np.flatnonzero(mask[:, target_index])
             query_block = filled[np.ix_(rows, state.feature_indices)]
-            if backend == "loop":
-                # The reference path materialises the feature matrix and
-                # drives the per-row loop kernel unchanged.
-                features = np.asarray(state.cache.data)
-                searcher = BruteForceNeighbors(
-                    metric=imputer.metric, backend=backend
-                ).fit(features)
-                values[rows, target_index] = impute_with_individual_models(
-                    query_block,
-                    state.models,
-                    features,
-                    state.target_column(),
-                    k,
-                    combination=imputer.combination,
-                    searcher=searcher,
-                    backend=backend,
-                )
-            else:
-                # Columnar serve: per-shard candidate selection + exact
-                # cross-shard merge, candidates straight off the model
-                # stack — the (n, m-1) feature matrix is never built.
-                searcher = ShardedNeighbors(
-                    state.cache.data, metric=imputer.metric
-                )
-                distances, neighbor_indices = searcher.kneighbors(query_block, k)
-                designs = batched_design(query_block)
-                candidates = np.einsum(
-                    "qp,qkp->qk", designs, state.models.parameters[neighbor_indices]
-                )
-                values[rows, target_index], _ = get_batch_combiner(
-                    imputer.combination
-                )(candidates, distances)
+            with engine_phase("impute_kernel"):
+                if backend == "loop":
+                    # The reference path materialises the feature matrix and
+                    # drives the per-row loop kernel unchanged.
+                    features = np.asarray(state.cache.data)
+                    searcher = BruteForceNeighbors(
+                        metric=imputer.metric, backend=backend
+                    ).fit(features)
+                    values[rows, target_index] = impute_with_individual_models(
+                        query_block,
+                        state.models,
+                        features,
+                        state.target_column(),
+                        k,
+                        combination=imputer.combination,
+                        searcher=searcher,
+                        backend=backend,
+                    )
+                else:
+                    # Columnar serve: per-shard candidate selection + exact
+                    # cross-shard merge, candidates straight off the model
+                    # stack — the (n, m-1) feature matrix is never built.
+                    searcher = ShardedNeighbors(
+                        state.cache.data, metric=imputer.metric
+                    )
+                    distances, neighbor_indices = searcher.kneighbors(
+                        query_block, k
+                    )
+                    designs = batched_design(query_block)
+                    candidates = np.einsum(
+                        "qp,qkp->qk",
+                        designs,
+                        state.models.parameters[neighbor_indices],
+                    )
+                    values[rows, target_index], _ = get_batch_combiner(
+                        imputer.combination
+                    )(candidates, distances)
             self.stats["imputed_cells"] += int(rows.shape[0])
+            observe_imputed_cells(int(rows.shape[0]), kind="online")
         return values
 
     def impute_relation(self, relation: Relation) -> Relation:

@@ -42,6 +42,7 @@ from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError, DataError, NotFittedError
+from ..obs import count_journal_spill, count_store_rows
 from .._validation import check_positive_int
 from ..neighbors.brute import stable_order, topk_batch
 from ..neighbors.distance import get_metric
@@ -190,6 +191,7 @@ class ColumnarTupleStore:
         slots = self._allocate(values.shape[0])
         self._write(slots, values)
         self._live = np.concatenate([self._live, slots])
+        count_store_rows("append", values.shape[0])
         return slots
 
     def delete(self, indices: np.ndarray) -> np.ndarray:
@@ -204,6 +206,7 @@ class ColumnarTupleStore:
         keep[indices] = False
         self._live = self._live[keep]
         self._pending.update(int(s) for s in retired)
+        count_store_rows("delete", retired.shape[0])
         return retired
 
     def update(self, index: int, row: np.ndarray) -> Tuple[int, int]:
@@ -222,6 +225,7 @@ class ColumnarTupleStore:
         self._write(np.asarray([new_slot], dtype=np.int64), row)
         self._live[index] = new_slot
         self._pending.add(old_slot)
+        count_store_rows("update", 1)
         return old_slot, new_slot
 
     def release(self, slots: Iterable[int]) -> None:
@@ -505,6 +509,7 @@ class MutationJournal:
         if spilled:
             self.spills += len(spilled)
             self.floor = max(self.floor, spilled[-1][0])
+            count_journal_spill(len(spilled))
         return spilled
 
     def since(self, version: int) -> Optional[List[Tuple[str, object]]]:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs import count_fault_activation
 
 __all__ = ["FAULT_KINDS", "SimulatedCrash", "Fault", "FaultPlan"]
 
@@ -110,6 +111,7 @@ class FaultPlan:
             for fault in self.faults:
                 if fault.site == site and fault.hit == count:
                     self.fired.append(fault)
+                    count_fault_activation(site, fault.kind)
                     return fault
         return None
 

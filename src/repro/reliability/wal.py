@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,6 +44,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..config import resolve_wal_sync
 from ..exceptions import ConfigurationError
+from ..obs import count_wal_bytes, count_wal_rotation, observe_wal_sync
 
 __all__ = [
     "WAL_VERSION",
@@ -296,11 +298,17 @@ class WriteAheadLog:
         payload = _encode_record({"kind": "op", "seq": seq, "op": op_wire})
         # On a failed write nothing (or a torn frame the reader drops)
         # landed, and the sequence number is not consumed.
-        self._write(_frame(payload), site="wal.frame")
+        frame = _frame(payload)
+        self._write(frame, site="wal.frame")
+        count_wal_bytes(len(frame))
         self._last_seq = seq
         self._segment_records += 1
         if self.sync == "always":
+            sync_started = time.perf_counter()
             _fsync_file(self._handle)
+            observe_wal_sync(
+                time.perf_counter() - sync_started, policy="always"
+            )
         if self._segment_records >= self.segment_max_records:
             self._rotate()
         return seq
@@ -317,7 +325,11 @@ class WriteAheadLog:
     def commit(self) -> None:
         """Batch boundary: under ``"batch"`` push buffered records to the OS."""
         if self._handle is not None and self.sync == "batch":
+            flush_started = time.perf_counter()
             self._handle.flush()
+            observe_wal_sync(
+                time.perf_counter() - flush_started, policy="batch"
+            )
 
     def truncate(self, config: Optional[Dict[str, object]] = None) -> None:
         """Reset the log after a committed checkpoint.
@@ -388,6 +400,7 @@ class WriteAheadLog:
         _fsync_file(self._handle)
         self._handle.close()
         self._open_segment(write_open=False)
+        count_wal_rotation()
 
     def _repair(self, torn: Dict[str, object]) -> None:
         """Truncate the torn tail so appends continue after the valid prefix."""

@@ -40,6 +40,30 @@ class TestBaseImputerProtocol:
         imputed = MeanImputer().fit(dirty_relation.dirty).impute(dirty_relation.dirty)
         assert imputed.is_complete()
 
+    def test_observe_reports_uniform_lifetime_counters(self, dirty_relation):
+        imputer = MeanImputer()
+        assert imputer.observe() == {
+            "fits": 0, "impute_batches": 0, "imputed_cells": 0,
+        }
+        imputer.fit(dirty_relation.dirty)
+        imputer.impute(dirty_relation.dirty)
+        imputer.impute(dirty_relation.dirty.complete_part())
+        observed = imputer.observe()
+        assert observed["fits"] == 1
+        assert observed["impute_batches"] == 2
+        assert observed["imputed_cells"] == dirty_relation.dirty.n_missing_cells
+        # The same counter names the online engine's stats use, so batch
+        # and online sessions report a comparable imputation surface.
+        from repro.online import OnlineImputationEngine
+
+        engine_keys = set(OnlineImputationEngine(k=3).stats)
+        assert {"impute_batches", "imputed_cells"} <= engine_keys
+
+    def test_observe_returns_a_copy(self, dirty_relation):
+        imputer = MeanImputer().fit(dirty_relation.dirty)
+        imputer.observe()["fits"] = 99
+        assert imputer.observe()["fits"] == 1
+
     def test_impute_does_not_change_observed_cells(self, dirty_relation):
         dirty = dirty_relation.dirty
         imputed = MeanImputer().fit(dirty).impute(dirty)
