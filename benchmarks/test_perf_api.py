@@ -10,6 +10,13 @@ Writes ``BENCH_api.json`` at the repository root:
 * **serve_throughput** — requests/s through the full JSONL wire path
   (decode → dispatch → impute → encode) for single-row and batched impute
   requests, the first real serving numbers of the project;
+* **serve_concurrency** — aggregate req/s of 1/2/4/8 pipelining clients
+  (one session each) under three dispatch modes: the sequential
+  single-worker baseline, the concurrent worker pool, and the pool with
+  micro-batch coalescing.  The acceptance bar of the concurrency
+  refactor: at 4 clients the best concurrent mode must deliver at least
+  2× the single-lock baseline's aggregate throughput, with responses
+  matching sequential dispatch within rtol 1e-9;
 * **obs_overhead** — the observability layer's cost on the same trace: the
   disabled path must stay within 2% of a no-opped build, and enabling the
   layer may cost at most 1.10× on the serve single-request path.
@@ -32,6 +39,10 @@ FACADE_OVERHEAD_TOLERANCE = 1.05
 OBS_DISABLED_TOLERANCE = 1.02
 OBS_SERVE_ENABLED_TOLERANCE = 1.10
 
+#: Concurrency bar: at 4 concurrent sessions the best dispatch mode must
+#: beat the single-lock sequential baseline by at least 2x aggregate req/s.
+CONCURRENCY_SPEEDUP_FLOOR = 2.0
+
 
 def test_api_facade_overhead_and_serve_throughput(profile, record_result):
     report = run_api_benchmark(profile=profile)
@@ -40,6 +51,13 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
     overhead = report["facade_overhead"]
     throughput = report["serve_throughput"]
     obs = report["obs_overhead"]
+    concurrency = report["serve_concurrency"]
+
+    def _rps(mode, clients):
+        return concurrency["modes"][mode]["by_clients"][str(clients)][
+            "aggregate_requests_per_second"
+        ]
+
     record_result(
         "api",
         f"facade: session {overhead['session_seconds']:.4f}s vs direct "
@@ -50,6 +68,12 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
         f"{throughput['batched_requests_per_second']:,.0f} batched req/s = "
         f"{throughput['batched_rows_per_second']:,.0f} rows/s "
         f"(batch {throughput['batch_size']})\n"
+        f"concurrency (4 clients, store of {concurrency['store_rows']}): "
+        f"baseline {_rps('baseline_single_lock', 4):,.0f} req/s; "
+        f"concurrent {_rps('concurrent', 4):,.0f} req/s; "
+        f"coalesced {_rps('coalesced', 4):,.0f} req/s "
+        f"(best x{concurrency['best_speedup_at_4_clients']:.2f}, "
+        f"responses match sequential within rtol 1e-9)\n"
         f"obs: facade disabled x{obs['facade_disabled_ratio']:.3f} / enabled "
         f"x{obs['facade_enabled_ratio']:.3f} vs no-op; serve single "
         f"{obs['serve_single_disabled_rps']:,.0f} req/s disabled vs "
@@ -79,4 +103,14 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
         f"enabling observability costs x{obs['serve_single_enabled_ratio']:.3f} "
         f"on the serve single-request path "
         f"(bar: x{OBS_SERVE_ENABLED_TOLERANCE})"
+    )
+
+    # The sweep itself verifies (and raises on) response divergence from
+    # sequential dispatch; the bar here is the aggregate-throughput win.
+    assert concurrency["best_speedup_at_4_clients"] >= (
+        CONCURRENCY_SPEEDUP_FLOOR
+    ), (
+        f"best concurrent dispatch mode delivers only "
+        f"x{concurrency['best_speedup_at_4_clients']:.2f} the single-lock "
+        f"baseline at 4 clients (bar: x{CONCURRENCY_SPEEDUP_FLOOR})"
     )

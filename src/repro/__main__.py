@@ -16,7 +16,8 @@ service layer:
   last checkpoint, when one exists) after a crash, and optionally write a
   fresh checkpoint (``python -m repro recover wal/s --output ckpt``);
 * ``bench`` — the service-layer benchmark (facade overhead + serve-loop
-  throughput + observability overhead), written to ``BENCH_api.json``;
+  throughput + concurrency sweep + observability overhead), written to
+  ``BENCH_api.json``;
 * ``metrics-dump`` — print the standard metric catalogue of the
   observability layer (``python -m repro metrics-dump --format
   prometheus``), zero-valued in a fresh process — the reference for what a
@@ -108,6 +109,13 @@ def _cmd_serve(args) -> int:
         max_request_bytes=args.max_request_bytes,
         trace_log=args.trace_log,
         trace_sample=args.trace_sample,
+        workers=args.workers,
+        microbatch_window_ms=args.microbatch_window_ms,
+        microbatch_max_rows=args.microbatch_max_rows,
+        max_rows_per_request=args.max_rows_per_request,
+        max_sessions=args.max_sessions,
+        max_queued_requests=args.max_queued_requests,
+        auth_token=args.auth_token,
     )
     if args.port is not None:
         print(
@@ -180,6 +188,19 @@ def _cmd_bench(args) -> int:
         f"single-row req/s; {throughput['batched_requests_per_second']:,.0f} "
         f"batched req/s ({throughput['batched_rows_per_second']:,.0f} rows/s "
         f"at batch {throughput['batch_size']})"
+    )
+    concurrency = report["serve_concurrency"]
+    at4 = {
+        mode: entry["by_clients"]["4"]["aggregate_requests_per_second"]
+        for mode, entry in concurrency["modes"].items()
+    }
+    print(
+        f"serve concurrency (4 clients): "
+        f"baseline {at4['baseline_single_lock']:,.0f} req/s; "
+        f"concurrent {at4['concurrent']:,.0f} req/s; "
+        f"coalesced {at4['coalesced']:,.0f} req/s "
+        f"(best x{concurrency['best_speedup_at_4_clients']:.2f} vs "
+        f"single lock)"
     )
     obs = report["obs_overhead"]
     print(
@@ -266,6 +287,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-request-bytes", default="default", metavar="N",
         help="bound on one request line; longer lines answer a 'protocol' "
         "error (default: REPRO_MAX_REQUEST_BYTES or 1048576)",
+    )
+    serve.add_argument(
+        "--workers", default="default", metavar="N",
+        help="worker threads draining session queues; sessions run "
+        "concurrently, one session's requests stay ordered "
+        "(default: REPRO_SERVE_WORKERS or 4)",
+    )
+    serve.add_argument(
+        "--microbatch-window-ms", default="default", metavar="MS",
+        help="how long to hold a single-row impute open for coalescible "
+        "followers; 0 coalesces only already-queued requests "
+        "(default: REPRO_MICROBATCH_WINDOW_MS or 0)",
+    )
+    serve.add_argument(
+        "--microbatch-max-rows", default="default", metavar="N",
+        help="most rows one coalesced impute batch may carry "
+        "(default: REPRO_MICROBATCH_MAX_ROWS or 64)",
+    )
+    serve.add_argument(
+        "--max-rows-per-request", default="default", metavar="N",
+        help="per-request row quota; larger requests answer a 'quota' "
+        "error (default: REPRO_MAX_ROWS_PER_REQUEST or none)",
+    )
+    serve.add_argument(
+        "--max-sessions", default="default", metavar="N",
+        help="live-session quota; further create/restore answers a "
+        "'quota' error (default: REPRO_MAX_SESSIONS or none)",
+    )
+    serve.add_argument(
+        "--max-queued-requests", default="default", metavar="N",
+        help="bound on one session's queued requests; excess answers an "
+        "'overloaded' error (default: REPRO_MAX_QUEUED_REQUESTS or 256)",
+    )
+    serve.add_argument(
+        "--auth-token", default=None, metavar="SECRET",
+        help="shared-secret auth: every request must carry a matching "
+        "'token' field or is answered an 'auth' error (default: no auth)",
     )
     serve.add_argument(
         "--trace-log", default=None, metavar="DIR",

@@ -30,6 +30,10 @@ The pieces:
   (``python -m repro serve``) multiplexing named sessions over
   stdin/stdout or a TCP socket, with per-session quarantine, request
   deadlines and bounded request lines.
+* :mod:`repro.api.scheduling` — the dispatch layer behind the transports:
+  per-session FIFO queues drained by a bounded worker pool
+  (:class:`RequestScheduler`), with micro-batching of single-row imputes
+  and ``overloaded`` backpressure on full queues.
 * :func:`recover_session` — rebuild an online session from its
   write-ahead log (plus the last checkpoint, when one exists) after a
   crash; see :mod:`repro.reliability` for the WAL itself.
@@ -46,6 +50,7 @@ from .messages import (
     encode_rows,
     validate_session_name,
 )
+from .scheduling import RequestScheduler
 from .serve import SessionServer, serve_stdio, serve_tcp
 from .sessions import (
     BatchSession,
@@ -74,6 +79,7 @@ __all__ = [
     "ERROR_CODES",
     "error_code",
     "error_payload",
+    "RequestScheduler",
     "SessionServer",
     "serve_stdio",
     "serve_tcp",

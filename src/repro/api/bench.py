@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import gc
 import json
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -217,6 +218,183 @@ def _measure_serve_throughput(
         "engine_counters": stats["counters"],
         "memory": stats["memory"],
     }
+
+
+def _measure_concurrency_sweep(
+    dataset: str,
+    store_rows: int,
+    n_requests: int,
+    client_counts: Tuple[int, ...],
+    engine_params: Dict[str, object],
+) -> Dict[str, object]:
+    """Aggregate req/s of N pipelining clients × dispatch mode.
+
+    Each client owns one session (its own store) and pipelines
+    ``n_requests`` single-row imputes through :meth:`SessionServer.submit_line`
+    — the same entry point the transports use.  Three dispatch modes:
+
+    * ``baseline_single_lock`` — one worker, no coalescing: the sequential
+      dispatch the global-lock server used to do, the baseline to beat;
+    * ``concurrent`` — the worker pool without coalescing (pure
+      cross-session thread parallelism);
+    * ``coalesced`` — the pool plus the micro-batcher merging each
+      session's pipelined single-row imputes into batched kernel calls.
+
+    Every mode's responses are compared against the sequential baseline's
+    (same order, values within rtol 1e-9), so the sweep doubles as an
+    equivalence proof for concurrent and coalesced dispatch.
+    """
+    values = load_dataset(dataset, size=store_rows + n_requests + 1).raw
+    width = values.shape[1]
+    max_clients = max(client_counts)
+    config_params = dict(engine_params)
+
+    def build_server(workers: int, microbatch_max_rows: int) -> SessionServer:
+        server = SessionServer(
+            workers=workers,
+            microbatch_max_rows=microbatch_max_rows,
+            microbatch_window_ms=0.0,
+        )
+
+        def ask(request: Dict[str, object]) -> None:
+            response = server.handle_line(json.dumps(request))
+            if not response["ok"]:
+                raise AssertionError(
+                    f"serve request failed: {response['error']}"
+                )
+
+        store = [[float(cell) for cell in row] for row in values[:store_rows]]
+        for client in range(max_clients):
+            name = f"c{client}"
+            ask({
+                "v": 1, "cmd": "create", "session": name,
+                "config": {
+                    "method": "IIM", "mode": "online", "params": config_params,
+                },
+            })
+            ask({"v": 1, "cmd": "append", "session": name, "rows": store})
+            # Warm the attribute this client will query: serving runs warm.
+            warm: List[Optional[float]] = [
+                float(cell) for cell in values[store_rows]
+            ]
+            warm[client % width] = None
+            ask({"v": 1, "cmd": "impute", "session": name, "rows": [warm]})
+        return server
+
+    def client_lines(client: int) -> List[str]:
+        # One blanked attribute per client keeps its pipelined requests
+        # coalescible (the micro-batcher merges same-pattern rows only).
+        blank = client % width
+        lines = []
+        for i in range(n_requests):
+            row: List[Optional[float]] = [
+                float(cell) for cell in values[store_rows + (i % n_requests)]
+            ]
+            row[blank] = None
+            lines.append(json.dumps({
+                "v": 1, "id": i, "cmd": "impute",
+                "session": f"c{client}", "rows": [row],
+            }))
+        return lines
+
+    lines_by_client = [client_lines(c) for c in range(max_clients)]
+
+    def run_clients(server: SessionServer, clients: int):
+        results: List[List[Dict[str, object]]] = [[] for _ in range(clients)]
+
+        def submit(client: int) -> None:
+            sink = results[client].append
+            for line in lines_by_client[client]:
+                server.submit_line(line, sink)
+
+        threads = [
+            threading.Thread(target=submit, args=(client,), daemon=True)
+            for client in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        server.scheduler.drain()
+        seconds = time.perf_counter() - start
+        rows = []
+        for client, responses in enumerate(results):
+            if len(responses) != n_requests:
+                raise AssertionError(
+                    f"client {client} got {len(responses)} responses, "
+                    f"expected {n_requests}"
+                )
+            for response in responses:
+                if not response.get("ok"):
+                    raise AssertionError(
+                        f"concurrent request failed: {response.get('error')}"
+                    )
+            rows.append([r["result"]["rows"][0] for r in responses])
+        return seconds, rows
+
+    modes = {
+        "baseline_single_lock": {"workers": 1, "microbatch_max_rows": 1},
+        "concurrent": {"workers": 4, "microbatch_max_rows": 1},
+        "coalesced": {"workers": 4, "microbatch_max_rows": 64},
+    }
+    report: Dict[str, object] = {
+        "dataset": dataset,
+        "store_rows": store_rows,
+        "requests_per_client": n_requests,
+        "client_counts": list(client_counts),
+        "modes": {},
+    }
+    reference_rows: Dict[int, List[List[List[float]]]] = {}
+    for mode, knobs in modes.items():
+        server = build_server(**knobs)
+        entry: Dict[str, object] = {
+            "workers": knobs["workers"],
+            "microbatch_max_rows": knobs["microbatch_max_rows"],
+            "by_clients": {},
+        }
+        try:
+            for clients in client_counts:
+                seconds, rows = run_clients(server, clients)
+                entry["by_clients"][str(clients)] = {
+                    "seconds": seconds,
+                    "aggregate_requests_per_second": (
+                        clients * n_requests / seconds
+                    ),
+                }
+                if mode == "baseline_single_lock":
+                    reference_rows[clients] = rows
+                elif not np.allclose(
+                    np.asarray(rows, dtype=float),
+                    np.asarray(reference_rows[clients], dtype=float),
+                    rtol=1e-9, atol=1e-12,
+                ):
+                    raise AssertionError(
+                        f"{mode} dispatch diverged from sequential dispatch "
+                        f"at {clients} client(s)"
+                    )
+            if mode == "coalesced":
+                entry["microbatch"] = (
+                    server.scheduler.snapshot()["microbatch"]
+                )
+        finally:
+            server.close_sessions()
+        report["modes"][mode] = entry
+
+    def rps(mode: str, clients: int) -> float:
+        return report["modes"][mode]["by_clients"][str(clients)][
+            "aggregate_requests_per_second"
+        ]
+
+    baseline_at_4 = rps("baseline_single_lock", 4)
+    report["speedup_at_4_clients"] = {
+        mode: rps(mode, 4) / baseline_at_4 for mode in modes
+    }
+    report["best_speedup_at_4_clients"] = max(
+        report["speedup_at_4_clients"].values()
+    )
+    report["results_match_sequential_rtol"] = 1e-9
+    return report
 
 
 def _measure_obs_overhead(
@@ -413,6 +591,9 @@ def run_api_benchmark(
     n_single: int = 200,
     n_batched: int = 40,
     batch_size: int = 64,
+    concurrency_requests: int = 120,
+    concurrency_store_rows: Optional[int] = None,
+    client_counts: Tuple[int, ...] = (1, 2, 4, 8),
 ) -> Dict[str, object]:
     """Measure facade overhead and serve throughput; returns the report."""
     from ..experiments.settings import get_profile
@@ -423,6 +604,7 @@ def run_api_benchmark(
         profile.asf_incomplete, overhead_size // 8
     )
     store_rows = store_rows or profile.dataset_sizes[dataset]
+    concurrency_store_rows = concurrency_store_rows or min(store_rows, 256)
     engine_params = dict(
         k=profile.default_k,
         learning="adaptive",
@@ -437,6 +619,10 @@ def run_api_benchmark(
         ),
         "serve_throughput": _measure_serve_throughput(
             dataset, store_rows, n_single, n_batched, batch_size, engine_params,
+        ),
+        "serve_concurrency": _measure_concurrency_sweep(
+            dataset, concurrency_store_rows, concurrency_requests,
+            client_counts, engine_params,
         ),
         "obs_overhead": _measure_obs_overhead(
             dataset, overhead_size, n_rounds, queries_per_round,

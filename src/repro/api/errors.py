@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Type
 
 from ..exceptions import (
+    AuthenticationError,
     ConfigurationError,
     DataError,
     DatasetError,
@@ -22,8 +23,10 @@ from ..exceptions import (
     MissingValueError,
     NotFittedError,
     ProtocolError,
+    QuotaExceededError,
     ReproError,
     SchemaError,
+    ServerOverloadedError,
     SessionQuarantinedError,
     UnsupportedOperationError,
 )
@@ -36,6 +39,9 @@ __all__ = ["ERROR_CODES", "error_code", "error_payload"]
 ERROR_CODES: Dict[Type[BaseException], str] = {
     SessionQuarantinedError: "quarantined",
     DeadlineExceededError: "deadline",
+    QuotaExceededError: "quota",
+    ServerOverloadedError: "overloaded",
+    AuthenticationError: "auth",
     ProtocolError: "protocol",
     UnsupportedOperationError: "unsupported",
     ConfigurationError: "configuration",

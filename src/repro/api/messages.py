@@ -27,7 +27,12 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..baselines.registry import method_spec
-from ..exceptions import ConfigurationError, DataError, ProtocolError
+from ..exceptions import (
+    ConfigurationError,
+    DataError,
+    ProtocolError,
+    QuotaExceededError,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -91,12 +96,24 @@ def encode_rows(values: np.ndarray) -> List[List[Optional[float]]]:
     ]
 
 
-def decode_rows(rows, *, what: str = "rows") -> np.ndarray:
-    """Decode wire rows (lists of numbers-or-``null``) into a float matrix."""
+def decode_rows(
+    rows, *, what: str = "rows", max_rows: Optional[int] = None
+) -> np.ndarray:
+    """Decode wire rows (lists of numbers-or-``null``) into a float matrix.
+
+    ``max_rows`` is the admission quota of the serve loop: requests carrying
+    more rows are rejected with a typed :class:`QuotaExceededError` (wire
+    code ``quota``) *before* any decoding work or state change.
+    """
     if not isinstance(rows, (list, tuple)) or not rows:
         raise ProtocolError(f"{what} must be a non-empty list of rows")
     if not isinstance(rows[0], (list, tuple)):
         rows = [rows]
+    if max_rows is not None and len(rows) > max_rows:
+        raise QuotaExceededError(
+            f"{what}: {len(rows)} rows exceed the per-request quota of "
+            f"{max_rows}; split the request"
+        )
     width = len(rows[0])
     decoded = np.empty((len(rows), width), dtype=float)
     for i, row in enumerate(rows):
@@ -148,10 +165,14 @@ class ImputeRequest:
         return {"rows": encode_rows(self.values)}
 
     @classmethod
-    def from_wire(cls, payload: Dict[str, object]) -> "ImputeRequest":
+    def from_wire(
+        cls, payload: Dict[str, object], *, max_rows: Optional[int] = None
+    ) -> "ImputeRequest":
         if not isinstance(payload, dict) or "rows" not in payload:
             raise ProtocolError("an impute request needs a 'rows' field")
-        return cls(decode_rows(payload["rows"], what="impute rows"))
+        return cls(
+            decode_rows(payload["rows"], what="impute rows", max_rows=max_rows)
+        )
 
 
 @dataclass(frozen=True)
@@ -219,14 +240,18 @@ class MutationOp:
         }
 
     @classmethod
-    def from_wire(cls, payload: Dict[str, object]) -> "MutationOp":
+    def from_wire(
+        cls, payload: Dict[str, object], *, max_rows: Optional[int] = None
+    ) -> "MutationOp":
         if not isinstance(payload, dict):
             raise ProtocolError(f"a mutation op must be an object, got {payload!r}")
         kind = payload.get("op")
         if kind == "append":
             if "rows" not in payload:
                 raise ProtocolError("an append op needs a 'rows' field")
-            return cls.append(decode_rows(payload["rows"], what="append rows"))
+            return cls.append(
+                decode_rows(payload["rows"], what="append rows", max_rows=max_rows)
+            )
         if kind == "delete":
             indices = payload.get("indices")
             if not isinstance(indices, (list, tuple)) or not indices or not all(

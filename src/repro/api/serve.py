@@ -35,9 +35,24 @@ to rotated JSONL segments.
 
 Transport is either stdio (``python -m repro serve --stdio``) or a TCP
 socket (``--port``); the TCP server multiplexes every connection over one
-shared session table behind a lock, so two clients can talk to the same
-named session.  Malformed lines answer with an error response instead of
-killing the loop — a serving process must outlive a bad client.
+shared session table, so two clients can talk to the same named session.
+Malformed lines answer with an error response instead of killing the loop
+— a serving process must outlive a bad client.
+
+Concurrency
+-----------
+Transports do not execute session commands inline: they parse each line
+and enqueue it on the :class:`~repro.api.scheduling.RequestScheduler`,
+whose bounded worker pool drains per-session FIFO queues concurrently —
+one session's requests execute in submission order, different sessions in
+parallel — and coalesces runs of single-row ``impute`` requests into one
+batched kernel call.  Session state is guarded by *per-session* locks
+plus a short-critical-section registry lock over the session table, so a
+slow (or deadline-abandoned) request poisons one session, never the
+server.  Admission control rejects before any state changes: per-request
+row quotas and a live-session quota answer typed ``quota`` errors, full
+queues answer ``overloaded``, and a shared-secret ``auth_token`` (checked
+on every request when set) answers ``auth``.
 
 Failure containment
 -------------------
@@ -56,35 +71,45 @@ last-checkpoint age.
 
 from __future__ import annotations
 
+import hmac
 import json
 import socketserver
 import sys
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Optional, TextIO, Union
+from typing import Callable, Dict, List, Optional, TextIO, Union
 
 import numpy as np
 
 from ..baselines.registry import METHOD_SPECS
 from ..config import (
     get_obs_enabled,
+    resolve_max_queued_requests,
     resolve_max_request_bytes,
+    resolve_max_rows_per_request,
+    resolve_max_sessions,
+    resolve_microbatch_max_rows,
+    resolve_microbatch_window_ms,
     resolve_obs_trace_sample,
     resolve_request_deadline,
+    resolve_serve_workers,
     resolve_wal_sync,
 )
 from ..exceptions import (
+    AuthenticationError,
     ConfigurationError,
     DataError,
     DeadlineExceededError,
     NotFittedError,
     ProtocolError,
+    QuotaExceededError,
     SessionQuarantinedError,
     UnsupportedOperationError,
 )
 from ..obs import (
     JsonlTraceSink,
+    count_admission_rejection,
     get_registry,
     get_tracer,
     observe_request,
@@ -101,6 +126,7 @@ from .messages import (
     encode_rows,
     validate_session_name,
 )
+from .scheduling import RequestScheduler
 from .sessions import (
     ImputationSession,
     OnlineSession,
@@ -125,11 +151,14 @@ _CLEAN_REJECTIONS = (
 class SessionServer:
     """The transport-agnostic request handler behind every serve loop.
 
-    Holds the named-session table and answers one decoded request at a
-    time; :func:`serve_stdio` and :func:`serve_tcp` are thin transports
-    around :meth:`handle_line`.  All methods are safe to call from multiple
-    transport threads — session state is guarded by one lock (imputation is
-    CPU-bound numpy work, so a finer grain would buy nothing under the GIL).
+    Holds the named-session table and answers decoded requests;
+    :func:`serve_stdio` and :func:`serve_tcp` are transports around
+    :meth:`submit_line` (queued, concurrent) and :meth:`handle_line`
+    (synchronous, for in-process use and tests).  All methods are safe to
+    call from multiple threads: each session's state is guarded by its own
+    lock — numpy releases the GIL in the GEMM-heavy kernels, so distinct
+    sessions genuinely run in parallel — and the session table itself by a
+    registry lock held only for dictionary operations.
 
     ``artifact_root`` confines every ``save``/``restore`` path from the
     wire to one directory: requests naming paths that resolve outside it
@@ -149,6 +178,13 @@ class SessionServer:
     through the WAL, the artifact writer and request dispatch for chaos
     testing.  The ``"default"`` sentinels resolve through the
     :mod:`repro.config` knobs.
+
+    ``workers``/``microbatch_window_ms``/``microbatch_max_rows``/
+    ``max_queued_requests`` shape the dispatch layer (see
+    :mod:`repro.api.scheduling`); ``max_rows_per_request`` and
+    ``max_sessions`` are admission quotas answering typed ``quota``
+    errors; ``auth_token`` (when set) demands a matching ``"token"``
+    field on every request envelope.
     """
 
     def __init__(
@@ -162,6 +198,13 @@ class SessionServer:
         fault_injector=None,
         trace_log: Optional[Union[str, Path]] = None,
         trace_sample: Union[str, float, None] = "default",
+        workers: Union[str, int] = "default",
+        microbatch_window_ms: Union[str, float] = "default",
+        microbatch_max_rows: Union[str, int] = "default",
+        max_rows_per_request: Union[str, int, None] = "default",
+        max_sessions: Union[str, int, None] = "default",
+        max_queued_requests: Union[str, int] = "default",
+        auth_token: Optional[str] = None,
     ):
         self.sessions: Dict[str, ImputationSession] = {}
         self.running = True
@@ -172,6 +215,11 @@ class SessionServer:
         self.wal_sync = resolve_wal_sync(wal_sync)
         self.deadline_seconds = resolve_request_deadline(deadline_seconds)
         self.max_request_bytes = resolve_max_request_bytes(max_request_bytes)
+        self.max_rows_per_request = resolve_max_rows_per_request(
+            max_rows_per_request
+        )
+        self.max_sessions = resolve_max_sessions(max_sessions)
+        self.auth_token = auth_token
         self.fault_injector = fault_injector
         #: Quarantined sessions: name -> reason the engine was declared
         #: untrustworthy.  Populated when a mutation fails mid-apply.
@@ -180,7 +228,31 @@ class SessionServer:
         self.tcp_port: Optional[int] = None
         self._checkpoint_at: Dict[str, float] = {}
         self._started = time.monotonic()
-        self._lock = threading.Lock()
+        #: Guards the session table and its sidecar dicts (quarantined,
+        #: checkpoint times, session locks, abandoned workers).  Held for
+        #: dictionary operations only — never across engine work or I/O.
+        self._registry_lock = threading.Lock()
+        #: One lock per session name, serialising that session's commands.
+        #: Never removed once created: a deadline-abandoned worker may
+        #: still hold one, and a recreated session of the same name must
+        #: queue behind it rather than race it.
+        self._session_locks: Dict[str, threading.Lock] = {}
+        #: Deadline-overrun workers still running: session (or command)
+        #: key -> records of the threads left holding that session's lock.
+        self._abandoned: Dict[str, List[Dict[str, object]]] = {}
+        self.scheduler = RequestScheduler(
+            self,
+            workers=resolve_serve_workers(workers),
+            microbatch_window_ms=resolve_microbatch_window_ms(
+                microbatch_window_ms
+            ),
+            microbatch_max_rows=resolve_microbatch_max_rows(
+                microbatch_max_rows
+            ),
+            max_queued_requests=resolve_max_queued_requests(
+                max_queued_requests
+            ),
+        )
         #: The process-wide observability handles: one registry/tracer per
         #: process so engine-phase spans land in the same trace as the
         #: request that triggered them.
@@ -227,6 +299,77 @@ class SessionServer:
             observe_request("unknown", error_code(exc))
             return self._error(request_id, exc, self.tracer.new_trace_id())
 
+    def submit_line(self, line: str,
+                    respond: Callable[[Dict[str, object]], None]) -> bool:
+        """Parse one raw request line and route it for execution.
+
+        The concurrent entry point of the transports: session commands are
+        enqueued on the scheduler (``respond`` is invoked from a worker
+        once the request executes, in per-session submission order), while
+        control commands — and every admission rejection — answer inline
+        on the calling thread.  ``respond`` is called exactly once for any
+        non-blank line; blank lines return ``False`` without calling it.
+
+        ``shutdown`` first drains the scheduler so every pipelined request
+        ahead of it is answered, then stops the server.
+        """
+        line = line.strip()
+        if not line:
+            return False
+        request_id = None
+        cmd_label = "unknown"
+        try:
+            if (
+                self.max_request_bytes is not None
+                and len(line.encode("utf-8", errors="surrogateescape"))
+                > self.max_request_bytes
+            ):
+                raise ProtocolError(
+                    f"request line exceeds max_request_bytes="
+                    f"{self.max_request_bytes}; split the request into "
+                    f"smaller batches"
+                )
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"malformed JSON request: {exc}") from exc
+            if not isinstance(request, dict):
+                raise ProtocolError("a request must be a JSON object")
+            request_id = request.get("id")
+            cmd = request.get("cmd")
+            if isinstance(cmd, str) and cmd in self._COMMANDS:
+                cmd_label = cmd
+            # Reject unauthenticated lines before they consume queue
+            # capacity; handle_request re-checks for the synchronous path.
+            self._check_auth(request)
+            if cmd_label in self._SESSION_COMMANDS:
+                self.scheduler.submit(request, respond)
+                return True
+            if cmd_label == "shutdown":
+                self.scheduler.drain()
+            respond(self.handle_request(request))
+            return True
+        except Exception as exc:  # noqa: BLE001 - typed error response instead
+            code = error_code(exc)
+            if code == "overloaded":
+                count_admission_rejection(code)
+            observe_request(cmd_label, code)
+            respond(self._error(request_id, exc, self.tracer.new_trace_id()))
+            return True
+
+    def _check_auth(self, request: Dict[str, object]) -> None:
+        if self.auth_token is None:
+            return
+        token = request.get("token")
+        if not isinstance(token, str) or not hmac.compare_digest(
+            token.encode("utf-8"), self.auth_token.encode("utf-8")
+        ):
+            count_admission_rejection("auth")
+            raise AuthenticationError(
+                "missing or invalid auth token; pass the server's shared "
+                "secret as the request's 'token' field"
+            )
+
     def handle_request(self, request: Dict[str, object]) -> Dict[str, object]:
         """Answer one decoded request object.
 
@@ -249,6 +392,7 @@ class SessionServer:
                     f"unsupported protocol version {version!r}; this server "
                     f"speaks version {PROTOCOL_VERSION}"
                 )
+            self._check_auth(request)
             # `cmd` may be any JSON value, including unhashable ones.
             handler = (
                 self._COMMANDS.get(cmd) if isinstance(cmd, str) else None
@@ -268,63 +412,141 @@ class SessionServer:
             }
         except Exception as exc:  # noqa: BLE001 - typed error response instead
             status = error_code(exc)
+            if status == "quota":
+                count_admission_rejection(status)
             return self._error(request_id, exc, trace_id)
         finally:
             observe_request(
                 cmd_label, status, time.perf_counter() - started
             )
 
+    def _session_lock(self, request: Dict[str, object],
+                      cmd_label: str) -> Optional[threading.Lock]:
+        """The lock a command must hold: its session's, or none.
+
+        Control commands (``ping``, ``health``, ``metrics``, ...) take no
+        session lock — they must answer even while every session is busy
+        or wedged; the registry lock inside their handlers suffices.
+        Session commands whose ``session`` field is not a usable name take
+        none either: their handler rejects before touching any state.
+        """
+        if cmd_label not in self._SESSION_COMMANDS:
+            return None
+        name = request.get("session")
+        if not isinstance(name, str) or not name:
+            return None
+        with self._registry_lock:
+            lock = self._session_locks.get(name)
+            if lock is None:
+                lock = self._session_locks[name] = threading.Lock()
+            return lock
+
     def _dispatch(self, handler, request: Dict[str, object],
                   cmd_label: str = "unknown",
                   trace_id: Optional[str] = None):
-        """Run one command under the lock, bounded by the deadline (if any).
+        """Run one command under its session's lock, bounded by the deadline.
 
         With a deadline the handler runs in a worker thread; on overrun the
         caller gets :class:`DeadlineExceededError` while the worker finishes
-        in the background still holding the lock — the engine cannot be
-        preempted mid-mutation, so the session stays consistent and later
-        requests simply queue on the lock.
+        in the background still holding *its session's* lock — the engine
+        cannot be preempted mid-mutation, so that session stays consistent
+        and its later requests queue on the lock, while every other session
+        keeps serving.  The abandoned worker is recorded and reported by
+        ``health`` (the session joins the ``degraded`` list) until it
+        finishes.
         """
         session = request.get("session")
         attrs = {"session": session} if isinstance(session, str) else {}
+        lock = self._session_lock(request, cmd_label)
+
+        def execute():
+            with self.tracer.trace(
+                f"serve.{cmd_label}", trace_id=trace_id, **attrs
+            ):
+                if self.fault_injector is not None:
+                    self.fault_injector.fire("serve.dispatch")
+                return handler(self, request)
+
+        def execute_locked():
+            if lock is None:
+                return execute()
+            with lock:
+                return execute()
+
         if self.deadline_seconds is None:
-            with self._lock:
-                with self.tracer.trace(
-                    f"serve.{cmd_label}", trace_id=trace_id, **attrs
-                ):
-                    if self.fault_injector is not None:
-                        self.fault_injector.fire("serve.dispatch")
-                    return handler(self, request)
+            return execute_locked()
         outcome: Dict[str, object] = {}
         done = threading.Event()
 
         def run():
             try:
-                with self._lock:
-                    # The root span opens in the worker thread — the thread
-                    # the handler body (and its engine child spans) runs on.
-                    with self.tracer.trace(
-                        f"serve.{cmd_label}", trace_id=trace_id, **attrs
-                    ):
-                        if self.fault_injector is not None:
-                            self.fault_injector.fire("serve.dispatch")
-                        outcome["result"] = handler(self, request)
+                # The root span opens in the worker thread — the thread
+                # the handler body (and its engine child spans) runs on.
+                outcome["result"] = execute_locked()
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 outcome["error"] = exc
             finally:
                 done.set()
+                self._discard_abandoned(threading.current_thread())
 
         worker = threading.Thread(target=run, daemon=True)
         worker.start()
         if not done.wait(self.deadline_seconds):
+            self._record_abandoned(
+                session if isinstance(session, str) and session else cmd_label,
+                worker, cmd_label,
+            )
             raise DeadlineExceededError(
                 f"request {request.get('cmd')!r} exceeded the "
                 f"{self.deadline_seconds}s deadline; it keeps running in the "
-                f"background and later requests will queue behind it"
+                f"background and later requests to its session will queue "
+                f"behind it"
             )
         if "error" in outcome:
             raise outcome["error"]  # type: ignore[misc]
         return outcome.get("result")
+
+    def _record_abandoned(self, key: str, worker: threading.Thread,
+                          cmd_label: str) -> None:
+        with self._registry_lock:
+            self._abandoned.setdefault(key, []).append({
+                "thread": worker,
+                "cmd": cmd_label,
+                "since": time.monotonic(),
+            })
+
+    def _discard_abandoned(self, worker: threading.Thread) -> None:
+        """Drop a finished worker's abandonment record (called by itself)."""
+        with self._registry_lock:
+            for key in list(self._abandoned):
+                entries = [
+                    entry for entry in self._abandoned[key]
+                    if entry["thread"] is not worker
+                ]
+                if entries:
+                    self._abandoned[key] = entries
+                else:
+                    self._abandoned.pop(key)
+
+    def _abandoned_snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """Live abandoned workers by session key (dead entries pruned)."""
+        now = time.monotonic()
+        with self._registry_lock:
+            snapshot: Dict[str, List[Dict[str, object]]] = {}
+            for key, entries in list(self._abandoned.items()):
+                live = [e for e in entries if e["thread"].is_alive()]
+                if live:
+                    self._abandoned[key] = live
+                    snapshot[key] = [
+                        {
+                            "cmd": e["cmd"],
+                            "age_seconds": round(now - e["since"], 3),
+                        }
+                        for e in live
+                    ]
+                else:
+                    self._abandoned.pop(key)
+            return snapshot
 
     @staticmethod
     def _error(request_id, exc: BaseException,
@@ -352,23 +574,25 @@ class SessionServer:
         return self._error(request_id, exc, self.tracer.new_trace_id())
 
     # ------------------------------------------------------------------ #
-    # Command implementations (called with the lock held)
+    # Command implementations (called with their session's lock held for
+    # session commands; registry reads/writes take the registry lock)
     # ------------------------------------------------------------------ #
     def _get_session(self, request) -> ImputationSession:
         name = self._session_name(request)
-        if name in self.quarantined:
-            raise SessionQuarantinedError(
-                f"session {name!r} is quarantined "
-                f"({self.quarantined[name]}); close it and recover from its "
-                f"checkpoint/WAL"
-            )
-        session = self.sessions.get(name)
-        if session is None:
-            raise ProtocolError(
-                f"no session named {name!r}; create or restore it first "
-                f"(open sessions: {sorted(self.sessions)})"
-            )
-        return session
+        with self._registry_lock:
+            if name in self.quarantined:
+                raise SessionQuarantinedError(
+                    f"session {name!r} is quarantined "
+                    f"({self.quarantined[name]}); close it and recover from "
+                    f"its checkpoint/WAL"
+                )
+            session = self.sessions.get(name)
+            if session is None:
+                raise ProtocolError(
+                    f"no session named {name!r}; create or restore it first "
+                    f"(open sessions: {sorted(self.sessions)})"
+                )
+            return session
 
     def _session_name(self, request) -> str:
         return validate_session_name(request.get("session"))
@@ -391,7 +615,8 @@ class SessionServer:
         untouched.
         """
         reason = f"{type(exc).__name__}: {exc}"
-        self.quarantined[name] = reason
+        with self._registry_lock:
+            self.quarantined[name] = reason
         return SessionQuarantinedError(
             f"session {name!r} is quarantined: its engine raised {reason} "
             f"mid-mutation; other sessions are unaffected — close it and "
@@ -421,10 +646,41 @@ class SessionServer:
         validate_session_name(name, durable=True)
         return self.wal_root / name
 
+    def _check_session_quota_locked(self) -> None:
+        if (
+            self.max_sessions is not None
+            and len(self.sessions) >= self.max_sessions
+        ):
+            raise QuotaExceededError(
+                f"the server already holds {len(self.sessions)} live "
+                f"session(s) (max_sessions={self.max_sessions}); close one "
+                f"first"
+            )
+
+    def _admit_session(self, name: str, session: ImputationSession) -> None:
+        """Insert a freshly built session, re-checking quota at the insert.
+
+        Same-name requests are serialised by the session lock, but creates
+        of *different* names run concurrently — the quota must be enforced
+        atomically with the insertion, releasing the loser's resources.
+        """
+        try:
+            with self._registry_lock:
+                self._check_session_quota_locked()
+                self.sessions[name] = session
+                set_sessions_open(len(self.sessions))
+        except QuotaExceededError:
+            close = getattr(session, "close", None)
+            if callable(close):
+                close()
+            raise
+
     def _cmd_create(self, request) -> Dict[str, object]:
         name = self._session_name(request)
-        if name in self.sessions:
-            raise ProtocolError(f"session {name!r} already exists")
+        with self._registry_lock:
+            if name in self.sessions:
+                raise ProtocolError(f"session {name!r} already exists")
+            self._check_session_quota_locked()
         config = SessionConfig.from_wire(request.get("config"))
         session = create_session(config)
         if self.wal_root is not None and isinstance(session, OnlineSession):
@@ -449,14 +705,16 @@ class SessionServer:
                 injector=self.fault_injector,
             )
             session.attach_wal(wal, fault_injector=self.fault_injector)
-        self.sessions[name] = session
-        set_sessions_open(len(self.sessions))
+        self._admit_session(name, session)
         return self._describe(name, session)
 
     def _cmd_fit(self, request) -> Dict[str, object]:
         name = self._session_name(request)
         session = self._get_session(request)
-        rows = decode_rows(request.get("rows"), what="fit rows")
+        rows = decode_rows(
+            request.get("rows"), what="fit rows",
+            max_rows=self.max_rows_per_request,
+        )
         try:
             session.fit(rows)
         except _CLEAN_REJECTIONS:
@@ -475,7 +733,10 @@ class SessionServer:
     def _cmd_append(self, request) -> Dict[str, object]:
         name = self._session_name(request)
         session = self._get_session(request)
-        rows = decode_rows(request.get("rows"), what="append rows")
+        rows = decode_rows(
+            request.get("rows"), what="append rows",
+            max_rows=self.max_rows_per_request,
+        )
         self._apply_ops(name, session, [MutationOp.append(rows)])
         return {"appended": int(rows.shape[0])}
 
@@ -503,12 +764,18 @@ class SessionServer:
         ops_wire = request.get("ops")
         if not isinstance(ops_wire, list) or not ops_wire:
             raise ProtocolError("mutate needs a non-empty 'ops' list")
-        ops = [MutationOp.from_wire(op) for op in ops_wire]
+        ops = [
+            MutationOp.from_wire(op, max_rows=self.max_rows_per_request)
+            for op in ops_wire
+        ]
         return {"applied": self._apply_ops(name, session, ops)}
 
     def _cmd_impute(self, request) -> Dict[str, object]:
         session = self._get_session(request)
-        impute_request = ImputeRequest.from_wire({"rows": request.get("rows")})
+        impute_request = ImputeRequest.from_wire(
+            {"rows": request.get("rows")},
+            max_rows=self.max_rows_per_request,
+        )
         values = session.impute(impute_request)
         return {
             "rows": encode_rows(values),
@@ -525,6 +792,13 @@ class SessionServer:
             ),
             "deadline_seconds": self.deadline_seconds,
             "max_request_bytes": self.max_request_bytes,
+            "serve_workers": self.scheduler.workers,
+            "microbatch_window_ms": self.scheduler.microbatch_window_ms,
+            "microbatch_max_rows": self.scheduler.microbatch_max_rows,
+            "max_rows_per_request": self.max_rows_per_request,
+            "max_sessions": self.max_sessions,
+            "max_queued_requests": self.scheduler.max_queued_requests,
+            "auth": self.auth_token is not None,
             "obs_enabled": get_obs_enabled(),
             "trace_sample": self.tracer.sample,
             "trace_log": (
@@ -538,6 +812,7 @@ class SessionServer:
         stats["server"] = {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "config": self._server_config(),
+            "scheduler": self.scheduler.snapshot(),
         }
         return stats
 
@@ -586,13 +861,16 @@ class SessionServer:
         name = self._session_name(request)
         session = self._get_session(request)
         path = str(session.save(self._artifact_path(request, "save")))
-        self._checkpoint_at[name] = time.monotonic()
+        with self._registry_lock:
+            self._checkpoint_at[name] = time.monotonic()
         return {"path": path}
 
     def _cmd_restore(self, request) -> Dict[str, object]:
         name = self._session_name(request)
-        if name in self.sessions:
-            raise ProtocolError(f"session {name!r} already exists")
+        with self._registry_lock:
+            if name in self.sessions:
+                raise ProtocolError(f"session {name!r} already exists")
+            self._check_session_quota_locked()
         path = self._artifact_path(request, "restore")
         if self.wal_root is not None:
             wal_dir = self._wal_dir(name)
@@ -606,9 +884,9 @@ class SessionServer:
                     sync=self.wal_sync,
                     fault_injector=self.fault_injector,
                 )
-                self.sessions[name] = session
-                self.quarantined.pop(name, None)
-                set_sessions_open(len(self.sessions))
+                self._admit_session(name, session)
+                with self._registry_lock:
+                    self.quarantined.pop(name, None)
                 description = self._describe(name, session)
                 description["recovered"] = {
                     "replayed_ops": report["replayed_ops"],
@@ -625,29 +903,32 @@ class SessionServer:
                 injector=self.fault_injector,
             )
             session.attach_wal(wal, fault_injector=self.fault_injector)
-        self.sessions[name] = session
-        set_sessions_open(len(self.sessions))
+        self._admit_session(name, session)
         return self._describe(name, session)
 
     def _cmd_close(self, request) -> Dict[str, object]:
         name = self._session_name(request)
-        session = self.sessions.get(name)
-        if session is None:
-            raise ProtocolError(f"no session named {name!r}")
+        with self._registry_lock:
+            session = self.sessions.get(name)
+            if session is None:
+                raise ProtocolError(f"no session named {name!r}")
+            del self.sessions[name]
+            self.quarantined.pop(name, None)
+            self._checkpoint_at.pop(name, None)
+            set_sessions_open(len(self.sessions))
+        # Release resources outside the registry lock (WAL close may do
+        # I/O); the session lock this command holds keeps it exclusive.
         close = getattr(session, "close", None)
         if callable(close):
             close()
-        del self.sessions[name]
-        self.quarantined.pop(name, None)
-        self._checkpoint_at.pop(name, None)
-        set_sessions_open(len(self.sessions))
         return {"closed": name}
 
     def _cmd_sessions(self, request) -> Dict[str, object]:
+        with self._registry_lock:
+            items = sorted(self.sessions.items())
         return {
             "sessions": [
-                self._describe(name, session)
-                for name, session in sorted(self.sessions.items())
+                self._describe(name, session) for name, session in items
             ]
         }
 
@@ -663,15 +944,37 @@ class SessionServer:
         return {"pong": True, "protocol": PROTOCOL_VERSION}
 
     def _cmd_health(self, request) -> Dict[str, object]:
-        """Liveness + per-session durability report (never raises)."""
+        """Liveness + per-session durability/dispatch report (never raises).
+
+        ``degraded`` lists quarantined sessions *and* sessions whose lock
+        is held by a deadline-abandoned worker still running; the
+        ``abandoned`` section details those workers, the ``scheduler``
+        section exposes queue depths and micro-batch counters.
+        """
         now = time.monotonic()
+        abandoned = self._abandoned_snapshot()
+        scheduler = self.scheduler.snapshot()
+        with self._registry_lock:
+            items = sorted(self.sessions.items())
+            quarantined = dict(self.quarantined)
+            checkpoint_at = dict(self._checkpoint_at)
         sessions: Dict[str, Dict[str, object]] = {}
-        for name, session in sorted(self.sessions.items()):
+        for name, session in items:
+            degraded = name in quarantined or name in abandoned
             entry: Dict[str, object] = {
-                "state": "degraded" if name in self.quarantined else "ok",
+                "state": "degraded" if degraded else "ok",
             }
-            if name in self.quarantined:
-                entry["reason"] = self.quarantined[name]
+            if name in quarantined:
+                entry["reason"] = quarantined[name]
+            elif name in abandoned:
+                entry["reason"] = (
+                    f"deadline-abandoned worker(s) still hold this "
+                    f"session's lock: "
+                    + ", ".join(
+                        f"{e['cmd']} ({e['age_seconds']}s)"
+                        for e in abandoned[name]
+                    )
+                )
             wal = getattr(session, "wal", None)
             if wal is not None:
                 stats = wal.stats()
@@ -681,10 +984,13 @@ class SessionServer:
                     "segments": stats["segments"],
                     "bytes": stats["bytes"],
                 }
-            checkpointed = self._checkpoint_at.get(name)
+            checkpointed = checkpoint_at.get(name)
             entry["last_checkpoint_age_seconds"] = (
                 None if checkpointed is None else round(now - checkpointed, 3)
             )
+            queued = scheduler["queued"].get(name)
+            if queued:
+                entry["queued_requests"] = queued
             sessions[name] = entry
         return {
             "status": "serving" if self.running else "stopping",
@@ -692,7 +998,9 @@ class SessionServer:
             "uptime_seconds": round(now - self._started, 3),
             "config": self._server_config(),
             "sessions": sessions,
-            "degraded": sorted(self.quarantined),
+            "degraded": sorted(set(quarantined) | set(abandoned)),
+            "abandoned": abandoned,
+            "scheduler": scheduler,
         }
 
     def close_sessions(self) -> None:
@@ -700,9 +1008,13 @@ class SessionServer:
 
         Idempotent; the transports call it when their input ends — EOF is
         an orderly end of a stdio pipeline, not a crash, so file handles
-        must not be left to the garbage collector.
+        must not be left to the garbage collector.  Stops the scheduler
+        first, so no worker dispatches into a session being closed.
         """
-        for session in self.sessions.values():
+        self.scheduler.stop()
+        with self._registry_lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
             close = getattr(session, "close", None)
             if callable(close):
                 close()
@@ -735,6 +1047,57 @@ class SessionServer:
         "shutdown": _cmd_shutdown,
     }
 
+    #: Commands that target one session's state: they run under that
+    #: session's lock and, on the transports, through its FIFO queue.
+    #: Everything else is a control command answering inline, lock-free.
+    _SESSION_COMMANDS = frozenset({
+        "create", "fit", "append", "delete", "update", "mutate", "impute",
+        "stats", "save", "restore", "close",
+    })
+
+
+class _OrderedWriter:
+    """Emits responses in request order while execution runs out of order.
+
+    A byte stream has one order, so each accepted input line reserves the
+    next output slot; scheduler workers fill slots as requests finish and
+    the writer flushes the contiguous prefix.  One slow request therefore
+    delays the *emission* of later responses on its own stream — but not
+    their execution, and other connections flow independently.
+
+    Write failures mark the stream dead and drop the remaining responses:
+    the requests still execute (their state changes are real), there is
+    just no client left to tell.
+    """
+
+    def __init__(self, emit: Callable[[Dict[str, object]], None]):
+        self._emit = emit
+        self._lock = threading.Lock()
+        self._filled: Dict[int, Dict[str, object]] = {}
+        self._next_seq = 0
+        self._next_emit = 0
+        self.dead = False
+
+    def reserve(self) -> Callable[[Dict[str, object]], None]:
+        """Claim the next output slot; the returned callable fills it."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        return lambda response: self._fill(seq, response)
+
+    def _fill(self, seq: int, response: Dict[str, object]) -> None:
+        with self._lock:
+            self._filled[seq] = response
+            while self._next_emit in self._filled:
+                ready = self._filled.pop(self._next_emit)
+                self._next_emit += 1
+                if self.dead:
+                    continue
+                try:
+                    self._emit(ready)
+                except Exception:  # noqa: BLE001 - client gone mid-reply
+                    self.dead = True
+
 
 def serve_stdio(
     stdin: Optional[TextIO] = None,
@@ -743,10 +1106,12 @@ def serve_stdio(
 ) -> int:
     """Serve requests line-by-line from ``stdin`` until EOF or ``shutdown``.
 
-    Without an explicit ``server`` the loop runs confined to the working
-    directory (save/restore paths may not escape it); pass a
-    :class:`SessionServer` of your own to choose a different artifact root
-    or to run unconfined.
+    Session commands execute on the server's scheduler (pipelined lines
+    against different sessions run concurrently; responses still emit in
+    request order).  Without an explicit ``server`` the loop runs confined
+    to the working directory (save/restore paths may not escape it); pass
+    a :class:`SessionServer` of your own to choose a different artifact
+    root or to run unconfined.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -760,6 +1125,11 @@ def serve_stdio(
 
 
 def _serve_stdio_loop(stdin, stdout, server, limit) -> None:
+    def emit(response: Dict[str, object]) -> None:
+        stdout.write(json.dumps(response) + "\n")
+        stdout.flush()
+
+    writer = _OrderedWriter(emit)
     while True:
         line = stdin.readline() if limit is None else stdin.readline(limit + 1)
         if not line:
@@ -771,21 +1141,22 @@ def _serve_stdio_loop(stdin, stdout, server, limit) -> None:
                 rest = stdin.readline(1 << 16)
                 if not rest or rest.endswith("\n"):
                     break
-            response = server.oversized_response()
+            writer.reserve()(server.oversized_response())
+        elif not line.strip():
+            continue  # blank line: no response slot
         else:
-            response = server.handle_line(line)
-        if response is None:
-            continue
-        stdout.write(json.dumps(response) + "\n")
-        stdout.flush()
+            server.submit_line(line, writer.reserve())
         if not server.running:
-            break
+            return  # shutdown already drained the scheduler
+    # EOF: answer everything still queued before releasing the sessions.
+    server.scheduler.drain()
 
 
 class _JsonlTCPHandler(socketserver.StreamRequestHandler):
     def handle(self):
         server: SessionServer = self.server.session_server  # type: ignore[attr-defined]
         limit = server.max_request_bytes
+        writer = _OrderedWriter(self._emit)
         while True:
             try:
                 raw = (
@@ -810,25 +1181,23 @@ class _JsonlTCPHandler(socketserver.StreamRequestHandler):
                         return
                     if not rest:
                         return  # disconnected mid-line: discard the torn frame
-                    response = server.oversized_response()
+                    writer.reserve()(server.oversized_response())
                 else:
                     # Client disconnected mid-line: the frame is torn, so
                     # discard it and close this connection quietly.
                     return
             else:
-                response = server.handle_line(
-                    raw.decode("utf-8", errors="replace")
-                )
-            if response is None:
-                continue
-            try:
-                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-                self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError, OSError):
-                return
+                text = raw.decode("utf-8", errors="replace")
+                if not text.strip():
+                    continue  # blank line: no response slot
+                server.submit_line(text, writer.reserve())
             if not server.running:
                 self.server.shutdown_event.set()  # type: ignore[attr-defined]
                 return
+
+    def _emit(self, response: Dict[str, object]) -> None:
+        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+        self.wfile.flush()
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):

@@ -96,6 +96,30 @@ __all__ = [
     "get_request_deadline",
     "set_request_deadline",
     "resolve_request_deadline",
+    "DEFAULT_SERVE_WORKERS",
+    "get_serve_workers",
+    "set_serve_workers",
+    "resolve_serve_workers",
+    "DEFAULT_MICROBATCH_WINDOW_MS",
+    "get_microbatch_window_ms",
+    "set_microbatch_window_ms",
+    "resolve_microbatch_window_ms",
+    "DEFAULT_MICROBATCH_MAX_ROWS",
+    "get_microbatch_max_rows",
+    "set_microbatch_max_rows",
+    "resolve_microbatch_max_rows",
+    "DEFAULT_MAX_ROWS_PER_REQUEST",
+    "get_max_rows_per_request",
+    "set_max_rows_per_request",
+    "resolve_max_rows_per_request",
+    "DEFAULT_MAX_SESSIONS",
+    "get_max_sessions",
+    "set_max_sessions",
+    "resolve_max_sessions",
+    "DEFAULT_MAX_QUEUED_REQUESTS",
+    "get_max_queued_requests",
+    "set_max_queued_requests",
+    "resolve_max_queued_requests",
     "DEFAULT_OBS_ENABLED",
     "get_obs_enabled",
     "set_obs_enabled",
@@ -608,6 +632,222 @@ def resolve_request_deadline(deadline=None) -> Optional[float]:
     if isinstance(deadline, str) and deadline == "default":
         return get_request_deadline()
     return _validate_request_deadline(deadline)
+
+
+# --------------------------------------------------------------------------- #
+# Serving concurrency + admission knobs (scheduler, micro-batcher, quotas)
+# --------------------------------------------------------------------------- #
+
+#: Worker threads draining session queues in the serve loop's scheduler.
+#: Sessions are independent engines and numpy releases the GIL inside the
+#: GEMM-heavy kernels, so a handful of workers buys real cross-session
+#: parallelism; more workers than live sessions (or physical cores) only
+#: adds contention.
+DEFAULT_SERVE_WORKERS = 4
+
+#: How long (milliseconds) the micro-batcher may hold an eligible
+#: single-row ``impute`` request open waiting for coalescible followers.
+#: ``0`` coalesces opportunistically — only requests *already queued*
+#: behind one another merge, so request-response clients pay no added
+#: latency while pipelined clients still batch.
+DEFAULT_MICROBATCH_WINDOW_MS = 0.0
+
+#: Most rows one coalesced impute batch may carry.
+DEFAULT_MICROBATCH_MAX_ROWS = 64
+
+#: Most rows a single wire request (``fit``/``impute``/mutation batch) may
+#: carry before admission answers a typed ``quota`` error (``None`` =
+#: unbounded, the historical behaviour).
+DEFAULT_MAX_ROWS_PER_REQUEST: Optional[int] = None
+
+#: Most live sessions one server holds before ``create``/``restore``
+#: answers a ``quota`` error (``None`` = unbounded).
+DEFAULT_MAX_SESSIONS: Optional[int] = None
+
+#: Most requests one session's FIFO queue buffers before producers are
+#: answered a typed ``overloaded`` error instead of growing the queue.
+DEFAULT_MAX_QUEUED_REQUESTS = 256
+
+
+def _validate_optional_positive_knob(value, name: str) -> Optional[int]:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in ("none", "unbounded", ""):
+            return None
+        value = key
+    return _validate_positive_knob(value, name)
+
+
+def _validate_microbatch_window(value) -> float:
+    if isinstance(value, str):
+        try:
+            value = float(value.strip())
+        except ValueError:
+            raise ConfigurationError(
+                f"microbatch window must be a non-negative number of "
+                f"milliseconds, got {value!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"microbatch window must be a non-negative number of "
+            f"milliseconds, got {value!r}"
+        )
+    value = float(value)
+    if value < 0.0:
+        raise ConfigurationError(
+            f"microbatch window must be non-negative, got {value}"
+        )
+    return value
+
+
+_serve_workers = os.environ.get("REPRO_SERVE_WORKERS", DEFAULT_SERVE_WORKERS)
+_microbatch_window_ms = os.environ.get(
+    "REPRO_MICROBATCH_WINDOW_MS", DEFAULT_MICROBATCH_WINDOW_MS
+)
+_microbatch_max_rows = os.environ.get(
+    "REPRO_MICROBATCH_MAX_ROWS", DEFAULT_MICROBATCH_MAX_ROWS
+)
+_max_rows_per_request = os.environ.get(
+    "REPRO_MAX_ROWS_PER_REQUEST", DEFAULT_MAX_ROWS_PER_REQUEST
+)
+_max_sessions = os.environ.get("REPRO_MAX_SESSIONS", DEFAULT_MAX_SESSIONS)
+_max_queued_requests = os.environ.get(
+    "REPRO_MAX_QUEUED_REQUESTS", DEFAULT_MAX_QUEUED_REQUESTS
+)
+
+
+def get_serve_workers() -> int:
+    """The process-wide serve worker-pool size."""
+    return _validate_positive_knob(_serve_workers, "serve workers")
+
+
+def set_serve_workers(workers):
+    """Select the process-wide worker-pool size; returns the previous one."""
+    global _serve_workers
+    previous = _serve_workers
+    _serve_workers = _validate_positive_knob(workers, "serve workers")
+    return previous
+
+
+def resolve_serve_workers(workers=None) -> int:
+    """Resolve an optional per-server worker-pool size against the knob."""
+    if workers is None or (isinstance(workers, str) and workers == "default"):
+        return get_serve_workers()
+    return _validate_positive_knob(workers, "serve workers")
+
+
+def get_microbatch_window_ms() -> float:
+    """The process-wide micro-batch coalescing window in milliseconds."""
+    return _validate_microbatch_window(_microbatch_window_ms)
+
+
+def set_microbatch_window_ms(window):
+    """Select the process-wide coalescing window; returns the previous one."""
+    global _microbatch_window_ms
+    previous = _microbatch_window_ms
+    _microbatch_window_ms = _validate_microbatch_window(window)
+    return previous
+
+
+def resolve_microbatch_window_ms(window=None) -> float:
+    """Resolve an optional per-server coalescing window against the knob."""
+    if window is None or (isinstance(window, str) and window == "default"):
+        return get_microbatch_window_ms()
+    return _validate_microbatch_window(window)
+
+
+def get_microbatch_max_rows() -> int:
+    """The process-wide bound on rows per coalesced impute batch."""
+    return _validate_positive_knob(_microbatch_max_rows, "microbatch max rows")
+
+
+def set_microbatch_max_rows(rows):
+    """Select the process-wide micro-batch row bound; returns the previous one."""
+    global _microbatch_max_rows
+    previous = _microbatch_max_rows
+    _microbatch_max_rows = _validate_positive_knob(rows, "microbatch max rows")
+    return previous
+
+
+def resolve_microbatch_max_rows(rows=None) -> int:
+    """Resolve an optional per-server micro-batch row bound against the knob."""
+    if rows is None or (isinstance(rows, str) and rows == "default"):
+        return get_microbatch_max_rows()
+    return _validate_positive_knob(rows, "microbatch max rows")
+
+
+def get_max_rows_per_request() -> Optional[int]:
+    """The process-wide per-request row quota (``None`` = unbounded)."""
+    return _validate_optional_positive_knob(
+        _max_rows_per_request, "max rows per request"
+    )
+
+
+def set_max_rows_per_request(rows):
+    """Select the process-wide per-request row quota; returns the previous one."""
+    global _max_rows_per_request
+    previous = _max_rows_per_request
+    _max_rows_per_request = _validate_optional_positive_knob(
+        rows, "max rows per request"
+    )
+    return previous
+
+
+def resolve_max_rows_per_request(rows=None) -> Optional[int]:
+    """Resolve an optional per-server row quota against the knob.
+
+    The sentinel ``"default"`` defers to the process-wide knob; ``None``
+    explicitly disables the quota.
+    """
+    if isinstance(rows, str) and rows == "default":
+        return get_max_rows_per_request()
+    return _validate_optional_positive_knob(rows, "max rows per request")
+
+
+def get_max_sessions() -> Optional[int]:
+    """The process-wide live-session quota (``None`` = unbounded)."""
+    return _validate_optional_positive_knob(_max_sessions, "max sessions")
+
+
+def set_max_sessions(limit):
+    """Select the process-wide live-session quota; returns the previous one."""
+    global _max_sessions
+    previous = _max_sessions
+    _max_sessions = _validate_optional_positive_knob(limit, "max sessions")
+    return previous
+
+
+def resolve_max_sessions(limit=None) -> Optional[int]:
+    """Resolve an optional per-server session quota against the knob.
+
+    The sentinel ``"default"`` defers to the process-wide knob; ``None``
+    explicitly disables the quota.
+    """
+    if isinstance(limit, str) and limit == "default":
+        return get_max_sessions()
+    return _validate_optional_positive_knob(limit, "max sessions")
+
+
+def get_max_queued_requests() -> int:
+    """The process-wide bound on one session's queued requests."""
+    return _validate_positive_knob(_max_queued_requests, "max queued requests")
+
+
+def set_max_queued_requests(limit):
+    """Select the process-wide queue bound; returns the previous one."""
+    global _max_queued_requests
+    previous = _max_queued_requests
+    _max_queued_requests = _validate_positive_knob(limit, "max queued requests")
+    return previous
+
+
+def resolve_max_queued_requests(limit=None) -> int:
+    """Resolve an optional per-server queue bound against the knob."""
+    if limit is None or (isinstance(limit, str) and limit == "default"):
+        return get_max_queued_requests()
+    return _validate_positive_knob(limit, "max queued requests")
 
 
 # --------------------------------------------------------------------------- #

@@ -75,3 +75,34 @@ class DeadlineExceededError(ReproError):
     GIL); the client gets this typed error while the slow request finishes
     in the background, so its state changes land but are unacknowledged.
     """
+
+
+class QuotaExceededError(ReproError):
+    """A wire request exceeded an admission quota.
+
+    Raised by :mod:`repro.api` validation when a request carries more rows
+    than ``max_rows_per_request``, or the server already holds
+    ``max_sessions`` live sessions.  Quotas are admission control — the
+    request is rejected *before* any state changes, so the session stays
+    clean and the client can retry smaller.
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """A session's request queue is full; the request was shed, not buffered.
+
+    The serve loop bounds each session's FIFO queue at
+    ``max_queued_requests``; when a producer outruns the worker pool the
+    excess request is rejected with this error (wire code ``overloaded``)
+    instead of growing the queue without bound.  Nothing was applied —
+    back off and resubmit.
+    """
+
+
+class AuthenticationError(ReproError):
+    """A request failed the serve loop's shared-secret token check.
+
+    When the server is started with an auth token, every request envelope
+    must carry a matching ``"token"`` field; mismatches are rejected before
+    any command dispatch (wire code ``auth``).
+    """

@@ -29,6 +29,13 @@ metric                           kind       labels
 ``repro_store_rows_total``       counter    ``op`` (append/delete/update)
 ``repro_journal_spills_total``   counter    —
 ``repro_sessions_open``          gauge      —
+``repro_serve_workers``          gauge      —
+``repro_queue_depth``            gauge      —
+``repro_microbatches_total``     counter    —
+``repro_microbatch_rows_total``  counter    —
+``repro_microbatch_fill``        histogram  —
+``repro_microbatch_wait_seconds``  histogram  —
+``repro_admission_rejections_total``  counter  ``reason``
 ===============================  =========  ===========================
 """
 
@@ -83,6 +90,10 @@ __all__ = [
     "count_store_rows",
     "count_journal_spill",
     "set_sessions_open",
+    "set_serve_workers",
+    "set_queue_depth",
+    "observe_microbatch",
+    "count_admission_rejection",
     "install_trace_sink",
 ]
 
@@ -170,6 +181,36 @@ JOURNAL_SPILLS_TOTAL = _registry.counter(
 SESSIONS_OPEN = _registry.gauge(
     "repro_sessions_open",
     "Sessions currently open on the serve loop.",
+)
+SERVE_WORKERS = _registry.gauge(
+    "repro_serve_workers",
+    "Worker threads in the serve scheduler's pool.",
+)
+QUEUE_DEPTH = _registry.gauge(
+    "repro_queue_depth",
+    "Requests queued across every session FIFO queue of the serve scheduler.",
+)
+MICROBATCHES_TOTAL = _registry.counter(
+    "repro_microbatches_total",
+    "Coalesced impute batches formed by the serve micro-batcher.",
+)
+MICROBATCH_ROWS_TOTAL = _registry.counter(
+    "repro_microbatch_rows_total",
+    "Single-row impute requests coalesced into micro-batches.",
+)
+MICROBATCH_FILL = _registry.histogram(
+    "repro_microbatch_fill",
+    "Rows per coalesced impute batch.",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+)
+MICROBATCH_WAIT_SECONDS = _registry.histogram(
+    "repro_microbatch_wait_seconds",
+    "Queue-to-execution latency of requests coalesced into a micro-batch.",
+)
+ADMISSION_REJECTIONS_TOTAL = _registry.counter(
+    "repro_admission_rejections_total",
+    "Requests rejected at admission, by reason (quota, overloaded, auth).",
+    ("reason",),
 )
 
 
@@ -329,6 +370,35 @@ def set_sessions_open(n: int) -> None:
     if not _enabled():
         return
     SESSIONS_OPEN.set(n)
+
+
+def set_serve_workers(n: int) -> None:
+    if not _enabled():
+        return
+    SERVE_WORKERS.set(n)
+
+
+def set_queue_depth(n: int) -> None:
+    if not _enabled():
+        return
+    QUEUE_DEPTH.set(n)
+
+
+def observe_microbatch(fill: int, wait_seconds: float) -> None:
+    """Record one coalesced impute batch: its row count and the longest
+    queue-to-execution wait among its member requests."""
+    if not _enabled():
+        return
+    MICROBATCHES_TOTAL._inc_fast(())
+    MICROBATCH_ROWS_TOTAL._inc_fast((), fill)
+    MICROBATCH_FILL._observe_fast((), float(fill))
+    MICROBATCH_WAIT_SECONDS._observe_fast((), wait_seconds)
+
+
+def count_admission_rejection(reason: str) -> None:
+    if not _enabled():
+        return
+    ADMISSION_REJECTIONS_TOTAL._inc_fast((reason,))
 
 
 def install_trace_sink(directory, sample: Optional[float] = None

@@ -1,0 +1,309 @@
+"""End-to-end concurrency tests for the serve stack.
+
+The contracts of the multi-tenant refactor:
+
+* one session's requests answer in submission order, across transports;
+* distinct sessions make progress concurrently — a slow request on one
+  session must not stall another session's p95 latency;
+* micro-batch coalescing is a transparent optimisation: coalesced
+  responses match sequential dispatch within rtol 1e-9;
+* a deadline-abandoned worker degrades only its own session (reported by
+  ``health``) while every other session keeps serving.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import SessionServer, encode_rows, serve_tcp
+from repro.data import load_dataset
+from repro.reliability import Fault, FaultPlan
+
+IIM_CONFIG = {
+    "method": "IIM",
+    "mode": "online",
+    "params": {"k": 4, "learning": "fixed", "learning_neighbors": 3},
+}
+
+
+@pytest.fixture(scope="module")
+def values():
+    return load_dataset("sn", size=160).raw
+
+
+def setup_session(server, values, name, n_rows=60):
+    for request in (
+        {"v": 1, "cmd": "create", "session": name, "config": IIM_CONFIG},
+        {"v": 1, "cmd": "append", "session": name,
+         "rows": encode_rows(values[:n_rows])},
+    ):
+        response = server.handle_line(json.dumps(request))
+        assert response["ok"], response
+
+
+def query_row(values, index, blank=1):
+    row = [float(cell) for cell in values[index]]
+    row[blank] = None
+    return row
+
+
+class Collector:
+    def __init__(self):
+        self.responses = []
+        self._cond = threading.Condition()
+
+    def __call__(self, response):
+        with self._cond:
+            self.responses.append(response)
+            self._cond.notify_all()
+
+    def wait_for(self, count, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self.responses) < count:
+                remaining = deadline - time.monotonic()
+                assert remaining > 0, (
+                    f"timed out with {len(self.responses)}/{count} responses"
+                )
+                self._cond.wait(remaining)
+            return list(self.responses)
+
+
+class TestTcpConcurrentClients:
+    def test_n_clients_m_sessions_ordered_and_correct(self, values):
+        """4 threaded TCP clients, one session each, pipelined imputes."""
+        server = SessionServer(workers=4)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve_tcp, args=("127.0.0.1", 0, server, ready),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        n_clients, n_requests = 4, 25
+        errors = []
+        rows_by_client = {}
+
+        def client(index):
+            try:
+                with socket.create_connection(
+                    ("127.0.0.1", server.tcp_port), timeout=30
+                ) as conn:
+                    stream = conn.makefile("rw", encoding="utf-8")
+                    name = f"tcp-{index}"
+
+                    def send(**request):
+                        request.setdefault("v", 1)
+                        stream.write(json.dumps(request) + "\n")
+                    send(cmd="create", session=name, config=IIM_CONFIG)
+                    send(cmd="append", session=name,
+                         rows=encode_rows(values[:50]))
+                    width = values.shape[1]
+                    for i in range(n_requests):
+                        send(id=i, cmd="impute", session=name,
+                             rows=[query_row(values, 60 + i, index % width)])
+                    stream.flush()
+                    responses = [
+                        json.loads(stream.readline())
+                        for _ in range(2 + n_requests)
+                    ]
+                for response in responses:
+                    assert response["ok"], response
+                # Pipelined responses come back in submission order.
+                assert [r["id"] for r in responses[2:]] == list(
+                    range(n_requests)
+                )
+                rows_by_client[index] = [
+                    r["result"]["rows"][0] for r in responses[2:]
+                ]
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((index, exc))
+
+        threads = [
+            threading.Thread(target=client, args=(index,), daemon=True)
+            for index in range(n_clients)
+        ]
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join(timeout=60)
+        try:
+            assert not errors, errors
+            assert sorted(rows_by_client) == list(range(n_clients))
+            for rows in rows_by_client.values():
+                assert all(
+                    cell is not None for row in rows for cell in row
+                )
+        finally:
+            with socket.create_connection(
+                ("127.0.0.1", server.tcp_port), timeout=10
+            ) as conn:
+                stream = conn.makefile("rw", encoding="utf-8")
+                stream.write(json.dumps({"v": 1, "cmd": "shutdown"}) + "\n")
+                stream.flush()
+                assert json.loads(stream.readline())["ok"]
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_coalesced_responses_match_sequential_dispatch(self, values):
+        """The micro-batcher is a transparent optimisation (rtol 1e-9)."""
+        queries = [query_row(values, 70 + i) for i in range(24)]
+
+        sequential = SessionServer()
+        setup_session(sequential, values, "s")
+        expected = []
+        for i, row in enumerate(queries):
+            response = sequential.handle_line(json.dumps(
+                {"v": 1, "id": i, "cmd": "impute", "session": "s",
+                 "rows": [row]}
+            ))
+            assert response["ok"], response
+            expected.append(response["result"]["rows"][0])
+        sequential.close_sessions()
+
+        coalesced = SessionServer(workers=2, microbatch_max_rows=16)
+        setup_session(coalesced, values, "s")
+        collector = Collector()
+        for i, row in enumerate(queries):
+            accepted = coalesced.submit_line(json.dumps(
+                {"v": 1, "id": i, "cmd": "impute", "session": "s",
+                 "rows": [row]}
+            ), collector)
+            assert accepted
+        responses = collector.wait_for(len(queries))
+        snapshot = coalesced.scheduler.snapshot()
+        coalesced.close_sessions()
+
+        assert [r["id"] for r in responses] == list(range(len(queries)))
+        got = [r["result"]["rows"][0] for r in responses]
+        np.testing.assert_allclose(
+            np.asarray(got, dtype=float),
+            np.asarray(expected, dtype=float),
+            rtol=1e-9, atol=1e-12,
+        )
+        # The pipelined submits really did coalesce into batched calls.
+        assert snapshot["microbatch"]["batches"] >= 1
+        assert snapshot["microbatch"]["rows_coalesced"] >= 2
+
+
+class TestCrossSessionIsolation:
+    def _latencies(self, server, session, queries, start_id=0):
+        latencies = []
+        for i, row in enumerate(queries):
+            done = threading.Event()
+            out = []
+
+            def respond(response, out=out, done=done):
+                out.append(response)
+                done.set()
+
+            line = json.dumps({"v": 1, "id": start_id + i, "cmd": "impute",
+                               "session": session, "rows": [row]})
+            started = time.perf_counter()
+            assert server.submit_line(line, respond)
+            assert done.wait(timeout=30)
+            latencies.append(time.perf_counter() - started)
+            assert out[0]["ok"], out[0]
+        return latencies
+
+    def test_slow_request_does_not_stall_other_sessions(self, values):
+        """p95 of a fast session stays bounded while another is wedged."""
+        server = SessionServer(workers=4)
+        setup_session(server, values, "fast")
+        setup_session(server, values, "slow")
+        queries = [query_row(values, 70 + i) for i in range(30)]
+        # Warm, then measure solo latencies with no contention.
+        self._latencies(server, "fast", queries[:5])
+        solo = self._latencies(server, "fast", queries, start_id=100)
+
+        plan = FaultPlan([
+            Fault("serve.dispatch", "slow", delay=2.0, hit=1),
+        ])
+        server.fault_injector = plan
+        slow_done = Collector()
+        assert server.submit_line(json.dumps(
+            {"v": 1, "id": "wedge", "cmd": "impute", "session": "slow",
+             "rows": [query_row(values, 65)]}
+        ), slow_done)
+        # Wait until the slow request is actually executing (the fault
+        # site fires, and sleeps, inside the dispatch).
+        deadline = time.monotonic() + 5.0
+        while plan.hits("serve.dispatch") < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+
+        contended = self._latencies(server, "fast", queries, start_id=200)
+        assert not slow_done.responses, (
+            "the slow request finished before the contended run — "
+            "lengthen the injected delay"
+        )
+        slow_done.wait_for(1)
+        server.close_sessions()
+
+        p95_solo = float(np.percentile(solo, 95))
+        p95_contended = float(np.percentile(contended, 95))
+        # The acceptance bar: 2x solo p95, with an absolute floor so
+        # micro-latency noise on tiny stores cannot flake the test.
+        assert p95_contended <= max(2.0 * p95_solo, 0.05), (
+            f"fast session p95 {p95_contended * 1000:.1f}ms vs solo "
+            f"{p95_solo * 1000:.1f}ms while another session was wedged"
+        )
+
+    def test_deadline_abandoned_worker_degrades_only_its_session(self, values):
+        """The leaked worker is reported, and other sessions keep serving."""
+        server = SessionServer(workers=2, deadline_seconds=0.1)
+        setup_session(server, values, "ok")
+        setup_session(server, values, "wedged")
+        plan = FaultPlan([
+            Fault("serve.dispatch", "slow", delay=1.0, hit=1),
+        ])
+        server.fault_injector = plan
+
+        response = server.handle_line(json.dumps(
+            {"v": 1, "cmd": "impute", "session": "wedged",
+             "rows": [query_row(values, 65)]}
+        ))
+        assert response["ok"] is False
+        assert response["error"]["code"] == "deadline"
+
+        health = server.handle_line(json.dumps(
+            {"v": 1, "cmd": "health"}
+        ))["result"]
+        assert health["degraded"] == ["wedged"]
+        assert health["sessions"]["wedged"]["state"] == "degraded"
+        assert "abandoned" in health["sessions"]["wedged"]["reason"]
+        assert health["abandoned"]["wedged"][0]["cmd"] == "impute"
+        assert health["sessions"]["ok"]["state"] == "ok"
+
+        # The other session keeps serving while the worker is leaked.
+        response = server.handle_line(json.dumps(
+            {"v": 1, "cmd": "impute", "session": "ok",
+             "rows": [query_row(values, 66)]}
+        ))
+        assert response["ok"], response
+
+        # Once the abandoned worker finishes, health recovers.
+        deadline = time.monotonic() + 10.0
+        while True:
+            health = server.handle_line(json.dumps(
+                {"v": 1, "cmd": "health"}
+            ))["result"]
+            if not health["degraded"]:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        assert health["abandoned"] == {}
+        assert health["sessions"]["wedged"]["state"] == "ok"
+
+        # The wedged session serves again: its lock was released by the
+        # abandoned worker when it finally finished, never leaked.
+        response = server.handle_line(json.dumps(
+            {"v": 1, "cmd": "impute", "session": "wedged",
+             "rows": [query_row(values, 67)]}
+        ))
+        assert response["ok"], response
+        server.close_sessions()
