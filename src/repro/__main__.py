@@ -21,7 +21,13 @@ service layer:
 * ``metrics-dump`` — print the standard metric catalogue of the
   observability layer (``python -m repro metrics-dump --format
   prometheus``), zero-valued in a fresh process — the reference for what a
-  live ``metrics`` serve command can return.
+  live ``metrics`` serve command can return;
+* ``scenario`` — the parametric workload registry: ``scenario list`` the
+  built-in specs, ``scenario describe NAME`` one spec and its generator's
+  parameter schema, ``scenario replay NAME`` a spec through the engine or
+  the full serve loop with cold-refit verification, and ``scenario trace
+  NAME`` the deterministic trace digest (``--output`` writes the canonical
+  trace bytes).
 """
 
 from __future__ import annotations
@@ -212,6 +218,120 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _scenario_spec(args):
+    """Resolve the spec a ``scenario`` subcommand operates on."""
+    from .scenarios import ScenarioSpec, get
+
+    if getattr(args, "spec", None):
+        return ScenarioSpec.from_json(Path(args.spec).read_text())
+    return get(args.name)
+
+
+def _cmd_scenario(args) -> int:
+    from .scenarios import (
+        describe_schema,
+        generate_trace,
+        get,
+        golden_digest,
+        registry,
+        replay,
+    )
+
+    try:
+        if args.scenario_command == "list":
+            names = registry.list()
+            if args.names:
+                for name in names:
+                    print(name)
+                return 0
+            rows = [
+                {
+                    "name": name,
+                    "generator": get(name).generator,
+                    "seed": get(name).seed,
+                    "golden_digest": golden_digest(name),
+                    "description": get(name).description,
+                }
+                for name in names
+            ]
+            if args.json:
+                print(json.dumps(rows, indent=2))
+                return 0
+            width = max(len(row["name"]) for row in rows)
+            for row in rows:
+                print(
+                    f"{row['name']:<{width}}  {row['generator']:<12} "
+                    f"{row['description']}"
+                )
+            return 0
+
+        if args.scenario_command == "describe":
+            spec = _scenario_spec(args)
+            payload = {
+                "spec": spec.to_dict(),
+                "schema": [dict(row) for row in
+                           describe_schema(spec.generator)],
+                "golden_digest": golden_digest(spec.name),
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
+
+        if args.scenario_command == "trace":
+            spec = _scenario_spec(args)
+            trace = generate_trace(spec)
+            if args.output:
+                Path(args.output).write_bytes(trace.to_bytes())
+            print(json.dumps({
+                "scenario": spec.name,
+                "digest": trace.digest(),
+                "n_sessions": len(trace.sessions),
+                "n_steps": len(trace.steps),
+                "n_rounds": trace.n_rounds,
+                "golden_digest": golden_digest(spec.name),
+                "output": args.output,
+            }, indent=2))
+            return 0
+
+        # replay
+        spec = _scenario_spec(args)
+        report = replay(
+            spec,
+            transport=args.transport,
+            verify=not args.no_verify,
+            run_cold=not args.no_cold,
+            check_digest=False if args.no_digest_check else None,
+            isolate_obs=True,
+        )
+        payload = report.as_dict()
+        if args.output:
+            Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"scenario {report.scenario}: {report.n_rounds} round(s) over "
+            f"{len(report.session_stats)} session(s) via {report.transport}; "
+            f"verified={report.verified} "
+            f"(max |online-cold| = {report.max_abs_diff:.3g}); "
+            f"online {report.online_seconds:.3f}s"
+            + (
+                f", cold {report.cold_seconds:.3f}s "
+                f"(speedup x{report.speedup:.2f})"
+                if not args.no_cold else ""
+            )
+        )
+        for phase in sorted(report.phase_summaries):
+            summary = report.phase_summaries[phase]
+            print(
+                f"  {phase:<22} n={summary['count']:<5} "
+                f"p50={summary['p50']:.6f}s p95={summary['p95']:.6f}s "
+                f"p99={summary['p99']:.6f}s"
+            )
+        if args.output:
+            print(f"report written to {args.output}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_metrics_dump(args) -> int:
     from .obs import get_registry
 
@@ -369,6 +489,83 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report path (default: BENCH_api.json)",
     )
 
+    scenario = commands.add_parser(
+        "scenario",
+        help="list, describe, trace, and replay parametric workload "
+        "scenarios from the registry",
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_list = scenario_commands.add_parser(
+        "list", help="list the registered scenarios"
+    )
+    scenario_list.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    scenario_list.add_argument(
+        "--names", action="store_true",
+        help="one bare name per line (for shell loops)",
+    )
+
+    def _spec_args(sub):
+        sub.add_argument(
+            "name", nargs="?", default=None,
+            help="registered scenario name (omit with --spec)",
+        )
+        sub.add_argument(
+            "--spec", default=None, metavar="JSON",
+            help="load the scenario spec from a JSON file instead of the "
+            "registry",
+        )
+
+    scenario_describe = scenario_commands.add_parser(
+        "describe",
+        help="print one spec and its generator's parameter schema as JSON",
+    )
+    _spec_args(scenario_describe)
+
+    scenario_replay = scenario_commands.add_parser(
+        "replay",
+        help="replay a scenario with cold-refit verification and per-phase "
+        "latency percentiles",
+    )
+    _spec_args(scenario_replay)
+    scenario_replay.add_argument(
+        "--transport", default=None,
+        choices=("auto", "engine", "serve", "tcp"),
+        help="how to drive the trace (default: REPRO_SCENARIO_TRANSPORT or "
+        "'auto' — serve loop for multi-tenant scenarios, direct engine "
+        "otherwise)",
+    )
+    scenario_replay.add_argument(
+        "--no-verify", action="store_true",
+        help="report divergence from the cold oracle instead of failing",
+    )
+    scenario_replay.add_argument(
+        "--no-cold", action="store_true",
+        help="skip the cold-refit oracle entirely (pure latency run)",
+    )
+    scenario_replay.add_argument(
+        "--no-digest-check", action="store_true",
+        help="skip the golden trace digest pre-check",
+    )
+    scenario_replay.add_argument(
+        "--output", default=None, metavar="JSON",
+        help="write the full replay report (steps, phases, stats) as JSON",
+    )
+
+    scenario_trace = scenario_commands.add_parser(
+        "trace",
+        help="generate a scenario's deterministic trace and print its digest",
+    )
+    _spec_args(scenario_trace)
+    scenario_trace.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the canonical trace bytes to FILE",
+    )
+
     metrics_dump = commands.add_parser(
         "metrics-dump",
         help="print the observability metric catalogue (JSON or Prometheus "
@@ -402,6 +599,17 @@ def main(argv=None) -> int:
         return _cmd_recover(args)
     if args.command == "metrics-dump":
         return _cmd_metrics_dump(args)
+    if args.command == "scenario":
+        if (
+            args.scenario_command != "list"
+            and args.name is None
+            and not getattr(args, "spec", None)
+        ):
+            parser.error(
+                f"scenario {args.scenario_command}: a scenario name or "
+                f"--spec FILE is required"
+            )
+        return _cmd_scenario(args)
     return _cmd_bench(args)
 
 

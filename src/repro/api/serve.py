@@ -464,7 +464,19 @@ class SessionServer:
                 f"serve.{cmd_label}", trace_id=trace_id, **attrs
             ):
                 if self.fault_injector is not None:
-                    self.fault_injector.fire("serve.dispatch")
+                    # Attribute the firing to the session so session-scoped
+                    # faults count deterministically: the scheduler runs at
+                    # most one worker per session, so "the Nth dispatch of
+                    # session X" is the same request in every run even
+                    # though the global dispatch order is racy.
+                    self.fault_injector.fire(
+                        "serve.dispatch",
+                        session=(
+                            session
+                            if isinstance(session, str) and session
+                            else None
+                        ),
+                    )
                 return handler(self, request)
 
         def execute_locked():

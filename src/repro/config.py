@@ -128,6 +128,15 @@ __all__ = [
     "get_obs_trace_sample",
     "set_obs_trace_sample",
     "resolve_obs_trace_sample",
+    "SCENARIO_TRANSPORTS",
+    "DEFAULT_SCENARIO_TRANSPORT",
+    "get_scenario_transport",
+    "set_scenario_transport",
+    "resolve_scenario_transport",
+    "DEFAULT_SCENARIO_DIGEST_CHECK",
+    "get_scenario_digest_check",
+    "set_scenario_digest_check",
+    "resolve_scenario_digest_check",
 ]
 
 #: Recognised kernel backends.
@@ -971,3 +980,96 @@ def resolve_obs_trace_sample(value=None) -> float:
     if value is None or (isinstance(value, str) and value == "default"):
         return get_obs_trace_sample()
     return _validate_obs_trace_sample(value)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario replayer (repro.scenarios)
+# --------------------------------------------------------------------------- #
+#: How the scenario replayer drives a spec: ``"engine"`` calls the online
+#: session facade directly, ``"serve"`` routes every event through the
+#: in-process JSONL serve loop, ``"tcp"`` goes through a real socket, and
+#: ``"auto"`` picks the serve loop for multi-tenant scenarios (whose point
+#: is the session-multiplexed wire path) and the engine otherwise.
+SCENARIO_TRANSPORTS = ("auto", "engine", "serve", "tcp")
+
+#: Transport used when neither an argument nor :func:`set_scenario_transport`
+#: selects one.
+DEFAULT_SCENARIO_TRANSPORT = "auto"
+
+#: Whether a replay of a *registered* scenario first re-checks the generated
+#: trace against the scenario's checked-in golden digest, so accidental
+#: generator drift fails loudly before any event is driven.
+DEFAULT_SCENARIO_DIGEST_CHECK = True
+
+
+def _validate_scenario_transport(value) -> str:
+    key = str(value).lower()
+    if key not in SCENARIO_TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown scenario transport {value!r}; available transports: "
+            f"{list(SCENARIO_TRANSPORTS)}"
+        )
+    return key
+
+
+def _validate_scenario_digest_check(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in ("1", "true", "yes", "on"):
+            return True
+        if key in ("0", "false", "no", "off", ""):
+            return False
+    raise ConfigurationError(
+        f"scenario_digest_check must be a boolean (or '1'/'0'/'true'/"
+        f"'false'/...), got {value!r}"
+    )
+
+
+_scenario_transport = os.environ.get(
+    "REPRO_SCENARIO_TRANSPORT", DEFAULT_SCENARIO_TRANSPORT
+)
+_scenario_digest_check = os.environ.get(
+    "REPRO_SCENARIO_DIGEST_CHECK", DEFAULT_SCENARIO_DIGEST_CHECK
+)
+
+
+def get_scenario_transport() -> str:
+    """The process-wide scenario replay transport (validated lazily)."""
+    return _validate_scenario_transport(_scenario_transport)
+
+
+def set_scenario_transport(value) -> str:
+    """Select the scenario replay transport; returns the previous one."""
+    global _scenario_transport
+    previous = _validate_scenario_transport(_scenario_transport)
+    _scenario_transport = _validate_scenario_transport(value)
+    return previous
+
+
+def resolve_scenario_transport(value=None) -> str:
+    """Resolve an optional per-call transport against the knob."""
+    if value is None or (isinstance(value, str) and value == "default"):
+        return get_scenario_transport()
+    return _validate_scenario_transport(value)
+
+
+def get_scenario_digest_check() -> bool:
+    """Whether replays of registered scenarios verify the golden digest."""
+    return _validate_scenario_digest_check(_scenario_digest_check)
+
+
+def set_scenario_digest_check(value) -> bool:
+    """Enable/disable the golden-digest pre-check; returns the previous value."""
+    global _scenario_digest_check
+    previous = _validate_scenario_digest_check(_scenario_digest_check)
+    _scenario_digest_check = _validate_scenario_digest_check(value)
+    return previous
+
+
+def resolve_scenario_digest_check(value=None) -> bool:
+    """Resolve an optional per-call override against the knob."""
+    if value is None or (isinstance(value, str) and value == "default"):
+        return get_scenario_digest_check()
+    return _validate_scenario_digest_check(value)

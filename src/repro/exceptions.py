@@ -40,6 +40,18 @@ class ExperimentError(ReproError):
     """An experiment harness was asked to run an inconsistent configuration."""
 
 
+class ScenarioError(ExperimentError):
+    """A scenario spec, trace, or replay is invalid or failed verification.
+
+    Raised by :mod:`repro.scenarios` when a spec does not validate against
+    its generator's parameter schema, a generated trace drifts from its
+    checked-in golden digest, or a replay's responses diverge from the
+    cold-refit oracle.  Subclasses :class:`ExperimentError` because the
+    legacy streaming/churn experiment entry points are thin wrappers over
+    scenario specs and keep their historical error contract.
+    """
+
+
 class UnsupportedOperationError(ReproError):
     """A session was asked for an operation its capabilities do not include.
 

@@ -41,19 +41,11 @@ error is scored against the shifted truth).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
-from ..api.messages import MutationOp
-from ..api.sessions import OnlineSession
-from ..core.iim import IIMImputer
+from ..config import resolve_online_fallback_fraction
 from ..data import load_dataset
-from ..data.relation import Relation
-from ..exceptions import ExperimentError
-from ..metrics import rms_error
 from .settings import ScaleProfile, get_profile
 
 __all__ = [
@@ -66,29 +58,6 @@ __all__ = [
 ]
 
 QUERY_MODES = ("store", "ood")
-
-
-def _draw_queries(store, rng, n_queries, query_mode, ood_shift):
-    """Sample query tuples, optionally shifted out of distribution.
-
-    Returns ``(queries, blanked, truth)``: the query block with one NaN per
-    row, the blanked attribute indices, and the ground-truth values.
-    """
-    if query_mode not in QUERY_MODES:
-        raise ExperimentError(
-            f"query_mode must be one of {QUERY_MODES}, got {query_mode!r}"
-        )
-    n_store, width = store.shape
-    query_rows = rng.choice(n_store, size=n_queries, replace=False)
-    queries = store[query_rows].copy()
-    if query_mode == "ood":
-        stds = store.std(axis=0)
-        stds[stds == 0] = 1.0
-        queries = queries + ood_shift * stds[None, :]
-    blanked = rng.integers(0, width, size=n_queries)
-    truth = queries[np.arange(n_queries), blanked].copy()
-    queries[np.arange(n_queries), blanked] = np.nan
-    return queries, blanked, truth
 
 
 @dataclass
@@ -239,21 +208,9 @@ def run_streaming(
         Extra :class:`IIMImputer` constructor arguments (both sides).
     """
     profile = profile or get_profile()
-    relation = load_dataset(dataset, size=size or profile.dataset_sizes.get(dataset))
-    values = relation.raw
-    n_total = values.shape[0]
-
+    resolved_size = size or profile.dataset_sizes.get(dataset)
+    n_total = load_dataset(dataset, size=resolved_size).raw.shape[0]
     initial = int(n_total * initial_fraction)
-    if initial < 2 or initial >= n_total:
-        raise ExperimentError(
-            f"initial_fraction={initial_fraction} leaves no room for appends "
-            f"on {n_total} tuples"
-        )
-    batch = (n_total - initial) // n_rounds
-    if batch < 1:
-        raise ExperimentError(
-            f"{n_rounds} rounds do not fit into {n_total - initial} remaining tuples"
-        )
     if queries_per_round is None:
         queries_per_round = min(profile.asf_incomplete, initial // 2)
     queries_per_round = max(1, queries_per_round)
@@ -268,70 +225,53 @@ def run_streaming(
         iim_params.setdefault("learning_neighbors", profile.default_k)
     iim_params.update(iim_overrides)
 
-    rng = np.random.default_rng(random_state)
-    session = OnlineSession(
-        refresh_policy=refresh_policy,
-        model_cache_size=model_cache_size,
-        shard_capacity=shard_capacity,
-        journal_capacity=journal_capacity,
-        **iim_params,
+    from ..scenarios import ScenarioSpec, replay
+
+    spec = ScenarioSpec(
+        name=f"legacy.streaming.{dataset}",
+        description="thin-wrapper spec built by run_streaming",
+        generator="streaming",
+        params={
+            "dataset": dataset,
+            "size": resolved_size,
+            "n_rounds": n_rounds,
+            "initial_fraction": initial_fraction,
+            "queries_per_round": queries_per_round,
+            "query_mode": query_mode,
+            "ood_shift": ood_shift,
+        },
+        model=iim_params,
+        engine={
+            "refresh_policy": refresh_policy,
+            "model_cache_size": model_cache_size,
+            "shard_capacity": shard_capacity,
+            "journal_capacity": journal_capacity,
+        },
+        seed=random_state,
     )
-    session.fit(values[:initial])
+    report = replay(
+        spec, transport="engine", verify=False, run_cold=run_cold,
+        check_digest=False,
+    )
 
     result = StreamingResult(
         dataset=dataset, learning=learning, initial_store=initial,
         query_mode=query_mode,
     )
-    offset = initial
-    for round_index in range(n_rounds):
-        stop = offset + batch if round_index < n_rounds - 1 else n_total
-        append_op = MutationOp.append(values[offset:stop])
-
-        # Queries: tuples sampled from the cumulative store — optionally
-        # shifted out of distribution — with one attribute blanked each
-        # (the truth is known, so both sides can be scored).
-        queries, blanked, truth = _draw_queries(
-            values[:offset], rng, queries_per_round, query_mode, ood_shift
-        )
-
-        start_time = time.perf_counter()
-        session.mutate([append_op])
-        online_values = session.impute(queries)
-        online_seconds = time.perf_counter() - start_time
-        rms_online = rms_error(
-            truth, online_values[np.arange(queries_per_round), blanked]
-        )
-
-        if run_cold:
-            store_relation = Relation(values[:stop].copy(), relation.schema)
-            query_relation = Relation(queries.copy(), relation.schema)
-            start_time = time.perf_counter()
-            cold_imputer = IIMImputer(**iim_params)
-            cold_imputer.fit(store_relation)
-            cold_values = cold_imputer.impute(query_relation).raw
-            cold_seconds = time.perf_counter() - start_time
-            rms_cold = rms_error(
-                truth, cold_values[np.arange(queries_per_round), blanked]
-            )
-        else:
-            cold_seconds = float("nan")
-            rms_cold = float("nan")
-
+    for step in report.steps:
         result.rounds.append(
             StreamingRound(
-                round_index=round_index,
-                n_store=stop,
-                n_appended=stop - offset,
-                n_queries=queries_per_round,
-                online_seconds=online_seconds,
-                cold_seconds=cold_seconds,
-                rms_online=rms_online,
-                rms_cold=rms_cold,
+                round_index=step.round_index,
+                n_store=step.n_store,
+                n_appended=step.n_appended,
+                n_queries=step.n_queries,
+                online_seconds=step.online_seconds,
+                cold_seconds=step.cold_seconds,
+                rms_online=step.rms_online,
+                rms_cold=step.rms_cold,
             )
         )
-        offset = stop
-
-    session_stats = session.stats()
+    session_stats = report.session_stats[spec.name]
     result.engine_stats = dict(session_stats["counters"])
     result.engine_memory = dict(session_stats["memory"])
     return result
@@ -465,21 +405,10 @@ def run_churn(
     engine knobs are directly comparable.
     """
     profile = profile or get_profile()
-    relation = load_dataset(dataset, size=size or profile.dataset_sizes.get(dataset))
-    values = relation.raw
-    n_total = values.shape[0]
-
+    resolved_size = size or profile.dataset_sizes.get(dataset)
+    n_total = load_dataset(dataset, size=resolved_size).raw.shape[0]
     initial = int(n_total * initial_fraction)
-    if initial < 2 or initial >= n_total:
-        raise ExperimentError(
-            f"initial_fraction={initial_fraction} leaves no room for appends "
-            f"on {n_total} tuples"
-        )
-    batch = (n_total - initial) // n_rounds
-    if batch < 1:
-        raise ExperimentError(
-            f"{n_rounds} rounds do not fit into {n_total - initial} remaining tuples"
-        )
+    batch = (n_total - initial) // n_rounds if n_rounds else 0
     if queries_per_round is None:
         queries_per_round = min(profile.asf_incomplete, initial // 2)
     queries_per_round = max(1, queries_per_round)
@@ -498,104 +427,63 @@ def run_churn(
         iim_params.setdefault("learning_neighbors", profile.default_k)
     iim_params.update(iim_overrides)
 
-    rng = np.random.default_rng(random_state)
-    session = OnlineSession(
-        refresh_policy=refresh_policy,
-        model_cache_size=model_cache_size,
-        incremental_fallback_fraction=fallback_fraction,
-        shard_capacity=shard_capacity,
-        journal_capacity=journal_capacity,
-        delete_cost_mode=delete_cost_mode,
-        **iim_params,
+    from ..scenarios import ScenarioSpec, replay
+
+    spec = ScenarioSpec(
+        name=f"legacy.churn.{dataset}",
+        description="thin-wrapper spec built by run_churn",
+        generator="churn",
+        params={
+            "dataset": dataset,
+            "size": resolved_size,
+            "n_rounds": n_rounds,
+            "initial_fraction": initial_fraction,
+            "queries_per_round": queries_per_round,
+            "query_mode": query_mode,
+            "ood_shift": ood_shift,
+            "updates_per_round": updates_per_round,
+            "deletes_per_round": deletes_per_round,
+            "update_noise": update_noise,
+        },
+        model=iim_params,
+        engine={
+            "refresh_policy": refresh_policy,
+            "model_cache_size": model_cache_size,
+            "incremental_fallback_fraction": fallback_fraction,
+            "shard_capacity": shard_capacity,
+            "journal_capacity": journal_capacity,
+            "delete_cost_mode": delete_cost_mode,
+        },
+        seed=random_state,
     )
-    session.fit(values[:initial])
-    store = values[:initial].copy()
-    column_stds = values.std(axis=0)
-    column_stds[column_stds == 0] = 1.0
+    report = replay(
+        spec, transport="engine", verify=False, run_cold=run_cold,
+        check_digest=False,
+    )
 
     result = ChurnResult(
         dataset=dataset,
         learning=learning,
         initial_store=initial,
         query_mode=query_mode,
-        fallback_fraction=session.engine.incremental_fallback_fraction,
+        fallback_fraction=resolve_online_fallback_fraction(fallback_fraction),
     )
-    offset = initial
-    for round_index in range(n_rounds):
-        stop = offset + batch if round_index < n_rounds - 1 else n_total
-        append_block = values[offset:stop]
-
-        n_updates = min(updates_per_round, store.shape[0])
-        update_targets = rng.choice(store.shape[0], size=n_updates, replace=False)
-        update_rows = store[update_targets] + update_noise * column_stds[
-            None, :
-        ] * rng.standard_normal((n_updates, store.shape[1]))
-
-        store = np.vstack([store, append_block])
-        store[update_targets] = update_rows
-
-        n_deletes = min(deletes_per_round, store.shape[0] - 2)
-        delete_targets = np.sort(
-            rng.choice(store.shape[0], size=n_deletes, replace=False)
-        )
-        keep = np.ones(store.shape[0], dtype=bool)
-        keep[delete_targets] = False
-        surviving = store[keep]
-
-        queries, blanked, truth = _draw_queries(
-            surviving, rng, queries_per_round, query_mode, ood_shift
-        )
-
-        # The whole round as one typed mutation batch — exactly what a
-        # serve-loop client would send — followed by the impute request.
-        ops = [MutationOp.append(append_block)]
-        ops.extend(
-            MutationOp.update(int(target_index), row)
-            for target_index, row in zip(update_targets, update_rows)
-        )
-        if n_deletes:
-            ops.append(MutationOp.delete(delete_targets))
-        start_time = time.perf_counter()
-        session.mutate(ops)
-        online_values = session.impute(queries)
-        online_seconds = time.perf_counter() - start_time
-        store = surviving
-        rms_online = rms_error(
-            truth, online_values[np.arange(queries_per_round), blanked]
-        )
-
-        if run_cold:
-            store_relation = Relation(store.copy(), relation.schema)
-            query_relation = Relation(queries.copy(), relation.schema)
-            start_time = time.perf_counter()
-            cold_imputer = IIMImputer(**iim_params)
-            cold_imputer.fit(store_relation)
-            cold_values = cold_imputer.impute(query_relation).raw
-            cold_seconds = time.perf_counter() - start_time
-            rms_cold = rms_error(
-                truth, cold_values[np.arange(queries_per_round), blanked]
-            )
-        else:
-            cold_seconds = float("nan")
-            rms_cold = float("nan")
-
+    for step in report.steps:
         result.rounds.append(
             ChurnRound(
-                round_index=round_index,
-                n_store=store.shape[0],
-                n_appended=stop - offset,
-                n_updated=n_updates,
-                n_deleted=n_deletes,
-                n_queries=queries_per_round,
-                online_seconds=online_seconds,
-                cold_seconds=cold_seconds,
-                rms_online=rms_online,
-                rms_cold=rms_cold,
+                round_index=step.round_index,
+                n_store=step.n_store,
+                n_appended=step.n_appended,
+                n_updated=step.n_updated,
+                n_deleted=step.n_deleted,
+                n_queries=step.n_queries,
+                online_seconds=step.online_seconds,
+                cold_seconds=step.cold_seconds,
+                rms_online=step.rms_online,
+                rms_cold=step.rms_cold,
             )
         )
-        offset = stop
-
-    session_stats = session.stats()
+    session_stats = report.session_stats[spec.name]
     result.engine_stats = dict(session_stats["counters"])
     result.engine_memory = dict(session_stats["memory"])
     return result

@@ -125,6 +125,17 @@ class _Instrument:
             f"{sorted(names)}, got {sorted(labels)}"
         )
 
+    def series_labels(self) -> List[Dict[str, str]]:
+        """Label dicts of every live series in this family.
+
+        Lets a consumer enumerate what was actually observed — e.g. the
+        scenario replayer harvesting per-phase latency summaries without
+        hard-coding the phase names it expects to find.
+        """
+        with self._registry._lock:
+            keys = list(self._series.keys())
+        return [dict(zip(self.labelnames, key)) for key in keys]
+
 
 class Counter(_Instrument):
     """A monotonically increasing count (events, bytes, cells)."""

@@ -55,13 +55,26 @@ class SimulatedCrash(Exception):
 
 @dataclass(frozen=True)
 class Fault:
-    """One planned fault: at occurrence ``hit`` of ``site``, do ``kind``."""
+    """One planned fault: at occurrence ``hit`` of ``site``, do ``kind``.
+
+    ``session`` scopes the hit count: ``None`` (the default) counts every
+    firing of the site process-wide — racy under the concurrent scheduler
+    when several sessions dispatch in parallel — while a session name
+    counts only firings attributed to that session, which the scheduler
+    serialises (one worker drains a session at a time), so "the 3rd
+    dispatch *of tenant-b*" lands on the same request in every run no
+    matter how the worker pool interleaves the other tenants.  Session
+    scoping only applies at sites whose component attributes firings to a
+    session (currently ``serve.dispatch``); elsewhere a scoped fault
+    never matches.
+    """
 
     site: str
     kind: str
     hit: int = 1
     byte_offset: int = 0  # torn_write: payload bytes written before the tear
     delay: float = 0.0  # slow: seconds to sleep
+    session: Optional[str] = None  # None = process-wide hit counting
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -90,7 +103,10 @@ class FaultPlan:
     def __init__(self, faults: Optional[List[Fault]] = None):
         self.faults: List[Fault] = list(faults or [])
         self.fired: List[Fault] = []
-        self._counts: Dict[str, int] = {}
+        # (site, scope) -> count; scope None is the process-wide tally, a
+        # session name its per-session tally (both advance on every firing
+        # that carries the session, so global and scoped faults compose).
+        self._counts: Dict[Tuple[str, Optional[str]], int] = {}
         self._lock = threading.Lock()
 
     @classmethod
@@ -99,25 +115,46 @@ class FaultPlan:
         accepted mutations are durable, the next one dies before logging."""
         return cls([Fault("wal.frame", "crash", hit=n_ops + 1)])
 
-    def hits(self, site: str) -> int:
-        """How many times ``site`` has fired so far."""
-        with self._lock:
-            return self._counts.get(site, 0)
+    def hits(self, site: str, session: Optional[str] = None) -> int:
+        """How many times ``site`` has fired so far.
 
-    def _take(self, site: str) -> Optional[Fault]:
+        With ``session``, the count of firings attributed to that session
+        only (sites that pass no session attribution never advance it).
+        """
         with self._lock:
-            count = self._counts.get(site, 0) + 1
-            self._counts[site] = count
+            return self._counts.get((site, session), 0)
+
+    def _take(self, site: str,
+              session: Optional[str] = None) -> Optional[Fault]:
+        with self._lock:
+            count = self._counts.get((site, None), 0) + 1
+            self._counts[(site, None)] = count
+            session_count = 0
+            if session is not None:
+                session_count = self._counts.get((site, session), 0) + 1
+                self._counts[(site, session)] = session_count
             for fault in self.faults:
-                if fault.site == site and fault.hit == count:
+                if fault.site != site:
+                    continue
+                matched = (
+                    fault.hit == count
+                    if fault.session is None
+                    else (fault.session == session
+                          and fault.hit == session_count)
+                )
+                if matched:
                     self.fired.append(fault)
                     count_fault_activation(site, fault.kind)
                     return fault
         return None
 
-    def fire(self, site: str) -> None:
-        """Injection point for sites that carry no payload bytes."""
-        fault = self._take(site)
+    def fire(self, site: str, session: Optional[str] = None) -> None:
+        """Injection point for sites that carry no payload bytes.
+
+        ``session`` attributes this firing to a session, advancing its
+        scoped hit count alongside the process-wide one.
+        """
+        fault = self._take(site, session)
         if fault is None:
             return
         if fault.kind == "slow":
@@ -130,7 +167,7 @@ class FaultPlan:
         # a no-op by design.
 
     def intercept_write(
-        self, site: str, data: bytes
+        self, site: str, data: bytes, session: Optional[str] = None
     ) -> Tuple[bytes, Optional[BaseException]]:
         """Injection point for byte-level writes.
 
@@ -140,7 +177,7 @@ class FaultPlan:
         raise *after* flushing the prefix; ``corrupt_frame`` hands back
         silently-corrupted bytes.
         """
-        fault = self._take(site)
+        fault = self._take(site, session)
         if fault is None:
             return data, None
         if fault.kind == "slow":

@@ -1,0 +1,68 @@
+"""Parametric workloads: generators, a scenario registry, and a replayer.
+
+The subsystem follows the generator-dataset model: a
+:class:`~repro.scenarios.spec.ScenarioSpec` is a named, versioned,
+JSON-serializable ``(generator, params, seed)`` triple; generation is
+deterministic (byte-identical traces, pinned by golden digests); and any
+spec replays against the online engine or the full JSONL serve loop with
+cold-refit verification (:func:`~repro.scenarios.replayer.replay`).
+
+Quick tour::
+
+    from repro.scenarios import registry, replay
+
+    registry.list()                      # the built-in coverage surface
+    spec = registry.get("gentle_churn")
+    report = replay(spec)                # engine transport, oracle-verified
+    report = replay("multi_tenant_mix")  # auto → full serve loop
+    report.as_dict()["phases"]           # per-phase p50/p95/p99
+
+or from the shell: ``python -m repro scenario list | describe | replay |
+trace``.
+"""
+
+from .generators import (
+    TRACE_FORMAT_VERSION,
+    ScenarioTrace,
+    SessionPlan,
+    TraceStep,
+    generate_trace,
+)
+from .registry import (
+    builtin_names,
+    get,
+    golden_digest,
+    golden_digests,
+    register,
+    registry,
+)
+from .replayer import ReplayReport, StepReport, replay
+from .spec import (
+    GENERATOR_SCHEMAS,
+    GENERATORS,
+    Param,
+    ScenarioSpec,
+    describe_schema,
+)
+
+__all__ = [
+    "GENERATORS",
+    "GENERATOR_SCHEMAS",
+    "Param",
+    "ScenarioSpec",
+    "describe_schema",
+    "TRACE_FORMAT_VERSION",
+    "TraceStep",
+    "SessionPlan",
+    "ScenarioTrace",
+    "generate_trace",
+    "register",
+    "get",
+    "builtin_names",
+    "golden_digest",
+    "golden_digests",
+    "registry",
+    "StepReport",
+    "ReplayReport",
+    "replay",
+]

@@ -1,0 +1,160 @@
+"""Golden-trace determinism: ``(generator, params, seed)`` pins every byte.
+
+Two independent instantiations of the same spec must serialize to the
+same bytes, and every built-in's digest must match the checked-in pin in
+``src/repro/scenarios/golden_digests.json``.  A digest mismatch means the
+generator's arithmetic or rng consumption changed — which invalidates
+every historical scenario number, so it has to be a loud, deliberate
+regeneration rather than silent drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    builtin_names,
+    generate_trace,
+    get,
+    golden_digest,
+)
+
+ALL_BUILTINS = builtin_names()
+
+
+@pytest.mark.parametrize("name", ALL_BUILTINS)
+def test_trace_bytes_are_identical_across_instantiations(name):
+    spec = get(name)
+    first = generate_trace(spec).to_bytes()
+    second = generate_trace(spec).to_bytes()
+    assert first == second
+
+
+@pytest.mark.parametrize("name", ALL_BUILTINS)
+def test_builtin_digest_matches_the_checked_in_pin(name):
+    golden = golden_digest(name)
+    assert golden is not None, (
+        f"{name} has no golden digest; regenerate golden_digests.json"
+    )
+    actual = generate_trace(get(name)).digest()
+    assert actual == golden, (
+        f"scenario {name!r} drifted from its golden trace "
+        f"({actual} != {golden}); if the generator change is intentional, "
+        f"regenerate golden_digests.json"
+    )
+
+
+def test_json_round_trip_preserves_the_digest():
+    for name in ALL_BUILTINS:
+        spec = get(name)
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert generate_trace(clone).digest() == golden_digest(name), name
+
+
+def test_seed_changes_the_trace():
+    spec = get("steady_stream").with_overrides(seed=1234)
+    assert generate_trace(spec).digest() != golden_digest("steady_stream")
+
+
+def test_params_change_the_trace():
+    base = get("steady_stream")
+    bumped = base.with_overrides(
+        params={**base.params, "queries_per_round": 9}
+    )
+    assert generate_trace(bumped).digest() != golden_digest("steady_stream")
+
+
+class TestTraceStructure:
+    def test_streaming_trace_shape(self):
+        spec = get("steady_stream")
+        trace = generate_trace(spec)
+        fit, *rounds = trace.steps
+        assert fit.kind == "fit" and fit.round_index == -1
+        assert fit.append_rows.shape[0] == fit.n_store
+        assert len(rounds) == spec.params["n_rounds"] == trace.n_rounds
+        total = fit.n_store + sum(s.append_rows.shape[0] for s in rounds)
+        assert total == spec.params["size"]
+        for step in rounds:
+            assert step.kind == "round"
+            assert step.queries.shape[0] == spec.params["queries_per_round"]
+            # Exactly one NaN per query row, at the recorded position.
+            nan_rows, nan_cols = np.nonzero(np.isnan(step.queries))
+            assert nan_rows.tolist() == list(range(step.queries.shape[0]))
+            assert nan_cols.tolist() == step.blanked.tolist()
+            assert np.isfinite(step.truth).all()
+
+    def test_bursty_rounds_actually_burst(self):
+        trace = generate_trace(get("bursty_stream"))
+        sizes = [s.append_rows.shape[0] for s in trace.steps if s.kind == "round"]
+        burst_every = get("bursty_stream").params["burst_every"]
+        bursts = sizes[burst_every - 1::burst_every]
+        quiet = [
+            size for index, size in enumerate(sizes)
+            if (index + 1) % burst_every
+        ]
+        assert min(bursts) > max(quiet)
+        assert all(size >= 1 for size in sizes)
+
+    def test_adversarial_storm_rounds_scale_updates_and_deletes(self):
+        spec = get("adversarial_churn")
+        trace = generate_trace(spec)
+        rounds = [s for s in trace.steps if s.kind == "round"]
+        storm_every = spec.params["storm_every"]
+        factor = spec.params["storm_factor"]
+        for step in rounds:
+            expected = (
+                factor if (step.round_index + 1) % storm_every == 0 else 1.0
+            )
+            assert len(step.update_targets) == int(
+                round(spec.params["updates_per_round"] * expected)
+            )
+            assert len(step.delete_targets) == int(
+                round(spec.params["deletes_per_round"] * expected)
+            )
+            assert np.all(np.diff(step.delete_targets) > 0)
+
+    def test_multi_tenant_interleaves_fits_then_round_robin(self):
+        spec = get("multi_tenant_mix")
+        trace = generate_trace(spec)
+        tenant_names = [t["name"] for t in spec.params["tenants"]]
+        assert [plan.name for plan in trace.sessions] == tenant_names
+        fits = [s for s in trace.steps if s.kind == "fit"]
+        assert [s.session for s in fits] == tenant_names
+        rounds = [s for s in trace.steps if s.kind == "round"]
+        # Round-robin: round r of every tenant precedes round r+1 of any.
+        assert [s.round_index for s in rounds] == sorted(
+            s.round_index for s in rounds
+        )
+        assert [s.index for s in trace.steps] == list(range(len(trace.steps)))
+
+    def test_tenant_overrides_and_seeds_flow_into_the_children(self):
+        spec = get("multi_tenant_mix")
+        trace = generate_trace(spec)
+        ood_rounds = [
+            s for s in trace.steps
+            if s.session == "tenant-ood" and s.kind == "round"
+        ]
+        assert all(s.queries.shape[0] == 6 for s in ood_rounds)
+        churn = next(
+            s for s in trace.steps
+            if s.session == "tenant-churn" and s.kind == "round"
+        )
+        assert len(churn.delete_targets) == 3  # the override, not the base 4
+
+    def test_session_plans_pin_the_full_model_parameter_set(self):
+        """Every transport and the oracle must build the same imputer, so
+        plans expand the spec's partial model to explicit constructor
+        arguments (the serve loop would otherwise fill the gaps with the
+        method registry's curated defaults)."""
+        import inspect
+
+        from repro.core.iim import IIMImputer
+
+        ctor = {
+            n for n in inspect.signature(IIMImputer.__init__).parameters
+            if n != "self"
+        }
+        for name in ALL_BUILTINS:
+            trace = generate_trace(get(name))
+            for plan in trace.sessions:
+                assert set(plan.model) == ctor, (name, plan.name)
