@@ -19,7 +19,12 @@ Writes ``BENCH_api.json`` at the repository root:
   matching sequential dispatch within rtol 1e-9;
 * **obs_overhead** — the observability layer's cost on the same trace: the
   disabled path must stay within 2% of a no-opped build, and enabling the
-  layer may cost at most 1.10× on the serve single-request path.
+  layer may cost at most 1.10× on the serve single-request path;
+* **query_ondemand** — a selective SELECT answered by impute-on-demand
+  evaluation versus pre-imputing only the touched rows by hand (bar: the
+  query machinery may cost at most 1.1×) and versus materializing the
+  whole table up front (bar: the lazy path must win outright on a
+  selective query).  All strategies return bit-identical rows.
 """
 
 import json
@@ -43,6 +48,12 @@ OBS_SERVE_ENABLED_TOLERANCE = 1.10
 #: beat the single-lock sequential baseline by at least 2x aggregate req/s.
 CONCURRENCY_SPEEDUP_FLOOR = 2.0
 
+#: Query bars: answering a selective SELECT on demand may cost at most
+#: 1.1x pre-imputing exactly the touched rows by hand, and must beat
+#: materializing the full table (imputing every incomplete row) outright.
+QUERY_ONDEMAND_TOLERANCE = 1.10
+QUERY_FULL_SPEEDUP_FLOOR = 1.0
+
 
 def test_api_facade_overhead_and_serve_throughput(profile, record_result):
     report = run_api_benchmark(profile=profile)
@@ -52,6 +63,7 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
     throughput = report["serve_throughput"]
     obs = report["obs_overhead"]
     concurrency = report["serve_concurrency"]
+    query = report["query_ondemand"]
 
     def _rps(mode, clients):
         return concurrency["modes"][mode]["by_clients"][str(clients)][
@@ -78,7 +90,15 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
         f"x{obs['facade_enabled_ratio']:.3f} vs no-op; serve single "
         f"{obs['serve_single_disabled_rps']:,.0f} req/s disabled vs "
         f"{obs['serve_single_enabled_rps']:,.0f} req/s enabled "
-        f"(x{obs['serve_single_enabled_ratio']:.3f})",
+        f"(x{obs['serve_single_enabled_ratio']:.3f})\n"
+        f"query on-demand ({query['touched_rows']} of "
+        f"{query['pending_rows']} pending rows touched, store of "
+        f"{query['store_rows']}): {query['ondemand_seconds'] * 1e3:.2f}ms "
+        f"vs touched-only pre-impute "
+        f"{query['preimpute_touched_seconds'] * 1e3:.2f}ms "
+        f"(x{query['ondemand_vs_touched_ratio']:.3f}) vs full materialize "
+        f"{query['preimpute_full_seconds'] * 1e3:.2f}ms "
+        f"(x{query['full_vs_ondemand_speedup']:.2f} saved, bit-identical)",
     )
 
     # run_api_benchmark already asserts bit-identical outputs; the report
@@ -113,4 +133,18 @@ def test_api_facade_overhead_and_serve_throughput(profile, record_result):
         f"best concurrent dispatch mode delivers only "
         f"x{concurrency['best_speedup_at_4_clients']:.2f} the single-lock "
         f"baseline at 4 clients (bar: x{CONCURRENCY_SPEEDUP_FLOOR})"
+    )
+
+    # The helper raises if any strategy's rows diverge; the flag makes the
+    # guarantee visible in the artifact.
+    assert query["bit_identical"] is True
+    assert query["ondemand_vs_touched_ratio"] <= QUERY_ONDEMAND_TOLERANCE, (
+        f"impute-on-demand evaluation costs "
+        f"x{query['ondemand_vs_touched_ratio']:.3f} over pre-imputing the "
+        f"touched rows by hand (bar: x{QUERY_ONDEMAND_TOLERANCE})"
+    )
+    assert query["full_vs_ondemand_speedup"] > QUERY_FULL_SPEEDUP_FLOOR, (
+        f"on a selective query the on-demand path must beat full-table "
+        f"materialization; got only "
+        f"x{query['full_vs_ondemand_speedup']:.3f}"
     )

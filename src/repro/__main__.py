@@ -16,8 +16,8 @@ service layer:
   last checkpoint, when one exists) after a crash, and optionally write a
   fresh checkpoint (``python -m repro recover wal/s --output ckpt``);
 * ``bench`` — the service-layer benchmark (facade overhead + serve-loop
-  throughput + concurrency sweep + observability overhead), written to
-  ``BENCH_api.json``;
+  throughput + concurrency sweep + observability overhead + query
+  impute-on-demand cost), written to ``BENCH_api.json``;
 * ``metrics-dump`` — print the standard metric catalogue of the
   observability layer (``python -m repro metrics-dump --format
   prometheus``), zero-valued in a fresh process — the reference for what a
@@ -133,6 +133,21 @@ def _cmd_serve(args) -> int:
     return serve_stdio(server=server)
 
 
+def _cmd_repl(args) -> int:
+    from .api.repl import run_repl
+
+    try:
+        return run_repl(
+            args.connect,
+            artifact_root=args.artifact_root,
+            token=args.auth_token,
+            session=args.session,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_recover(args) -> int:
     from .api.sessions import recover_session
 
@@ -213,6 +228,15 @@ def _cmd_bench(args) -> int:
         f"obs overhead: facade disabled x{obs['facade_disabled_ratio']:.3f} / "
         f"enabled x{obs['facade_enabled_ratio']:.3f} vs no-op; serve single "
         f"enabled x{obs['serve_single_enabled_ratio']:.3f} vs disabled"
+    )
+    query = report["query_ondemand"]
+    print(
+        f"query on-demand ({query['touched_rows']} of "
+        f"{query['pending_rows']} pending rows touched): "
+        f"{query['ondemand_seconds'] * 1e3:.2f}ms vs touched-only "
+        f"pre-impute x{query['ondemand_vs_touched_ratio']:.3f}; "
+        f"full materialize would cost "
+        f"x{query['full_vs_ondemand_speedup']:.2f} more"
     )
     print(f"report written to {path}")
     return 0
@@ -457,6 +481,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "for every request regardless)",
     )
 
+    repl = commands.add_parser(
+        "repl",
+        help="interactive query REPL (statements end with ';'; \\help "
+        "lists meta-commands)",
+    )
+    repl.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="speak to a running TCP serve loop instead of an in-process "
+        "server",
+    )
+    repl.add_argument(
+        "--artifact-root", default=".", metavar="DIR",
+        help="save/restore confinement for the in-process server "
+        "(default: the working directory)",
+    )
+    repl.add_argument(
+        "--auth-token", default=None, metavar="SECRET",
+        help="token sent with every request (for servers started with "
+        "--auth-token)",
+    )
+    repl.add_argument(
+        "--session", default=None, metavar="NAME",
+        help="session to \\use on startup (default: none selected)",
+    )
+
     recover = commands.add_parser(
         "recover",
         help="rebuild an online session from its write-ahead log after a crash",
@@ -595,6 +644,8 @@ def main(argv=None) -> int:
         return _cmd_impute(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "repl":
+        return _cmd_repl(args)
     if args.command == "recover":
         return _cmd_recover(args)
     if args.command == "metrics-dump":

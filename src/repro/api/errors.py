@@ -23,6 +23,7 @@ from ..exceptions import (
     MissingValueError,
     NotFittedError,
     ProtocolError,
+    QueryError,
     QuotaExceededError,
     ReproError,
     SchemaError,
@@ -46,6 +47,7 @@ ERROR_CODES: Dict[Type[BaseException], str] = {
     UnsupportedOperationError: "unsupported",
     ConfigurationError: "configuration",
     NotFittedError: "not_fitted",
+    QueryError: "query",
     SchemaError: "schema",
     MissingValueError: "missing_value",
     DatasetError: "dataset",

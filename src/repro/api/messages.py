@@ -177,8 +177,9 @@ class ImputeRequest:
 
 @dataclass(frozen=True)
 class MutationOp:
-    """One store mutation: ``append`` rows, ``delete`` indices, or
-    ``update`` one row in place.
+    """One store mutation: ``append`` rows, ``delete`` indices, ``update``
+    one row in place, or ``promote`` the pending incomplete tuples (impute
+    them against the current store and move them in as complete rows).
 
     Build instances through the classmethod constructors — they populate
     exactly the operands each verb needs and validate eagerly.
@@ -190,11 +191,15 @@ class MutationOp:
     index: Optional[int] = None  # update target
     row: Optional[np.ndarray] = None  # update payload (m,)
 
-    KINDS = ("append", "delete", "update")
+    KINDS = ("append", "delete", "update", "promote")
 
     @classmethod
     def append(cls, rows) -> "MutationOp":
         return cls("append", rows=np.atleast_2d(np.asarray(rows, dtype=float)))
+
+    @classmethod
+    def promote(cls) -> "MutationOp":
+        return cls("promote")
 
     @classmethod
     def delete(cls, indices) -> "MutationOp":
@@ -224,15 +229,18 @@ class MutationOp:
         elif self.kind == "delete":
             if self.indices is None or self.indices.size == 0:
                 raise DataError("a delete op needs at least one store index")
-        else:
+        elif self.kind == "update":
             if self.index is None or self.row is None or self.row.ndim != 1:
                 raise DataError("an update op needs one store index and one row")
+        # promote carries no operands
 
     def to_wire(self) -> Dict[str, object]:
         if self.kind == "append":
             return {"op": "append", "rows": encode_rows(self.rows)}
         if self.kind == "delete":
             return {"op": "delete", "indices": [int(i) for i in self.indices]}
+        if self.kind == "promote":
+            return {"op": "promote"}
         return {
             "op": "update",
             "index": int(self.index),
@@ -275,6 +283,8 @@ class MutationOp:
                     f"an update op replaces exactly one row, got {row.shape[0]}"
                 )
             return cls.update(index, row[0])
+        if kind == "promote":
+            return cls.promote()
         raise ProtocolError(
             f"unknown mutation op {kind!r}; expected one of {cls.KINDS}"
         )

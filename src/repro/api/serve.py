@@ -115,6 +115,7 @@ from ..obs import (
     observe_request,
     set_sessions_open,
 )
+from ..query import QueryResult, SelectStatement, execute_query, parse_statement
 from ..reliability.wal import SEGMENT_SUFFIX, WriteAheadLog, read_wal
 from .errors import error_code, error_payload
 from .messages import (
@@ -794,6 +795,51 @@ class SessionServer:
             "imputed_cells": impute_request.n_missing,
         }
 
+    def _cmd_query(self, request) -> Dict[str, object]:
+        """Execute one query-language statement against a session.
+
+        The statement text rides in ``"q"``.  SELECTs are read-only (the
+        on-demand imputations never change session state) and their
+        touched-row count charges against ``max_rows_per_request`` — a
+        query imputing more rows is rejected with a ``quota`` error before
+        any kernel runs.  Data statements (APPEND/UPDATE/DELETE/IMPUTE)
+        follow the same quarantine discipline as ``mutate``.
+        """
+        session = self._get_session(request)
+        text = request.get("q")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError(
+                "query needs a 'q' field carrying one statement"
+            )
+        statement = parse_statement(text)
+        if isinstance(statement, SelectStatement):
+            result = execute_query(
+                session, statement,
+                max_impute_rows=self.max_rows_per_request,
+            )
+        else:
+            name = self._session_name(request)
+            try:
+                result = execute_query(session, statement)
+            except _CLEAN_REJECTIONS:
+                raise
+            except Exception as exc:  # noqa: BLE001 - mid-mutation failure
+                raise self._quarantine(name, exc) from exc
+        if isinstance(result, QueryResult):
+            payload: Dict[str, object] = {
+                "kind": result.kind,
+                "columns": result.columns,
+                "rows": encode_rows(result.rows) if result.rows.size else [],
+                "row_indices": result.row_indices,
+                "rows_scanned": result.rows_scanned,
+                "rows_imputed": result.rows_imputed,
+                "provenance": result.provenance,
+            }
+            if result.kind == "explain":
+                payload["plan"] = result.plan
+            return payload
+        return {"kind": result.kind, **result.detail}
+
     def _server_config(self) -> Dict[str, object]:
         """The server's resolved knobs, as health/stats self-description."""
         return {
@@ -1046,6 +1092,7 @@ class SessionServer:
         "update": _cmd_update,
         "mutate": _cmd_mutate,
         "impute": _cmd_impute,
+        "query": _cmd_query,
         "stats": _cmd_stats,
         "save": _cmd_save,
         "restore": _cmd_restore,
@@ -1064,7 +1111,7 @@ class SessionServer:
     #: Everything else is a control command answering inline, lock-free.
     _SESSION_COMMANDS = frozenset({
         "create", "fit", "append", "delete", "update", "mutate", "impute",
-        "stats", "save", "restore", "close",
+        "query", "stats", "save", "restore", "close",
     })
 
 

@@ -362,11 +362,16 @@ class OnlineSession(ImputationSession):
         try:
             for op in ops:
                 if op.kind == "append":
-                    self.engine.append(op.rows)
+                    # Incomplete tuples are accepted into the engine's
+                    # pending side-store; the query layer imputes their
+                    # missing cells on demand.
+                    self.engine.append(op.rows, allow_incomplete=True)
                 elif op.kind == "delete":
                     self.engine.delete(op.indices)
-                else:
+                elif op.kind == "update":
                     self.engine.update(op.index, op.row)
+                else:
+                    self.engine.promote_pending()
                 # Log *after* the engine accepted the op: the WAL holds
                 # exactly the applied prefix, so a crash mid-batch
                 # recovers the last consistent pre-crash state.
@@ -441,6 +446,7 @@ class OnlineSession(ImputationSession):
         stats.update(
             fitted=fitted,
             n_tuples=engine.n_tuples,
+            n_pending=engine.n_pending,
             n_attributes=engine.n_attributes if fitted else None,
             counters=dict(engine.stats),
             memory=engine.memory_stats(),

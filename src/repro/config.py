@@ -124,6 +124,10 @@ __all__ = [
     "get_obs_enabled",
     "set_obs_enabled",
     "resolve_obs_enabled",
+    "DEFAULT_QUERY_PROVENANCE",
+    "get_query_provenance",
+    "set_query_provenance",
+    "resolve_query_provenance",
     "DEFAULT_OBS_TRACE_SAMPLE",
     "get_obs_trace_sample",
     "set_obs_trace_sample",
@@ -980,6 +984,58 @@ def resolve_obs_trace_sample(value=None) -> float:
     if value is None or (isinstance(value, str) and value == "default"):
         return get_obs_trace_sample()
     return _validate_obs_trace_sample(value)
+
+
+# --------------------------------------------------------------------------- #
+# Query layer (repro.query)
+# --------------------------------------------------------------------------- #
+
+#: Whether query execution captures per-imputed-cell provenance (method,
+#: neighbour indices, combiner weights, confidence).  Capture costs a small
+#: Python loop over the imputed cells, so sessions serving very wide
+#: impute-heavy queries can switch it off; ``EXPLAIN`` output and the
+#: ``provenance`` wire field are empty while disabled.
+DEFAULT_QUERY_PROVENANCE = True
+
+
+def _validate_query_provenance(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in ("1", "true", "yes", "on"):
+            return True
+        if key in ("0", "false", "no", "off", ""):
+            return False
+    raise ConfigurationError(
+        f"query_provenance must be a boolean (or '1'/'0'/'true'/'false'/...), "
+        f"got {value!r}"
+    )
+
+
+_query_provenance = os.environ.get(
+    "REPRO_QUERY_PROVENANCE", DEFAULT_QUERY_PROVENANCE
+)
+
+
+def get_query_provenance() -> bool:
+    """Whether query execution records per-imputed-cell provenance."""
+    return _validate_query_provenance(_query_provenance)
+
+
+def set_query_provenance(value) -> bool:
+    """Enable/disable query provenance capture; returns the previous value."""
+    global _query_provenance
+    previous = _validate_query_provenance(_query_provenance)
+    _query_provenance = _validate_query_provenance(value)
+    return previous
+
+
+def resolve_query_provenance(value=None) -> bool:
+    """Resolve an optional per-query override against the knob."""
+    if value is None or (isinstance(value, str) and value == "default"):
+        return get_query_provenance()
+    return _validate_query_provenance(value)
 
 
 # --------------------------------------------------------------------------- #

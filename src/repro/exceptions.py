@@ -28,6 +28,25 @@ class SchemaError(DataError):
     """A relation schema is inconsistent with the data or with a request."""
 
 
+class QueryError(DataError):
+    """A query-language statement is invalid or cannot be evaluated.
+
+    Raised by :mod:`repro.query` for semantic problems — unknown
+    attributes, aggregate/column mixing, statements addressing pending or
+    out-of-range rows.  Subclasses :class:`DataError` so the serve loop
+    treats a bad query as a clean rejection (the session state is
+    untouched), with its own wire code ``query``.
+    """
+
+
+class QuerySyntaxError(QueryError):
+    """A query-language statement failed to tokenize or parse.
+
+    Carries a human-readable position (``at offset 12``) so REPL users can
+    find the typo; shares the ``query`` wire code with its parent.
+    """
+
+
 class MissingValueError(DataError):
     """A missing-value pattern is invalid for the requested operation."""
 

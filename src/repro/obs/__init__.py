@@ -36,6 +36,8 @@ metric                           kind       labels
 ``repro_microbatch_fill``        histogram  —
 ``repro_microbatch_wait_seconds``  histogram  —
 ``repro_admission_rejections_total``  counter  ``reason``
+``repro_query_seconds``          histogram  ``phase``
+``repro_query_rows_total``       counter    ``kind`` (scanned/imputed)
 ===============================  =========  ===========================
 """
 
@@ -94,6 +96,8 @@ __all__ = [
     "set_queue_depth",
     "observe_microbatch",
     "count_admission_rejection",
+    "query_phase",
+    "count_query_rows",
     "install_trace_sink",
 ]
 
@@ -212,6 +216,17 @@ ADMISSION_REJECTIONS_TOTAL = _registry.counter(
     "Requests rejected at admission, by reason (quota, overloaded, auth).",
     ("reason",),
 )
+QUERY_SECONDS = _registry.histogram(
+    "repro_query_seconds",
+    "Query-layer phase latency (parse, plan, impute, evaluate).",
+    ("phase",),
+)
+QUERY_ROWS_TOTAL = _registry.counter(
+    "repro_query_rows_total",
+    "Rows processed by the query layer, by kind (scanned or imputed "
+    "on demand).",
+    ("kind",),
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -243,16 +258,20 @@ def trace_span(name: str, **attrs):
 
 
 class _PhaseTimer:
-    """Times one engine phase into its histogram and (if traced) a span.
+    """Times one named phase into a histogram and (if traced) a span.
 
     Engine phases sit inside the imputation hot loop, so the timer talks to
     the tracer's span stack directly instead of going through another
     context manager: one timestamp pair serves both the histogram sample
-    and the span duration.
+    and the span duration.  Subclasses pick the histogram and the span-name
+    prefix (``engine.`` / ``query.``); each keeps its own interned
+    span-name cache.
     """
 
     __slots__ = ("phase", "_start", "_span")
 
+    _histogram = ENGINE_PHASE_SECONDS
+    _prefix = "engine."
     _span_names: Dict[str, str] = {}
 
     def __init__(self, phase: str):
@@ -266,7 +285,7 @@ class _PhaseTimer:
             names = self._span_names
             name = names.get(self.phase)
             if name is None:
-                name = names[self.phase] = f"engine.{self.phase}"
+                name = names[self.phase] = f"{self._prefix}{self.phase}"
             self._span = _tracer._push(name, {})
         self._start = time.perf_counter()
         return self
@@ -275,8 +294,16 @@ class _PhaseTimer:
         duration = time.perf_counter() - self._start
         if self._span is not None:
             _tracer._pop(self._span, exc_type)
-        ENGINE_PHASE_SECONDS._observe_fast((self.phase,), duration)
+        self._histogram._observe_fast((self.phase,), duration)
         return False
+
+
+class _QueryPhaseTimer(_PhaseTimer):
+    __slots__ = ()
+
+    _histogram = QUERY_SECONDS
+    _prefix = "query."
+    _span_names: Dict[str, str] = {}
 
 
 def engine_phase(phase: str):
@@ -284,6 +311,26 @@ def engine_phase(phase: str):
     if not _enabled():
         return _NULL_CONTEXT
     return _PhaseTimer(phase)
+
+
+def query_phase(phase: str):
+    """Context manager naming one query-layer phase (histogram + child span).
+
+    Phases: ``parse`` (tokenize + parse), ``plan`` (attribute resolution +
+    touched-row analysis), ``impute`` (the batched on-demand imputation of
+    touched rows), ``evaluate`` (filter/order/project/aggregate).  Spans
+    nest under the serving request's root when one is active.
+    """
+    if not _enabled():
+        return _NULL_CONTEXT
+    return _QueryPhaseTimer(phase)
+
+
+def count_query_rows(kind: str, n_rows: int) -> None:
+    """Count rows the query layer scanned or imputed on demand."""
+    if not _enabled():
+        return
+    QUERY_ROWS_TOTAL._inc_fast((kind,), n_rows)
 
 
 def observe_request(cmd: str, status: str,

@@ -6,9 +6,24 @@ cells encoded as empty fields, ``?`` or ``NA``) are imputed against the
 store built so far.  Per-batch latency and a final summary (engine
 counters, store size) are printed.
 
-With ``--ops`` the CSV is a full *tuple-lifecycle* trace instead: each row
-names an operation plus its operands, exercising the engine's
-append/update/delete/impute verbs in order::
+Trace files written in the :mod:`repro.query` statement language are
+detected automatically (the first meaningful token is a statement
+keyword) and replayed through the query executor — the preferred
+lifecycle-trace format::
+
+    -- churn.sql
+    APPEND VALUES (1.0, 2.0, 3.0), (1.5, ?, 2.9);
+    SELECT a, b WHERE c > 2 ORDER BY a LIMIT 5;
+    UPDATE 0 SET a = 1.1;
+    DELETE 0, 2;
+    IMPUTE;
+
+(``?`` marks a missing cell; incomplete appends park in the pending
+side-store until ``IMPUTE`` promotes them; ``SELECT`` imputes referenced
+missing cells on demand without mutating the store.)
+
+With ``--ops`` the CSV is the **deprecated** lifecycle format instead:
+each row names an operation plus its operands::
 
     op,index,a,b,c
     append,,1.0,2.0,3.0
@@ -18,7 +33,8 @@ append/update/delete/impute verbs in order::
 
 (``index`` is empty for append/impute, a store index for update, and one or
 more ``;``-separated store indices for delete; ``delete`` rows may leave
-the value fields empty.)
+the value fields empty.)  Replaying one emits a single
+:class:`DeprecationWarning` pointing at the statement-trace format.
 
 Examples
 --------
@@ -48,6 +64,7 @@ import argparse
 import csv
 import sys
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -71,8 +88,9 @@ def _build_parser(prog: str = "python -m repro replay") -> argparse.ArgumentPars
     )
     parser.add_argument(
         "--ops", action="store_true",
-        help="the CSV is a lifecycle trace: op,index,values… rows replayed as "
-        "append/impute/update/delete operations",
+        help="(deprecated) the CSV is a lifecycle trace: op,index,values… "
+        "rows replayed as append/impute/update/delete operations; write "
+        "statement traces (APPEND/SELECT/UPDATE/DELETE/IMPUTE) instead",
     )
     parser.add_argument(
         "--demo", type=int, metavar="N",
@@ -175,6 +193,95 @@ def _build_engine(args) -> OnlineImputationEngine:
         delete_cost_mode=args.delete_cost if args.delete_cost else "default",
         **iim_params,
     )
+
+
+OPS_DEPRECATION_MESSAGE = (
+    "the CSV --ops lifecycle format is deprecated; write the trace in the "
+    "query statement language instead (APPEND VALUES …; UPDATE i SET …; "
+    "DELETE …; IMPUTE; — 'python -m repro replay trace.sql' detects it "
+    "automatically)"
+)
+
+
+def _is_statement_trace(path: str) -> bool:
+    """True when the file's first meaningful token is a statement keyword.
+
+    Statement traces are plain text (``--`` comments allowed), so sniffing
+    the first token cleanly separates them from CSV traces — a CSV header
+    or ``op,index,…`` row never starts with a bare statement keyword.
+    """
+    from ..query import STATEMENT_KEYWORDS
+
+    try:
+        text = Path(path).read_text()
+    except (OSError, UnicodeDecodeError):
+        return False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("--"):
+            continue
+        token = stripped.split(None, 1)[0].rstrip(";(,")
+        return token.upper() in STATEMENT_KEYWORDS
+    return False
+
+
+def _main_statements(args) -> int:
+    """Replay a statement-language trace through the query executor."""
+    from ..query import QueryResult, execute_script
+
+    try:
+        if args.ops:
+            raise ReproError(
+                "--ops expects the deprecated CSV lifecycle format; this "
+                "file is a statement trace — drop --ops"
+            )
+        text = Path(args.csv).read_text()
+        engine = _build_engine(args)
+        begin = time.perf_counter()
+        results = execute_script(engine, text)
+        total_seconds = time.perf_counter() - begin
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    counts: dict = {}
+    for position, result in enumerate(results, start=1):
+        counts[result.kind] = counts.get(result.kind, 0) + 1
+        if isinstance(result, QueryResult):
+            print(
+                f"  statement {position:3d}: {result.kind:<8} "
+                f"{result.rows.shape[0]:4d} row(s) "
+                f"({result.rows_scanned} scanned, "
+                f"{result.rows_imputed} imputed on demand)"
+            )
+        else:
+            detail = ", ".join(
+                f"{key}={value}" for key, value in result.detail.items()
+            )
+            print(f"  statement {position:3d}: {result.kind:<8} {detail}")
+
+    summary = ", ".join(f"{counts[kind]} {kind}" for kind in sorted(counts))
+    print(
+        f"replayed {len(results)} statements ({summary}) "
+        f"in {total_seconds:.3f}s"
+    )
+    stats = engine.stats
+    print(
+        f"store holds {engine.n_tuples} tuples ({engine.n_pending} pending); "
+        f"{stats['imputed_cells']} cells imputed; "
+        f"refreshes: {stats['incremental_refreshes']} incremental / "
+        f"{stats['full_refreshes']} full"
+    )
+    if args.output:
+        print(
+            "note: --output applies to CSV traces only; statement traces "
+            "print per-statement results instead",
+            file=sys.stderr,
+        )
+    if args.snapshot:
+        path = engine.snapshot(args.snapshot)
+        print(f"engine snapshot written to {path}")
+    return 0
 
 
 _OPS = ("append", "impute", "update", "delete")
@@ -327,7 +434,10 @@ def _main_ops(args) -> int:
 
 def main(argv=None, prog: str = "python -m repro replay") -> int:
     args = _build_parser(prog).parse_args(argv)
+    if args.csv and args.demo is None and _is_statement_trace(args.csv):
+        return _main_statements(args)
     if args.ops:
+        warnings.warn(OPS_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         return _main_ops(args)
     try:
         trace = _load_trace(args)

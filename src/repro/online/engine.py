@@ -956,6 +956,7 @@ class OnlineImputationEngine:
 
         self._schema: Optional[Schema] = None
         self._store: Optional[ColumnarTupleStore] = None
+        self._pending: Optional[np.ndarray] = None
         self._version = 0
         self._journal = MutationJournal(self.journal_capacity)
         self._states: "OrderedDict[int, _AttributeState]" = OrderedDict()
@@ -993,6 +994,17 @@ class OnlineImputationEngine:
         return self._n
 
     @property
+    def n_pending(self) -> int:
+        """Number of incomplete tuples waiting in the pending side-store.
+
+        Pending tuples are appended with ``allow_incomplete=True``; they are
+        never used for model learning or neighbour search, but the query
+        layer scans them (missing cells impute on demand against the
+        complete store).
+        """
+        return 0 if self._pending is None else int(self._pending.shape[0])
+
+    @property
     def store(self) -> ColumnarTupleStore:
         """The shared columnar tuple store (raises before the first append)."""
         if self._store is None:
@@ -1022,8 +1034,27 @@ class OnlineImputationEngine:
             )
         return self._store.matrix()
 
-    def store_relation(self, name: str = "") -> Relation:
-        """The current store as a :class:`Relation` (for cold comparisons)."""
+    def store_relation(
+        self, name: str = "", *, include_pending: bool = False
+    ) -> Relation:
+        """The current store as a :class:`Relation` (for cold comparisons).
+
+        With ``include_pending=True`` the pending incomplete tuples are
+        stacked below the complete store (they keep their ``NaN`` cells) —
+        the relation the query layer evaluates, where row index ``i``
+        addresses the complete store for ``i < n_tuples`` and pending row
+        ``i - n_tuples`` afterwards.
+        """
+        if include_pending and self.n_pending:
+            if self._n:
+                matrix = np.vstack([self._store_matrix(), self._pending])
+            elif self._schema is None:
+                raise NotFittedError(
+                    "the engine has no schema yet; append tuples first"
+                )
+            else:
+                matrix = np.array(self._pending, dtype=float)
+            return Relation(matrix, self._schema, name=name)
         return Relation(self._store_matrix(), self._schema, name=name)
 
     @classmethod
@@ -1050,13 +1081,25 @@ class OnlineImputationEngine:
     # ------------------------------------------------------------------ #
     # Mutations
     # ------------------------------------------------------------------ #
-    def append(self, rows: Union[np.ndarray, Relation]) -> "OnlineImputationEngine":
+    def append(
+        self,
+        rows: Union[np.ndarray, Relation],
+        *,
+        allow_incomplete: bool = False,
+    ) -> "OnlineImputationEngine":
         """Add complete tuples to the store.
 
         ``rows`` may be an array of shape ``(b, m)`` (or a single tuple of
         length ``m``) or a :class:`Relation`; tuples containing missing
         cells are rejected — impute them first, then append the result.
         An empty batch is a true no-op (no counters, no refresh work).
+
+        With ``allow_incomplete=True`` incomplete tuples are accepted into
+        the pending side-store instead of being rejected: they never feed
+        model learning or neighbour search, but the query layer scans them
+        and imputes their missing cells on demand (see
+        :meth:`store_relation`).  Complete tuples in the same batch take
+        the normal store path.
 
         Under the ``"eager"`` refresh policy every cached model state is
         updated before the call returns; under ``"lazy"`` the work is
@@ -1074,7 +1117,7 @@ class OnlineImputationEngine:
             if values.shape[0]:
                 values = as_float_matrix(values, name="rows", allow_nan=True)
             schema = None
-        if np.isnan(values).any():
+        if np.isnan(values).any() and not allow_incomplete:
             raise DataError(
                 "append accepts complete tuples only; impute missing cells first"
             )
@@ -1085,6 +1128,14 @@ class OnlineImputationEngine:
                 f"appended rows have {values.shape[1]} attributes, the engine "
                 f"store has {self._schema.width}"
             )
+        if allow_incomplete and values.size and np.isnan(values).any():
+            incomplete = np.isnan(values).any(axis=1)
+            pending = np.array(values[incomplete], dtype=float)
+            if self._pending is None:
+                self._pending = pending
+            else:
+                self._pending = np.vstack([self._pending, pending])
+            values = values[~incomplete]
 
         b = values.shape[0]
         if b == 0:
@@ -1102,6 +1153,22 @@ class OnlineImputationEngine:
             )
             self._record("append", slots)
         return self
+
+    def promote_pending(self) -> int:
+        """Impute every pending incomplete tuple and move it into the store.
+
+        The pending rows are imputed in one batch against the current
+        store (identical to :meth:`impute_batch` on them), appended as
+        complete tuples, and the side-store is cleared.  Returns the
+        number of promoted rows; a no-op (returning 0) when nothing is
+        pending.
+        """
+        if not self.n_pending:
+            return 0
+        imputed = self.impute_batch(self._pending)
+        self._pending = None
+        self.append(imputed)
+        return int(imputed.shape[0])
 
     def delete(self, indices) -> "OnlineImputationEngine":
         """Remove tuples from the store by (current) store index.
@@ -1296,7 +1363,12 @@ class OnlineImputationEngine:
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
-    def impute_batch(self, queries: Union[np.ndarray, Relation]) -> np.ndarray:
+    def impute_batch(
+        self,
+        queries: Union[np.ndarray, Relation],
+        *,
+        collect_provenance: bool = False,
+    ) -> Union[np.ndarray, Tuple[np.ndarray, List[Dict[str, object]]]]:
         """Impute every missing cell of a batch of query tuples.
 
         ``queries`` is an array of shape ``(q, m)`` (or one tuple of length
@@ -1304,6 +1376,16 @@ class OnlineImputationEngine:
         accepted too.  Returns a float array of shape ``(q, m)`` with every
         missing cell filled — equal (to ``rtol = 1e-9``) to what a cold
         ``IIMImputer`` refit over the engine's store would produce.
+
+        With ``collect_provenance=True`` the return value is a pair
+        ``(values, provenance)`` where ``provenance`` holds one dict per
+        imputed cell: row/attribute addressing, the imputed value, the
+        method and combiner, the neighbour store indices with their
+        distances, per-neighbour learning sizes ℓ, the combiner weights,
+        and a ``confidence`` score (the largest normalised weight).
+        Provenance capture always runs the vectorized kernels — the loop
+        backend produces values equal at rtol 1e-9, so the numbers are
+        unchanged; only the weight capture needs the batched combiner.
         """
         if isinstance(queries, Relation):
             values = queries.raw.copy()
@@ -1320,8 +1402,9 @@ class OnlineImputationEngine:
             )
         mask = np.isnan(values)
         self.stats["impute_batches"] += 1
+        provenance: List[Dict[str, object]] = []
         if not mask.any():
-            return values
+            return (values, provenance) if collect_provenance else values
         if self._schema.width == 1:
             raise DataError("cannot impute a relation with a single attribute")
 
@@ -1337,6 +1420,8 @@ class OnlineImputationEngine:
         imputer = self.imputer
         k = min(imputer.k, self._n)
         backend = resolve_backend(imputer.backend)
+        if collect_provenance:
+            backend = "vectorized"
         for target_index in np.flatnonzero(mask.any(axis=0)):
             # Syncing the state may replay pending mutations — those get
             # their own phases; the kernel span covers only the search +
@@ -1378,12 +1463,53 @@ class OnlineImputationEngine:
                         designs,
                         state.models.parameters[neighbor_indices],
                     )
-                    values[rows, target_index], _ = get_batch_combiner(
+                    combined, weights = get_batch_combiner(
                         imputer.combination
                     )(candidates, distances)
+                    values[rows, target_index] = combined
+                    if collect_provenance:
+                        learning = np.asarray(
+                            state.models.learning_neighbors
+                        )[neighbor_indices]
+                        attribute = self._schema.attributes[int(target_index)]
+                        for position, row in enumerate(rows):
+                            cell_weights = np.asarray(
+                                weights[position], dtype=float
+                            )
+                            total = float(cell_weights.sum())
+                            confidence = (
+                                float(cell_weights.max() / total)
+                                if total > 0
+                                else 1.0 / max(int(k), 1)
+                            )
+                            provenance.append(
+                                {
+                                    "row": int(row),
+                                    "attribute": attribute,
+                                    "attribute_index": int(target_index),
+                                    "value": float(combined[position]),
+                                    "method": imputer.name,
+                                    "combination": imputer.combination,
+                                    "k": int(k),
+                                    "neighbors": [
+                                        int(n)
+                                        for n in neighbor_indices[position]
+                                    ],
+                                    "distances": [
+                                        float(d) for d in distances[position]
+                                    ],
+                                    "weights": [
+                                        float(w) for w in cell_weights
+                                    ],
+                                    "learning_neighbors": [
+                                        int(l) for l in learning[position]
+                                    ],
+                                    "confidence": confidence,
+                                }
+                            )
             self.stats["imputed_cells"] += int(rows.shape[0])
             observe_imputed_cells(int(rows.shape[0]), kind="online")
-        return values
+        return (values, provenance) if collect_provenance else values
 
     def impute_relation(self, relation: Relation) -> Relation:
         """Convenience wrapper returning a :class:`Relation`."""
@@ -1429,6 +1555,7 @@ class OnlineImputationEngine:
                 "shard_capacity": self.shard_capacity,
                 "n_rows": self._n,
                 "n_shards": 0 if self._store is None else self._store.n_shards,
+                "n_pending": self.n_pending,
             },
             "lifecycle": {"version": self._version},
             "imputer": {
@@ -1443,6 +1570,8 @@ class OnlineImputationEngine:
         arrays: Dict[str, np.ndarray] = {
             "store": self._store_matrix() if self._n else np.empty((0, 0))
         }
+        if self.n_pending:
+            arrays["pending"] = np.array(self._pending, dtype=float)
         for target_index, state in self._states.items():
             if state.cache is None:
                 continue
@@ -1517,12 +1646,16 @@ class OnlineImputationEngine:
                 f"engine artifact store has {store.shape[0]} rows, manifest "
                 f"promises {n_rows}"
             )
-        if n_rows:
+        pending = arrays.get("pending")
+        if n_rows or (pending is not None and pending.shape[0]):
             engine._schema = Schema([str(a) for a in schema])
+        if n_rows:
             engine._store = ColumnarTupleStore(
                 engine._schema.width, shard_capacity=engine.shard_capacity
             )
             engine._store.append(np.array(store, dtype=float))
+        if pending is not None and pending.shape[0]:
+            engine._pending = np.array(pending, dtype=float)
         lifecycle = manifest.get("lifecycle") or {}
         engine._version = int(lifecycle.get("version", 0))
         engine._journal.advance_floor(engine._version)

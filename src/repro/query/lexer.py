@@ -1,0 +1,117 @@
+"""Tokenizer of the repro query language.
+
+Statements are sequences of keywords, attribute identifiers, numeric
+literals, comparison operators and punctuation, terminated by ``;`` with
+``--`` line comments.  The lexer is a single left-to-right scan producing
+:class:`Token` objects that carry their source offset, so parse errors can
+point at the typo (``at offset 17``).
+
+Keywords are case-insensitive (``select`` == ``SELECT``); identifiers keep
+their exact spelling because relation schemas are case-sensitive.  There
+are no string literals — every cell of a relation is a float — so a quote
+character is a syntax error, and the only "missing" markers (``?``,
+``null``, ``nan``) are data placeholders that the parser accepts inside
+``APPEND`` value rows alone.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from ..exceptions import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS", "MAX_QUERY_LENGTH"]
+
+#: Hard cap on the length of one query text, an admission bound of the
+#: parser itself: anything longer is rejected with a typed syntax error
+#: before any token is built, so an oversized statement can never anchor
+#: a memory blow-up (the serve loop's line-size cap is the outer wall).
+MAX_QUERY_LENGTH = 16384
+
+#: Reserved words (matched case-insensitively; tokens carry the upper-case
+#: spelling).  ``NULL``/``NAN`` are the spelled-out missing markers.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "EXPLAIN", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+        "AND", "OR", "NOT",
+        "COUNT", "AVG", "MIN", "MAX",
+        "APPEND", "VALUES", "UPDATE", "SET", "DELETE", "IMPUTE",
+        "NULL", "NAN",
+    }
+)
+
+#: Multi-character operators first so ``<=`` never lexes as ``<`` ``=``.
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ";", "*",
+            "?", "-", "+")
+
+_NUMBER = re.compile(r"(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?")
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: its kind, exact text, and source offset."""
+
+    kind: str  # "KEYWORD" | "IDENT" | "NUMBER" | "SYMBOL" | "EOF"
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # compact parse-error payloads
+        return f"{self.kind}({self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan ``text`` into a token list ending with an ``EOF`` token.
+
+    Raises :class:`~repro.exceptions.QuerySyntaxError` on any character
+    outside the language (including control bytes and quotes) and on
+    queries longer than :data:`MAX_QUERY_LENGTH`.
+    """
+    if not isinstance(text, str):
+        raise QuerySyntaxError(
+            f"a query must be a string, got {type(text).__name__}"
+        )
+    if len(text) > MAX_QUERY_LENGTH:
+        raise QuerySyntaxError(
+            f"query of {len(text)} characters exceeds the "
+            f"{MAX_QUERY_LENGTH}-character limit; split the statement"
+        )
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        match = _NUMBER.match(text, i)
+        if match and ch not in "+-":  # signs are tokens; parser folds them
+            tokens.append(Token("NUMBER", match.group(), i))
+            i = match.end()
+            continue
+        match = _WORD.match(text, i)
+        if match:
+            word = match.group()
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = match.end()
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("SYMBOL", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise QuerySyntaxError(
+                f"unexpected character {ch!r} at offset {i}"
+            )
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,225 @@
+"""AST node types of the repro query language.
+
+Two families of statements share one grammar:
+
+* **Queries** — :class:`SelectStatement` (optionally wrapped by
+  ``EXPLAIN``): projection or aggregates over a session's relation with
+  ``WHERE`` / ``ORDER BY`` / ``LIMIT``, where referencing a missing cell
+  imputes it on demand;
+* **Data statements** — :class:`AppendStatement` (rows may carry missing
+  cells), :class:`UpdateStatement`, :class:`DeleteStatement` and
+  :class:`ImputeStatement` (promote the pending incomplete tuples), the
+  verbs a trace file mixes with queries.
+
+Every node renders back to canonical statement text via ``str()`` — the
+``EXPLAIN`` plan uses it to echo the filter it evaluated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Aggregate",
+    "OrderKey",
+    "SelectStatement",
+    "AppendStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "ImputeStatement",
+    "Statement",
+    "Expression",
+]
+
+
+def _render_value(value: float) -> str:
+    if math.isnan(value):
+        return "?"
+    rendered = repr(float(value))
+    return rendered[:-2] if rendered.endswith(".0") else rendered
+
+
+# --------------------------------------------------------------------------- #
+# WHERE expressions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to a named attribute of the relation."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return _render_value(self.value)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with one of ``= != <> < <= > >=``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And:
+    items: Tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    items: Tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Not:
+    item: "Expression"
+
+    def __str__(self) -> str:
+        return f"NOT {self.item}"
+
+
+Expression = Union[Comparison, And, Or, Not]
+
+
+# --------------------------------------------------------------------------- #
+# SELECT
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Aggregate:
+    """``count/avg/min/max(attr)`` — ``attribute=None`` is ``COUNT(*)``."""
+
+    func: str  # "count" | "avg" | "min" | "max"
+    attribute: Optional[str]
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.attribute if self.attribute else '*'})"
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    attribute: str
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A query: ``columns=None`` means ``SELECT *``; a select list is
+    either all plain columns or all aggregates (there is no GROUP BY)."""
+
+    columns: Optional[Tuple[Union[ColumnRef, Aggregate], ...]] = None
+    where: Optional[Expression] = None
+    order_by: Tuple[OrderKey, ...] = ()
+    limit: Optional[int] = None
+    explain: bool = False
+
+    def __str__(self) -> str:
+        items = (
+            "*"
+            if self.columns is None
+            else ", ".join(str(c) for c in self.columns)
+        )
+        parts = [f"SELECT {items}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(str(k) for k in self.order_by)
+            )
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        text = " ".join(parts)
+        return ("EXPLAIN " if self.explain else "") + text + ";"
+
+
+# --------------------------------------------------------------------------- #
+# Data statements
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AppendStatement:
+    """``APPEND (v, ?, v), ...;`` — ``NaN`` entries mark missing cells."""
+
+    rows: Tuple[Tuple[float, ...], ...] = ()
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            "(" + ", ".join(_render_value(v) for v in row) + ")"
+            for row in self.rows
+        )
+        return f"APPEND {rendered};"
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """``UPDATE <index> SET attr = value, ...;`` (complete values only)."""
+
+    index: int = 0
+    assignments: Tuple[Tuple[str, float], ...] = ()
+
+    def __str__(self) -> str:
+        sets = ", ".join(
+            f"{name} = {_render_value(value)}"
+            for name, value in self.assignments
+        )
+        return f"UPDATE {self.index} SET {sets};"
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE <index>, ...;`` — store indices of the rows to remove."""
+
+    indices: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        return "DELETE " + ", ".join(str(i) for i in self.indices) + ";"
+
+
+@dataclass(frozen=True)
+class ImputeStatement:
+    """``IMPUTE;`` — impute the pending incomplete tuples and move them
+    into the store (the ``promote`` mutation)."""
+
+    def __str__(self) -> str:
+        return "IMPUTE;"
+
+
+Statement = Union[
+    SelectStatement,
+    AppendStatement,
+    UpdateStatement,
+    DeleteStatement,
+    ImputeStatement,
+]

@@ -1,0 +1,169 @@
+"""Query planner: resolve a parsed SELECT against a relation schema.
+
+Planning is pure name/shape analysis — no data is read.  The planner
+
+* resolves every attribute reference to a column index (unknown names are
+  a typed :class:`~repro.exceptions.QueryError` listing the schema);
+* rejects mixed select lists (plain columns + aggregates — there is no
+  ``GROUP BY``) and ``ORDER BY`` on aggregate queries;
+* computes the **referenced attribute set** — the columns named anywhere
+  in the select list, ``WHERE`` clause or ``ORDER BY`` keys.  The
+  executor imputes exactly the rows missing a referenced cell ("touched"
+  rows), in one batch; rows missing only unreferenced cells are never
+  imputed and their gaps never surface (the projection is a subset of the
+  referenced set).
+
+The resulting :class:`QueryPlan` renders to the ``EXPLAIN`` payload via
+:meth:`QueryPlan.describe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..data.relation import Schema
+from ..exceptions import QueryError
+from .nodes import (
+    Aggregate,
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Not,
+    Or,
+    SelectStatement,
+)
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+def _resolve(schema: Schema, name: str) -> int:
+    if name not in schema:
+        raise QueryError(
+            f"unknown attribute {name!r}; the schema has "
+            f"{list(schema.attributes)}"
+        )
+    return schema.index_of(name)
+
+
+def _expression_columns(expr: Expression, schema: Schema) -> List[int]:
+    if isinstance(expr, Comparison):
+        return [
+            _resolve(schema, operand.name)
+            for operand in (expr.left, expr.right)
+            if isinstance(operand, ColumnRef)
+        ]
+    if isinstance(expr, (And, Or)):
+        columns: List[int] = []
+        for item in expr.items:
+            columns.extend(_expression_columns(item, schema))
+        return columns
+    if isinstance(expr, Not):
+        return _expression_columns(expr.item, schema)
+    raise QueryError(f"unsupported filter node {type(expr).__name__}")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A resolved SELECT: column indices, order keys and the referenced set."""
+
+    statement: SelectStatement
+    schema: Schema
+    #: Projection column indices (``None`` for aggregate queries).
+    projection: Optional[Tuple[int, ...]]
+    #: Output column names (attribute names, or aggregate spellings).
+    output_names: Tuple[str, ...]
+    #: Resolved aggregates as ``(func, column_index_or_None)`` pairs.
+    aggregates: Optional[Tuple[Tuple[str, Optional[int]], ...]]
+    #: ``(column_index, descending)`` pairs, applied in order.
+    order_by: Tuple[Tuple[int, bool], ...]
+    limit: Optional[int]
+    #: Sorted indices of every attribute the query references.
+    referenced: Tuple[int, ...]
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregates is not None
+
+    def describe(self) -> Dict[str, object]:
+        """The ``EXPLAIN`` plan payload (JSON-safe)."""
+        statement = self.statement
+        return {
+            "kind": "aggregate" if self.is_aggregate else "scan",
+            "columns": list(self.output_names),
+            "filter": None if statement.where is None else str(statement.where),
+            "order_by": [str(key) for key in statement.order_by],
+            "limit": self.limit,
+            "referenced_attributes": [
+                self.schema.attributes[i] for i in self.referenced
+            ],
+            "on_demand_imputation": (
+                "rows missing a referenced cell are imputed in one batch "
+                "through the session engine before evaluation"
+            ),
+        }
+
+
+def plan_query(statement: SelectStatement, schema: Schema) -> QueryPlan:
+    """Resolve ``statement`` against ``schema`` (raises ``QueryError``)."""
+    referenced: set = set()
+
+    projection: Optional[Tuple[int, ...]]
+    aggregates: Optional[Tuple[Tuple[str, Optional[int]], ...]]
+    if statement.columns is None:
+        projection = tuple(range(schema.width))
+        output_names = tuple(schema.attributes)
+        aggregates = None
+        referenced.update(projection)
+    else:
+        plain = [c for c in statement.columns if isinstance(c, ColumnRef)]
+        aggs = [c for c in statement.columns if isinstance(c, Aggregate)]
+        if plain and aggs:
+            raise QueryError(
+                "cannot mix plain attributes and aggregates in one select "
+                "list (there is no GROUP BY)"
+            )
+        if aggs:
+            resolved: List[Tuple[str, Optional[int]]] = []
+            for agg in aggs:
+                if agg.attribute is None:
+                    resolved.append((agg.func, None))
+                else:
+                    index = _resolve(schema, agg.attribute)
+                    referenced.add(index)
+                    resolved.append((agg.func, index))
+            aggregates = tuple(resolved)
+            projection = None
+            output_names = tuple(str(a) for a in aggs)
+        else:
+            indices = tuple(_resolve(schema, c.name) for c in plain)
+            referenced.update(indices)
+            projection = indices
+            output_names = tuple(c.name for c in plain)
+            aggregates = None
+
+    if statement.where is not None:
+        referenced.update(_expression_columns(statement.where, schema))
+
+    if statement.order_by and aggregates is not None:
+        raise QueryError(
+            "ORDER BY does not apply to an aggregate query (it returns "
+            "one row)"
+        )
+    order_by = tuple(
+        (_resolve(schema, key.attribute), key.descending)
+        for key in statement.order_by
+    )
+    referenced.update(index for index, _ in order_by)
+
+    return QueryPlan(
+        statement=statement,
+        schema=schema,
+        projection=projection,
+        output_names=output_names,
+        aggregates=aggregates,
+        order_by=order_by,
+        limit=statement.limit,
+        referenced=tuple(sorted(referenced)),
+    )

@@ -57,11 +57,19 @@ class TraceStep:
     impute ``queries`` (one NaN per row at ``blanked``; ``truth`` holds the
     ground-truth values).  ``n_store`` is the surviving store size after
     all three mutations.
+
+    ``kind == "query"`` steps (the ``analytic`` generator) carry only
+    ``statements`` — query-language text executed in order through the
+    transport's ``query`` verb.  Their ``APPEND`` rows are all incomplete
+    (every row has a ``?``), so they land in the pending side-store and
+    never perturb the complete store the cold-refit oracle mirrors;
+    ``SELECT`` statements impute referenced missing cells on demand
+    without mutating anything.
     """
 
     index: int
     session: str
-    kind: str  # "fit" | "round"
+    kind: str  # "fit" | "round" | "query"
     round_index: int
     n_store: int
     append_rows: Optional[np.ndarray] = None
@@ -71,6 +79,7 @@ class TraceStep:
     queries: Optional[np.ndarray] = None
     blanked: Optional[np.ndarray] = None
     truth: Optional[np.ndarray] = None
+    statements: Optional[List[str]] = None
 
 
 @dataclass
@@ -142,6 +151,10 @@ class ScenarioTrace:
                     for name, _ in _STEP_ARRAYS
                 },
             }
+            # Additive: absent for array-only steps, so every pre-existing
+            # golden digest is untouched by the statement extension.
+            if step.statements is not None:
+                meta["statements"] = list(step.statements)
             chunks.append(
                 b"\n"
                 + json.dumps(meta, sort_keys=True, separators=(",", ":")).encode()
@@ -504,6 +517,84 @@ def _generate_churn(spec: ScenarioSpec) -> ScenarioTrace:
     )
 
 
+def _append_statement(rows: np.ndarray) -> str:
+    """Render rows as an ``APPEND VALUES`` statement (NaN cells as ``?``)."""
+    rendered = []
+    for row in rows:
+        cells = ["?" if np.isnan(v) else repr(float(v)) for v in row]
+        rendered.append("(" + ", ".join(cells) + ")")
+    return "APPEND VALUES " + ", ".join(rendered) + ";"
+
+
+def _generate_analytic(spec: ScenarioSpec) -> ScenarioTrace:
+    """Streaming rounds interleaved with relational query steps.
+
+    The base trace is exactly :func:`_generate_streaming` (same rng
+    consumption, so the impute rounds verify against the cold oracle like
+    any streaming scenario).  After every round a ``kind == "query"`` step
+    runs statement text through the transport's ``query`` verb: an
+    ``APPEND`` of incomplete tuples (``?`` literals — they park in the
+    pending side-store), a few ``SELECT``\\ s with ``WHERE``/``ORDER
+    BY``/``LIMIT`` whose referenced missing cells are imputed on demand,
+    one aggregate, and periodically an ``EXPLAIN``.  Statement randomness
+    comes from a *separate* seeded stream so the base rounds stay
+    byte-compatible with plain streaming parameters.
+    """
+    base = _generate_streaming(spec)
+    params = spec.params
+    values = _load_values(params)
+    width = values.shape[1]
+    names = [f"A{i + 1}" for i in range(width)]
+    rng = np.random.default_rng([spec.seed, TRACE_FORMAT_VERSION])
+
+    steps: List[TraceStep] = []
+    session = base.sessions[0].name
+    for step in base.steps:
+        step.index = len(steps)
+        steps.append(step)
+        if step.kind != "round":
+            continue
+        statements: List[str] = []
+        n_incomplete = params["incomplete_per_round"]
+        if n_incomplete:
+            rows = values[
+                rng.choice(step.n_store, size=n_incomplete, replace=False)
+            ].copy()
+            holes = rng.integers(0, width, size=n_incomplete)
+            rows[np.arange(n_incomplete), holes] = np.nan
+            statements.append(_append_statement(rows))
+        for _ in range(params["selects_per_round"]):
+            first, second = (
+                names[int(i)] for i in rng.integers(0, width, size=2)
+            )
+            threshold = float(
+                values[: step.n_store, names.index(first)].mean()
+            )
+            statements.append(
+                f"SELECT {first}, {second} WHERE {first} >= {threshold!r} "
+                f"ORDER BY {second} DESC LIMIT {params['select_limit']};"
+            )
+        statements.append(
+            f"SELECT count(*), avg({names[int(rng.integers(width))]});"
+        )
+        if step.round_index % 2 == 1:
+            statements.append(
+                f"EXPLAIN SELECT {names[0]} ORDER BY {names[-1]} "
+                f"LIMIT {params['select_limit']};"
+            )
+        steps.append(
+            TraceStep(
+                index=len(steps),
+                session=session,
+                kind="query",
+                round_index=step.round_index,
+                n_store=step.n_store,
+                statements=statements,
+            )
+        )
+    return ScenarioTrace(spec=spec, sessions=base.sessions, steps=steps)
+
+
 def _generate_multi_tenant(spec: ScenarioSpec) -> ScenarioTrace:
     from .registry import get as registry_get
 
@@ -549,7 +640,11 @@ def _generate_multi_tenant(spec: ScenarioSpec) -> ScenarioTrace:
     for round_index in range(max_rounds):
         for trace, plan in zip(tenant_traces, sessions):
             for step in trace.steps:
-                if step.kind == "round" and step.round_index == round_index:
+                # "query" steps (analytic tenants) ride with their round.
+                if (
+                    step.kind in ("round", "query")
+                    and step.round_index == round_index
+                ):
                     step.session = plan.name
                     step.index = len(steps)
                     steps.append(step)
@@ -559,6 +654,7 @@ def _generate_multi_tenant(spec: ScenarioSpec) -> ScenarioTrace:
 _GENERATOR_FUNCS = {
     "streaming": _generate_streaming,
     "churn": _generate_churn,
+    "analytic": _generate_analytic,
     "multi_tenant": _generate_multi_tenant,
 }
 

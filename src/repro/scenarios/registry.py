@@ -222,6 +222,21 @@ _builtin(ScenarioSpec(
 ))
 
 _builtin(ScenarioSpec(
+    name="analytic_probe",
+    description="Relational probe: streaming rounds interleaved with "
+                "query-language steps — APPENDs of incomplete tuples ('?' "
+                "literals parking in the pending side-store) followed by "
+                "SELECT/aggregate/EXPLAIN statements whose referenced "
+                "missing cells are imputed on demand.",
+    generator="analytic",
+    params={"dataset": "sn", "size": 220, "n_rounds": 4,
+            "queries_per_round": 8, "selects_per_round": 3,
+            "incomplete_per_round": 2},
+    model=dict(_SMOKE_MODEL),
+    seed=10,
+))
+
+_builtin(ScenarioSpec(
     name="multi_tenant_mix",
     description="Three concurrent tenants — a steady streamer, an OOD "
                 "prober and a gentle churner — interleaved round-robin "

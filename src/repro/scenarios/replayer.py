@@ -99,6 +99,10 @@ class ReplayReport:
     steps: List[StepReport] = field(default_factory=list)
     session_stats: Dict[str, object] = field(default_factory=dict)
     phase_summaries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Aggregate counters of the trace's query-language steps (empty when
+    #: the scenario has none): statements, result_rows, rows_scanned,
+    #: rows_imputed.
+    query_totals: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_rounds(self) -> int:
@@ -148,6 +152,7 @@ class ReplayReport:
             "max_abs_diff": self.max_abs_diff,
             "max_rms_gap": self.max_rms_gap,
             "phases": dict(self.phase_summaries),
+            "query_totals": dict(self.query_totals),
             "session_stats": dict(self.session_stats),
             "steps": [step.as_dict() for step in self.steps],
         }
@@ -180,6 +185,18 @@ class _EngineDriver:
 
     def impute(self, session: str, queries: np.ndarray) -> np.ndarray:
         return np.asarray(self._sessions[session].impute(queries), dtype=float)
+
+    def query(self, session: str, statement: str) -> Dict[str, int]:
+        from ..query import QueryResult, execute_query
+
+        result = execute_query(self._sessions[session], statement)
+        if isinstance(result, QueryResult):
+            return {
+                "result_rows": int(result.rows.shape[0]),
+                "rows_scanned": result.rows_scanned,
+                "rows_imputed": result.rows_imputed,
+            }
+        return {"result_rows": 0, "rows_scanned": 0, "rows_imputed": 0}
 
     def stats(self, session: str) -> Dict[str, object]:
         return self._sessions[session].stats()
@@ -252,6 +269,18 @@ class _ServeDriver:
             "cmd": "impute", "session": session, "rows": encode_rows(queries),
         })
         return np.asarray(result["rows"], dtype=float)
+
+    def query(self, session: str, statement: str) -> Dict[str, int]:
+        result = self._call({
+            "cmd": "query", "session": session, "q": statement,
+        })
+        if result.get("kind") in ("select", "explain"):
+            return {
+                "result_rows": len(result.get("rows") or []),
+                "rows_scanned": int(result.get("rows_scanned", 0)),
+                "rows_imputed": int(result.get("rows_imputed", 0)),
+            }
+        return {"result_rows": 0, "rows_scanned": 0, "rows_imputed": 0}
 
     def stats(self, session: str) -> Dict[str, object]:
         return self._call({"cmd": "stats", "session": session})
@@ -456,6 +485,19 @@ def replay(
                 with engine_phase("scenario.fit"):
                     driver.fit(step.session, step.append_rows)
                 shadows[step.session] = step.append_rows.copy()
+                continue
+
+            if step.kind == "query":
+                # Statement steps never touch the complete store (their
+                # APPENDs are all-incomplete → pending side-store), so the
+                # shadow and the cold oracle are unaffected.
+                with engine_phase("scenario.query"):
+                    for statement in step.statements or []:
+                        counts = driver.query(step.session, statement)
+                        totals = report.query_totals
+                        totals["statements"] = totals.get("statements", 0) + 1
+                        for key, value in counts.items():
+                            totals[key] = totals.get(key, 0) + value
                 continue
 
             ops = _step_ops(step)

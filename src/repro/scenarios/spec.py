@@ -40,7 +40,7 @@ __all__ = [
 
 #: Recognised trace generators (implemented in
 #: :mod:`repro.scenarios.generators`).
-GENERATORS = ("streaming", "churn", "multi_tenant")
+GENERATORS = ("streaming", "churn", "analytic", "multi_tenant")
 
 #: Arrival processes of the single-tenant generators.  ``adversarial`` is
 #: churn-only: steady appends with periodic update/delete storms.
@@ -148,12 +148,29 @@ _CHURN_EXTRAS: Dict[str, Param] = {
     ),
 }
 
+_ANALYTIC_EXTRAS: Dict[str, Param] = {
+    "selects_per_round": _int(
+        3, minimum=1,
+        help="SELECT statements per query step (WHERE/ORDER BY/LIMIT over "
+             "the live relation, missing cells imputed on demand)",
+    ),
+    "incomplete_per_round": _int(
+        2, minimum=0,
+        help="incomplete tuples APPENDed (as '?' literals) per query step; "
+             "they park in the pending side-store",
+    ),
+    "select_limit": _int(
+        5, minimum=1, help="LIMIT of the generated SELECT statements"
+    ),
+}
+
 #: Parameter schema per generator.  ``multi_tenant`` carries a ``tenants``
 #: list whose entries are validated structurally here and resolved against
 #: the registry at generation time.
 GENERATOR_SCHEMAS: Dict[str, Dict[str, Param]] = {
     "streaming": dict(_SINGLE_TENANT_SCHEMA),
     "churn": {**_SINGLE_TENANT_SCHEMA, **_CHURN_EXTRAS},
+    "analytic": {**_SINGLE_TENANT_SCHEMA, **_ANALYTIC_EXTRAS},
     "multi_tenant": {
         "tenants": Param(
             (list,),

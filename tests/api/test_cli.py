@@ -75,6 +75,106 @@ class TestReplaySubcommand:
         ]
 
 
+STATEMENT_TRACE = """\
+-- a statement trace: data verbs and queries in one script
+APPEND VALUES (1.0, 2.0, 3.0), (1.1, 2.1, 3.1), (0.9, 1.9, 2.9),
+              (1.2, 2.2, 3.2), (1.05, 2.05, 3.05), (0.95, 1.95, 2.95);
+APPEND (1.02, ?, 3.02);
+SELECT A1, A2 WHERE A1 > 0.9 ORDER BY A2 DESC LIMIT 3;
+UPDATE 0 SET A1 = 1.01;
+IMPUTE;
+DELETE 1;
+SELECT count(*), avg(A1);
+"""
+
+MODEL_ARGS = ["--k", "3", "--learning", "fixed", "--learning-neighbors", "3"]
+
+
+class TestStatementTraceReplay:
+    def test_replays_a_statement_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.sql"
+        trace.write_text(STATEMENT_TRACE)
+        assert repro_main(["replay", str(trace)] + MODEL_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "replayed 7 statements" in out
+        assert "1 imputed on demand)" in out  # the on-demand SELECT
+        assert "rows_promoted=1" in out
+        assert "store holds 6 tuples (0 pending)" in out
+
+    def test_detection_survives_comments_and_case(self, tmp_path, capsys):
+        trace = tmp_path / "trace.sql"
+        trace.write_text(
+            "-- header comment\n\nappend (1.0, 2.0), (1.5, 2.5);\n",
+            encoding="utf-8",
+        )
+        assert repro_main(["replay", str(trace)] + MODEL_ARGS) == 0
+        assert "replayed 1 statements" in capsys.readouterr().out
+
+    def test_plain_csv_is_not_mistaken_for_statements(self, tmp_path, capsys):
+        relation = load_dataset("sn", size=40)
+        injection = inject_missing(relation, fraction=0.1, random_state=1)
+        trace = tmp_path / "rows.csv"
+        write_csv(injection.dirty, trace)
+        assert repro_main(["replay", str(trace)] + MODEL_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "store holds" in out and "replayed" not in out
+
+    def test_statement_trace_does_not_warn(self, tmp_path, capsys):
+        trace = tmp_path / "trace.sql"
+        trace.write_text("APPEND (1.0, 2.0), (2.0, 3.0);\n")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert repro_main(["replay", str(trace)] + MODEL_ARGS) == 0
+        capsys.readouterr()
+        assert not [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+
+    def test_ops_flag_rejects_a_statement_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.sql"
+        trace.write_text("IMPUTE;\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            code = repro_main(["replay", str(trace), "--ops"] + MODEL_ARGS)
+        assert code == 2
+        assert "statement" in capsys.readouterr().err
+
+
+class TestDeprecatedOpsFormat:
+    @pytest.fixture
+    def ops_csv(self, tmp_path):
+        path = tmp_path / "ops.csv"
+        path.write_text(
+            "op,index,a,b\n"
+            "append,,1.0,2.0\n"
+            "append,,1.1,2.1\n"
+            "append,,0.9,1.9\n"
+            "append,,1.2,2.2\n"
+            "impute,,1.5,\n"
+            "update,0,1.01,2.0\n"
+            "delete,1,,\n"
+        )
+        return path
+
+    def test_ops_replay_warns_exactly_once_and_still_works(
+        self, ops_csv, capsys
+    ):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            code = repro_main(["replay", str(ops_csv), "--ops"] + MODEL_ARGS)
+        assert code == 0
+        assert "store holds" in capsys.readouterr().out
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "deprecated" in message
+        assert "query statement language" in message
+
+
 class TestDeprecatedOnlineEntryPoint:
     def test_shim_warns_exactly_once_and_still_works(self, capsys):
         from repro.online.__main__ import main as deprecated_main

@@ -1,0 +1,158 @@
+"""Scripted REPL sessions over the in-process transport.
+
+The REPL speaks the same JSONL protocol as any other client, so a
+scripted stdin drives the full stack — create, append with missing
+markers, multi-line SELECT, provenance, EXPLAIN, promotion — and stdout
+stays machine-readable (prompts go to stderr).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.api.repl import Repl, _InProcessTransport, run_repl
+from repro.exceptions import ReproError
+
+
+def _run_script(text, tmp_path, session=None):
+    transport = _InProcessTransport(str(tmp_path))
+    stdout = io.StringIO()
+    repl = Repl(
+        transport,
+        stdin=io.StringIO(text),
+        stdout=stdout,
+        stderr=io.StringIO(),
+        session=session,
+    )
+    try:
+        code = repl.run()
+    finally:
+        transport.close()
+    return code, stdout.getvalue(), repl
+
+
+SCRIPT = """\
+\\create s k=3 learning=fixed learning_neighbors=3
+APPEND VALUES (1.0, 2.0, 3.0), (1.1, 2.1, 3.1), (0.9, 1.9, 2.9),
+              (1.2, 2.2, 3.2), (1.05, 2.05, 3.05), (0.95, 1.95, 2.95);
+APPEND VALUES (1.02, ?, 3.02), (?, 2.12, 3.12);
+\\schema
+\\sessions
+SELECT A1, A2
+  WHERE A1 > 0.9
+  ORDER BY A2 DESC
+  LIMIT 4;
+\\provenance
+EXPLAIN SELECT count(*), avg(A2);
+IMPUTE;
+SELECT count(*);
+\\quit
+"""
+
+
+class TestScriptedSession:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        return _run_script(SCRIPT, tmp_path_factory.mktemp("repl"))
+
+    def test_exits_cleanly_with_no_typed_errors(self, run):
+        code, out, _ = run
+        assert code == 0
+        assert "error" not in out
+
+    def test_create_schema_and_sessions_render(self, run):
+        _, out, _ = run
+        assert "session 's' created" in out
+        assert "schema of 's': A1, A2, A3 (8 row(s) live)" in out
+        assert "* s  kind=online method=IIM" in out
+
+    def test_select_imputes_on_demand_and_renders_rows(self, run):
+        _, out, _ = run
+        assert "(4 row(s); 8 scanned, 2 row(s) imputed on demand)" in out
+        assert "-- 2 cell(s) carry provenance" in out
+
+    def test_provenance_json_carries_the_contract_fields(self, run):
+        _, out, repl = run
+        provenance = repl.last_result["provenance"]
+        # \provenance printed the same payload as JSON
+        assert json.dumps(provenance, indent=2) in out
+        # but last_result was then replaced by the later SELECT count(*)
+        cells = json.loads(
+            out[out.index("[\n") : out.index("\n]") + 2]
+        )
+        assert {(c["row"], c["attribute"]) for c in cells} == {
+            (6, "A2"), (7, "A1"),
+        }
+        for cell in cells:
+            for field in ("value", "method", "combination", "k", "neighbors",
+                          "distances", "weights", "learning_neighbors",
+                          "confidence", "trace_id"):
+                assert field in cell, field
+            assert cell["method"] == "IIM"
+            assert len(cell["neighbors"]) == cell["k"] == 3
+
+    def test_explain_prints_the_plan(self, run):
+        _, out, _ = run
+        assert '"kind": "aggregate"' in out
+        assert '"referenced_attributes"' in out
+
+    def test_impute_promotes_and_counts_stay_consistent(self, run):
+        _, out, _ = run
+        assert "impute: rows_promoted=2, n_pending=0" in out
+        # final count: 6 complete + 2 promoted
+        assert "count(*)\n8\n" in out
+
+
+class TestReplDiscipline:
+    def test_statement_without_a_session_is_a_local_error(self, tmp_path):
+        code, out, _ = _run_script("SELECT A1;\n", tmp_path)
+        assert code == 0
+        assert "error [repl]: no session selected" in out
+
+    def test_server_errors_surface_typed_not_raised(self, tmp_path):
+        script = (
+            "\\create s k=3 learning=fixed learning_neighbors=3\n"
+            "APPEND (1.0, 2.0), (1.1, 2.1), (0.9, 1.9), (1.2, 2.2);\n"
+            "SELECT A9;\n"
+            "SELECT A1;\n"
+        )
+        code, out, _ = _run_script(script, tmp_path)
+        assert code == 0
+        assert "error [query]: unknown attribute 'A9'" in out
+        assert "(4 row(s); 4 scanned, 0 row(s) imputed on demand)" in out
+
+    def test_unterminated_statement_fails_at_eof(self, tmp_path):
+        script = (
+            "\\create s k=3 learning=fixed learning_neighbors=3\n"
+            "SELECT A1\n"
+        )
+        code, out, _ = _run_script(script, tmp_path)
+        assert code == 1
+        assert "unterminated statement at EOF" in out
+
+    def test_unknown_meta_command_is_reported(self, tmp_path):
+        code, out, _ = _run_script("\\frobnicate\n\\quit\n", tmp_path)
+        assert code == 0
+        assert "unknown meta-command \\frobnicate" in out
+
+    def test_help_prints_the_meta_table(self, tmp_path):
+        code, out, _ = _run_script("\\help\n", tmp_path)
+        assert code == 0
+        assert "\\provenance" in out and "\\sessions" in out
+
+    def test_comments_and_blank_lines_are_skipped(self, tmp_path):
+        script = "-- a comment\n\n\\sessions\n\\quit\n"
+        code, out, _ = _run_script(script, tmp_path)
+        assert code == 0
+        assert "no live sessions" in out
+
+    def test_bad_connect_spec_is_a_typed_error(self):
+        with pytest.raises(ReproError, match="HOST:PORT"):
+            run_repl("nonsense")
+        with pytest.raises(ReproError, match="HOST:PORT"):
+            run_repl(":7000")
+
+    def test_unreachable_server_is_a_typed_error(self):
+        with pytest.raises(ReproError, match="cannot connect"):
+            run_repl("127.0.0.1:1")

@@ -1,0 +1,129 @@
+"""The serve loop's ``query`` command: wire payloads, quotas, quarantine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import SessionServer, encode_rows
+from repro.data import load_dataset
+
+IIM_CONFIG = {
+    "method": "IIM",
+    "mode": "online",
+    "params": {"k": 4, "learning": "fixed", "learning_neighbors": 3},
+}
+
+
+def ok(server, **request):
+    request.setdefault("v", 1)
+    response = server.handle_line(json.dumps(request))
+    assert response["ok"], response
+    return response["result"]
+
+
+def fail(server, **request):
+    request.setdefault("v", 1)
+    response = server.handle_line(json.dumps(request))
+    assert not response["ok"], response
+    return response["error"]
+
+
+def create_online(server, values, name="s", n_rows=60):
+    ok(server, cmd="create", session=name, config=IIM_CONFIG)
+    ok(server, cmd="append", session=name, rows=encode_rows(values[:n_rows]))
+
+
+@pytest.fixture(scope="module")
+def values():
+    return load_dataset("sn", size=100).raw
+
+
+@pytest.fixture
+def server():
+    return SessionServer()
+
+
+def _append_incomplete(server, values, name="s", n=2):
+    rows = values[60 : 60 + n].copy()
+    rows[np.arange(n), np.arange(n) % rows.shape[1]] = np.nan
+    ok(server, cmd="append", session=name, rows=encode_rows(rows))
+    return rows
+
+
+class TestQueryCommand:
+    def test_select_answers_rows_counts_and_provenance(self, server, values):
+        create_online(server, values)
+        _append_incomplete(server, values)
+        result = ok(
+            server, cmd="query", session="s",
+            q="SELECT A1, A2 WHERE A1 > 0 ORDER BY A2 DESC LIMIT 5;",
+        )
+        assert result["kind"] == "select"
+        assert result["columns"] == ["A1", "A2"]
+        assert len(result["rows"]) == len(result["row_indices"]) == 5
+        assert result["rows_scanned"] == 62
+        assert result["rows_imputed"] == 2
+        cells = result["provenance"]
+        assert {c["row"] for c in cells} == {60, 61}
+        for cell in cells:
+            assert cell["method"] == "IIM"
+            assert "trace_id" in cell
+            assert np.isclose(sum(cell["weights"]), 1.0)
+
+    def test_selects_are_read_only_on_the_wire(self, server, values):
+        create_online(server, values)
+        _append_incomplete(server, values)
+        before = ok(server, cmd="stats", session="s")
+        ok(server, cmd="query", session="s", q="SELECT *;")
+        after = ok(server, cmd="stats", session="s")
+        assert after["n_tuples"] == before["n_tuples"] == 60
+        assert after["n_pending"] == before["n_pending"] == 2
+
+    def test_explain_carries_the_plan(self, server, values):
+        create_online(server, values)
+        result = ok(
+            server, cmd="query", session="s",
+            q="EXPLAIN SELECT count(*), avg(A2);",
+        )
+        assert result["kind"] == "explain"
+        assert result["plan"]["kind"] == "aggregate"
+        assert result["plan"]["referenced_attributes"] == ["A2"]
+
+    def test_data_statements_mutate_through_the_wal_path(self, server, values):
+        create_online(server, values)
+        _append_incomplete(server, values)
+        result = ok(server, cmd="query", session="s", q="IMPUTE;")
+        assert result["kind"] == "impute"
+        assert result["rows_promoted"] == 2
+        stats = ok(server, cmd="stats", session="s")
+        assert stats["n_tuples"] == 62 and stats["n_pending"] == 0
+
+    def test_touched_rows_charge_the_request_quota(self, values):
+        server = SessionServer()
+        create_online(server, values)
+        _append_incomplete(server, values, n=5)
+        server.max_rows_per_request = 3  # tighten after the setup appends
+        error = fail(server, cmd="query", session="s", q="SELECT *;")
+        assert error["code"] == "quota"
+        assert "narrow the query" in error["message"]
+        # a narrower query stays under the quota and succeeds
+        result = ok(
+            server, cmd="query", session="s", q="SELECT count(*);"
+        )
+        assert result["rows"][0][0] == 65.0
+
+    def test_query_errors_never_quarantine(self, server, values):
+        create_online(server, values)
+        for bad in ("SELECT A9;", "SELECT A1 WHERE;", "DROP x;"):
+            error = fail(server, cmd="query", session="s", q=bad)
+            assert error["code"] == "query"
+        health = ok(server, cmd="health")
+        assert health["degraded"] == []
+        assert health["sessions"]["s"]["state"] == "ok"
+
+    def test_query_needs_an_online_session(self, server, values):
+        config = dict(IIM_CONFIG, mode="batch")
+        ok(server, cmd="create", session="b", config=config)
+        error = fail(server, cmd="query", session="b", q="SELECT count(*);")
+        assert error["code"] == "unsupported"

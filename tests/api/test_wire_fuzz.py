@@ -85,6 +85,30 @@ MALFORMED_SESSION_FRAMES = [
     ("update-many-rows", '{"v": 1, "cmd": "update", "session": "s", '
      '"index": 0, "row": [[1.0, 2.0], [3.0, 4.0]]}', "protocol",
      "exactly one row"),
+    ("query-missing-q", '{"v": 1, "cmd": "query", "session": "s"}',
+     "protocol", "carrying one statement"),
+    ("query-numeric-q", '{"v": 1, "cmd": "query", "session": "s", "q": 5}',
+     "protocol", "carrying one statement"),
+    ("query-nan-q", '{"v": 1, "cmd": "query", "session": "s", "q": NaN}',
+     "protocol", "carrying one statement"),
+    ("query-truncated-select", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT"}', "query", "end of statement"),
+    ("query-truncated-where", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT A1 WHERE"}', "query", "end of statement"),
+    ("query-nan-literal", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT A1 WHERE A1 > NaN"}', "query", "not comparable"),
+    ("query-unknown-attribute", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT A9"}', "query", "unknown attribute"),
+    ("query-lone-surrogate", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT \\ud800A1"}', "query", "unexpected character"),
+    ("query-replacement-char", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT \\ufffdA1"}', "query", "unexpected character"),
+    ("query-oversized", '{"v": 1, "cmd": "query", "session": "s", "q": "'
+     + "SELECT A1 WHERE A1 > 0 " * 1000 + '"}', "query", "character limit"),
+    ("query-foreign-statement", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "DROP TABLE s"}', "query", "must start with"),
+    ("query-multi-statement", '{"v": 1, "cmd": "query", "session": "s", '
+     '"q": "SELECT A1; SELECT A2;"}', "query", "one at a time"),
 ]
 
 

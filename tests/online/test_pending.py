@@ -1,0 +1,122 @@
+"""The pending side-store: incomplete appends, promotion, persistence.
+
+Incomplete tuples appended with ``allow_incomplete=True`` park beside the
+store — invisible to model learning and neighbour search — until
+``promote_pending`` imputes them (one batch, identical to calling
+``impute_batch`` on them) and appends the result.  Snapshots carry the
+side-store, so a crash between append and promotion loses nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import load_dataset
+from repro.exceptions import DataError
+from repro.online import OnlineImputationEngine
+
+PARAMS = dict(k=4, learning="adaptive", stepping=5, max_learning_neighbors=20)
+
+
+@pytest.fixture(scope="module")
+def values():
+    return load_dataset("asf", size=140).raw
+
+
+def _engine_with_pending(values, n_store=100, n_pending=8, seed=3):
+    rng = np.random.default_rng(seed)
+    engine = OnlineImputationEngine(**PARAMS)
+    engine.append(values[:n_store])
+    pending = values[n_store : n_store + n_pending].copy()
+    holes = rng.integers(0, pending.shape[1], size=n_pending)
+    pending[np.arange(n_pending), holes] = np.nan
+    engine.append(pending, allow_incomplete=True)
+    return engine, pending
+
+
+def test_incomplete_appends_are_rejected_by_default(values):
+    engine = OnlineImputationEngine(**PARAMS)
+    engine.append(values[:50])
+    row = values[50].copy()
+    row[0] = np.nan
+    with pytest.raises(DataError, match="complete tuples only"):
+        engine.append(row[None, :])
+    assert engine.n_tuples == 50 and engine.n_pending == 0
+
+
+def test_incomplete_appends_park_in_the_side_store(values):
+    engine, pending = _engine_with_pending(values)
+    assert engine.n_tuples == 100
+    assert engine.n_pending == 8
+    # pending rows never feed the store relation unless asked for
+    assert engine.store_relation().raw.shape[0] == 100
+    stacked = engine.store_relation(include_pending=True).raw
+    assert stacked.shape[0] == 108
+    np.testing.assert_array_equal(np.asarray(stacked)[100:], pending)
+
+
+def test_mixed_batches_split_between_store_and_pending(values):
+    engine = OnlineImputationEngine(**PARAMS)
+    engine.append(values[:60])
+    batch = values[60:66].copy()
+    batch[1, 2] = np.nan
+    batch[4, 0] = np.nan
+    engine.append(batch, allow_incomplete=True)
+    assert engine.n_tuples == 64  # the 4 complete rows took the normal path
+    assert engine.n_pending == 2
+
+
+def test_promotion_matches_impute_batch_then_append(values):
+    engine_a, pending = _engine_with_pending(values)
+    engine_b, _ = _engine_with_pending(values)
+    expected = engine_b.impute_batch(pending)
+    promoted = engine_a.promote_pending()
+    assert promoted == 8
+    assert engine_a.n_pending == 0 and engine_a.n_tuples == 108
+    np.testing.assert_array_equal(
+        np.asarray(engine_a.store_relation().raw)[100:], expected
+    )
+    # promoting again is a no-op
+    assert engine_a.promote_pending() == 0
+
+
+def test_pending_rows_do_not_shift_imputation_results(values):
+    """Side-store tuples never act as neighbours or training data."""
+    clean = OnlineImputationEngine(**PARAMS)
+    clean.append(values[:100])
+    engine, _ = _engine_with_pending(values)
+    queries = values[120:130].copy()
+    queries[:, 1] = np.nan
+    np.testing.assert_array_equal(
+        engine.impute_batch(queries), clean.impute_batch(queries)
+    )
+
+
+def test_snapshot_roundtrip_carries_the_pending_store(values, tmp_path):
+    engine, pending = _engine_with_pending(values)
+    queries = values[120:130].copy()
+    queries[:, 0] = np.nan
+    before = engine.impute_batch(queries)
+
+    path = tmp_path / "snapshot"
+    engine.snapshot(path)
+    restored = OnlineImputationEngine.load(path)
+    assert restored.n_tuples == 100 and restored.n_pending == 8
+    np.testing.assert_array_equal(
+        np.asarray(restored.store_relation(include_pending=True).raw)[100:],
+        pending,
+    )
+    np.testing.assert_array_equal(restored.impute_batch(queries), before)
+    # the restored side-store promotes exactly like the original
+    assert restored.promote_pending() == engine.promote_pending() == 8
+    np.testing.assert_array_equal(
+        restored.store_relation().raw, engine.store_relation().raw
+    )
+
+
+def test_snapshot_without_pending_stays_loadable(values, tmp_path):
+    engine = OnlineImputationEngine(**PARAMS)
+    engine.append(values[:60])
+    path = tmp_path / "snapshot"
+    engine.snapshot(path)
+    restored = OnlineImputationEngine.load(path)
+    assert restored.n_pending == 0 and restored.n_tuples == 60

@@ -1,0 +1,279 @@
+"""Executor: impute-on-demand equivalence, provenance, quotas, data verbs.
+
+The acceptance bar of the query layer: evaluating a SELECT that touches
+missing cells must be **bit-identical** to imputing the touched rows up
+front (one ``impute_batch`` over exactly those rows) and then running the
+same relational pipeline — across fixed and adaptive learning and every
+combiner — because both paths drive the same vectorized kernels over the
+same store.
+"""
+
+import numpy as np
+import pytest
+
+from repro import load_dataset
+from repro.exceptions import (
+    QuotaExceededError,
+    UnsupportedOperationError,
+)
+from repro.online import OnlineImputationEngine
+from repro.query import QueryResult, execute_query, execute_script
+
+PARAM_MATRIX = [
+    dict(k=4, learning="fixed", learning_neighbors=6),
+    dict(k=4, learning="adaptive", stepping=5, max_learning_neighbors=20),
+    dict(k=4, learning="adaptive", stepping=5, max_learning_neighbors=20,
+         combination="uniform"),
+    dict(k=4, learning="adaptive", stepping=5, max_learning_neighbors=20,
+         combination="distance"),
+]
+PARAM_IDS = ["fixed-voting", "adaptive-voting", "adaptive-uniform",
+             "adaptive-distance"]
+
+
+@pytest.fixture(scope="module")
+def values():
+    return load_dataset("sn", size=160).raw
+
+
+def _build_engine(values, params, n_store=120, n_pending=12, seed=7):
+    """An engine with a complete store plus incomplete pending tuples."""
+    rng = np.random.default_rng(seed)
+    engine = OnlineImputationEngine(**params)
+    engine.append(values[:n_store])
+    pending = values[n_store : n_store + n_pending].copy()
+    holes = rng.integers(0, pending.shape[1], size=n_pending)
+    pending[np.arange(n_pending), holes] = np.nan
+    engine.append(pending, allow_incomplete=True)
+    assert engine.n_pending == n_pending
+    return engine
+
+
+def _pre_imputed_matrix(engine, referenced):
+    """The oracle: impute touched rows up front, then hand back the block."""
+    matrix = np.array(
+        engine.store_relation(include_pending=True).raw, dtype=float
+    )
+    mask = np.isnan(matrix)
+    touched = np.flatnonzero(mask[:, referenced].any(axis=1))
+    if touched.size:
+        matrix[touched] = engine.impute_batch(matrix[touched])
+    return matrix, touched
+
+
+@pytest.mark.parametrize("params", PARAM_MATRIX, ids=PARAM_IDS)
+def test_on_demand_select_is_bit_identical_to_pre_imputing(values, params):
+    engine = _build_engine(values, params)
+    schema = engine.schema
+    statement = (
+        f"SELECT {schema.attributes[0]}, {schema.attributes[1]} "
+        f"WHERE {schema.attributes[1]} > 0 "
+        f"ORDER BY {schema.attributes[0]} DESC LIMIT 50;"
+    )
+    result = execute_query(engine, statement)
+
+    referenced = np.array([0, 1], dtype=int)
+    matrix, touched = _pre_imputed_matrix(engine, referenced)
+    keep = np.flatnonzero(matrix[:, 1] > 0)
+    order = keep[np.argsort(-matrix[keep, 0], kind="stable")][:50]
+    expected = matrix[np.ix_(order, referenced)]
+
+    assert result.rows_imputed == touched.size > 0
+    np.testing.assert_array_equal(result.rows, expected)
+    assert result.row_indices == [int(i) for i in order]
+
+
+@pytest.mark.parametrize("params", PARAM_MATRIX, ids=PARAM_IDS)
+def test_aggregates_match_pre_imputed_numpy(values, params):
+    engine = _build_engine(values, params)
+    a2 = engine.schema.attributes[1]
+    result = execute_query(
+        engine, f"SELECT count(*), avg({a2}), min({a2}), max({a2});"
+    )
+    matrix, _ = _pre_imputed_matrix(engine, np.array([1], dtype=int))
+    column = matrix[:, 1]
+    assert result.aggregate and result.rows.shape == (1, 4)
+    np.testing.assert_array_equal(
+        result.rows[0],
+        [column.size, column.mean(), column.min(), column.max()],
+    )
+
+
+def test_unreferenced_missing_cells_are_never_imputed(values):
+    engine = _build_engine(values, PARAM_MATRIX[0])
+    width = engine.n_attributes
+    # every pending hole was punched somewhere; query only attribute A1 and
+    # count how many pending rows are missing precisely A1
+    matrix = np.array(
+        engine.store_relation(include_pending=True).raw, dtype=float
+    )
+    missing_a1 = int(np.isnan(matrix[:, 0]).sum())
+    assert 0 < missing_a1 < engine.n_pending  # holes spread over columns
+    a1 = engine.schema.attributes[0]
+    result = execute_query(engine, f"SELECT {a1};")
+    assert result.rows_imputed == missing_a1
+    assert result.rows.shape == (matrix.shape[0], 1)
+    assert not np.isnan(result.rows).any()
+    assert width > 1  # the other columns' holes never surfaced
+
+
+def test_select_never_mutates_the_session(values):
+    engine = _build_engine(values, PARAM_MATRIX[0])
+    before = np.array(
+        engine.store_relation(include_pending=True).raw, dtype=float
+    )
+    n_pending = engine.n_pending
+    execute_query(engine, "SELECT * ORDER BY A1 LIMIT 5;")
+    after = np.array(
+        engine.store_relation(include_pending=True).raw, dtype=float
+    )
+    assert engine.n_pending == n_pending
+    np.testing.assert_array_equal(before, after)  # NaNs still NaN (== on mask)
+    assert np.isnan(after).sum() == np.isnan(before).sum()
+
+
+def test_provenance_covers_exactly_the_touched_cells(values):
+    engine = _build_engine(values, PARAM_MATRIX[1])
+    matrix = np.array(
+        engine.store_relation(include_pending=True).raw, dtype=float
+    )
+    mask = np.isnan(matrix)
+    touched = np.flatnonzero(mask[:, 0])
+    expected_cells = {
+        (int(r), int(c)) for r in touched for c in np.flatnonzero(mask[r])
+    }
+    a1 = engine.schema.attributes[0]
+    result = execute_query(engine, f"SELECT {a1};", provenance=True)
+    got_cells = {
+        (cell["row"], cell["attribute_index"]) for cell in result.provenance
+    }
+    assert got_cells == expected_cells
+    for cell in result.provenance:
+        assert cell["method"] == "IIM"
+        assert cell["attribute"] == engine.schema.attributes[
+            cell["attribute_index"]
+        ]
+        assert len(cell["neighbors"]) == cell["k"] == 4
+        assert len(cell["learning_neighbors"]) == cell["k"]
+        assert np.isclose(sum(cell["weights"]), 1.0)
+        assert 0.0 <= cell["confidence"] <= 1.0
+        assert "trace_id" in cell
+        row = cell["row"]
+        value = result.rows[result.row_indices.index(row), 0] \
+            if cell["attribute_index"] == 0 else cell["value"]
+        assert np.isfinite(value)
+
+
+def test_provenance_off_returns_no_cells(values):
+    engine = _build_engine(values, PARAM_MATRIX[0])
+    result = execute_query(engine, "SELECT A1;", provenance=False)
+    assert result.rows_imputed > 0 and result.provenance == []
+
+
+def test_impute_quota_rejects_before_any_kernel(values):
+    engine = _build_engine(values, PARAM_MATRIX[0], n_pending=8)
+    batches = engine.stats["impute_batches"]
+    with pytest.raises(QuotaExceededError, match="per-request quota"):
+        execute_query(engine, "SELECT *;", max_impute_rows=3)
+    assert engine.stats["impute_batches"] == batches
+
+
+def test_explain_reports_the_plan_without_row_payload(values):
+    engine = _build_engine(values, PARAM_MATRIX[0])
+    result = execute_query(
+        engine, "EXPLAIN SELECT A1 WHERE A2 > 0 ORDER BY A1 LIMIT 3;"
+    )
+    assert result.kind == "explain"
+    assert result.plan["kind"] == "scan"
+    assert result.plan["referenced_attributes"] == ["A1", "A2"]
+    assert result.plan["rows_scanned"] == engine.n_tuples + engine.n_pending
+    assert result.plan["rows_touched"] == result.rows_imputed
+    assert result.plan["cells_imputed"] >= result.rows_imputed
+
+
+def test_data_statements_drive_the_lifecycle(values):
+    engine = OnlineImputationEngine(**PARAM_MATRIX[0])
+    engine.append(values[:60])
+    width = values.shape[1]
+    cells = ", ".join(str(float(v)) for v in values[60, :width])
+    incomplete = ", ".join(["?"] + [str(float(v)) for v in values[61, 1:width]])
+    results = execute_script(
+        engine,
+        f"APPEND VALUES ({cells}), ({incomplete});\n"
+        "UPDATE 0 SET A1 = 0.25;\n"
+        "DELETE 1, 2;\n"
+        "SELECT count(*);\n"
+        "IMPUTE;\n"
+        "SELECT count(*);\n",
+    )
+    kinds = [getattr(r, "kind") for r in results]
+    assert kinds == ["append", "update", "delete", "select", "impute", "select"]
+    append, update, delete, before, impute, after = results
+    assert append.detail == {
+        "rows_appended": 2, "rows_incomplete": 1, "n_pending": 1,
+    }
+    assert update.detail["row"][0] == 0.25
+    assert delete.detail["rows_deleted"] == 2
+    # pending rows are visible to queries before promotion...
+    assert before.rows[0, 0] == 60.0  # 60 + 1 appended - 2 deleted + 1 pending
+    assert impute.detail == {"rows_promoted": 1, "n_pending": 0}
+    # ...and promotion moves them into the store without changing the count
+    assert after.rows[0, 0] == 60.0
+    assert engine.n_pending == 0 and engine.n_tuples == 60
+
+
+def test_update_addressing_pending_rows_is_a_typed_error(values):
+    engine = _build_engine(values, PARAM_MATRIX[0], n_store=40, n_pending=2)
+    from repro.exceptions import QueryError
+
+    with pytest.raises(QueryError, match="pending tuples cannot be updated"):
+        execute_query(engine, "UPDATE 40 SET A1 = 1.0;")
+
+
+def test_sessions_without_an_engine_are_rejected(values):
+    with pytest.raises(UnsupportedOperationError, match="imputation engine"):
+        execute_query(object(), "SELECT A1;")
+
+
+def test_query_result_types():
+    assert QueryResult.__dataclass_fields__.keys() >= {
+        "kind", "columns", "rows", "row_indices", "aggregate",
+        "rows_scanned", "rows_imputed", "provenance", "plan",
+    }
+
+
+def test_repeated_statement_text_reuses_the_parsed_ast(values):
+    """The prepared-statement cache: same text, same AST, capped size."""
+    from repro.query import executor as executor_module
+
+    engine = _build_engine(values, PARAM_MATRIX[0])
+    text = "SELECT A1 WHERE A1 > 0 LIMIT 3;"
+    with executor_module._PARSE_CACHE_LOCK:
+        executor_module._PARSE_CACHE.clear()
+    first = execute_query(engine, text, provenance=False)
+    cached = executor_module._PARSE_CACHE[text]
+    second = execute_query(engine, text, provenance=False)
+    assert executor_module._PARSE_CACHE[text] is cached
+    np.testing.assert_array_equal(first.rows, second.rows)
+    # the cache is bounded: distinct statements evict the oldest entry
+    for limit in range(executor_module._PARSE_CACHE_LIMIT + 5):
+        execute_query(engine, f"SELECT A1 LIMIT {limit};", provenance=False)
+    assert (
+        len(executor_module._PARSE_CACHE)
+        <= executor_module._PARSE_CACHE_LIMIT
+    )
+    assert text not in executor_module._PARSE_CACHE  # oldest got evicted
+
+
+def test_literal_only_predicates_evaluate_rowwise(values):
+    """A literal-vs-literal WHERE keeps or drops every row uniformly."""
+    engine = _build_engine(values, PARAM_MATRIX[0])
+    total = execute_query(engine, "SELECT count(*);", provenance=False)
+    kept = execute_query(
+        engine, "SELECT count(*) WHERE 1 < 2;", provenance=False
+    )
+    dropped = execute_query(
+        engine, "SELECT count(*) WHERE 2 < 1;", provenance=False
+    )
+    assert kept.rows[0][0] == total.rows[0][0]
+    assert dropped.rows[0][0] == 0.0

@@ -1,0 +1,254 @@
+"""Query language front end: lexer, parser and planner unit tests."""
+
+import math
+
+import pytest
+
+from repro.data.relation import Schema
+from repro.exceptions import QueryError, QuerySyntaxError
+from repro.query import (
+    MAX_QUERY_LENGTH,
+    Aggregate,
+    And,
+    AppendStatement,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    ImputeStatement,
+    Literal,
+    Not,
+    Or,
+    SelectStatement,
+    UpdateStatement,
+    parse_script,
+    parse_statement,
+    plan_query,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_are_case_insensitive_identifiers_are_not(self):
+        tokens = tokenize("select A1 WHERE a1 > 2")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [
+            ("KEYWORD", "SELECT"), ("IDENT", "A1"), ("KEYWORD", "WHERE"),
+            ("IDENT", "a1"), ("SYMBOL", ">"), ("NUMBER", "2"),
+        ]
+        assert tokens[-1].kind == "EOF"
+
+    @pytest.mark.parametrize("text", ["3", "3.5", ".5", "3.", "1e3", "2.5E-7"])
+    def test_number_forms_lex_as_one_token(self, text):
+        tokens = tokenize(text)
+        assert [t.kind for t in tokens] == ["NUMBER", "EOF"]
+        float(tokens[0].text)  # every NUMBER token is float()-able
+
+    def test_multi_character_operators_never_split(self):
+        tokens = tokenize("A1<=2 A2>=3 A3<>4 A4!=5")
+        symbols = [t.text for t in tokens if t.kind == "SYMBOL"]
+        assert symbols == ["<=", ">=", "<>", "!="]
+
+    def test_comments_and_whitespace_vanish(self):
+        tokens = tokenize("SELECT A1 -- trailing words ; SELECT\n LIMIT 2")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["SELECT", "A1", "LIMIT", "2"]
+
+    def test_offsets_point_into_the_source(self):
+        text = "SELECT  A1"
+        tokens = tokenize(text)
+        assert text[tokens[1].position :].startswith("A1")
+
+    def test_oversized_query_is_rejected_before_scanning(self):
+        with pytest.raises(QuerySyntaxError, match="character limit"):
+            tokenize("x" * (MAX_QUERY_LENGTH + 1))
+
+    @pytest.mark.parametrize("bad", ["SELECT 'A1'", 'SELECT "A1"',
+                                     "SELECT A1 @ 2", "SELECT \x00"])
+    def test_foreign_characters_are_typed_errors(self, bad):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            tokenize(bad)
+
+    def test_non_string_input_is_a_typed_error(self):
+        with pytest.raises(QuerySyntaxError, match="must be a string"):
+            tokenize(42)
+
+
+class TestParser:
+    def test_full_select_shape(self):
+        statement = parse_statement(
+            "SELECT A1, A2 WHERE A1 > 2 AND A2 <= -1.5 "
+            "ORDER BY A1 DESC, A2 LIMIT 7;"
+        )
+        assert statement == SelectStatement(
+            columns=(ColumnRef("A1"), ColumnRef("A2")),
+            where=And((
+                Comparison(ColumnRef("A1"), ">", Literal(2.0)),
+                Comparison(ColumnRef("A2"), "<=", Literal(-1.5)),
+            )),
+            order_by=statement.order_by,
+            limit=7,
+        )
+        assert [(k.attribute, k.descending) for k in statement.order_by] == [
+            ("A1", True), ("A2", False),
+        ]
+
+    def test_star_and_aggregates(self):
+        assert parse_statement("SELECT *").columns is None
+        statement = parse_statement("SELECT count(*), avg(A2), min(A1), max(A1)")
+        assert statement.columns == (
+            Aggregate("count", None), Aggregate("avg", "A2"),
+            Aggregate("min", "A1"), Aggregate("max", "A1"),
+        )
+
+    def test_only_count_takes_star(self):
+        with pytest.raises(QuerySyntaxError, match="only COUNT"):
+            parse_statement("SELECT avg(*)")
+
+    def test_boolean_precedence_not_over_and_over_or(self):
+        statement = parse_statement(
+            "SELECT A1 WHERE NOT A1 = 1 AND A2 > 2 OR A3 < 3"
+        )
+        where = statement.where
+        assert isinstance(where, Or)
+        assert isinstance(where.items[0], And)
+        assert isinstance(where.items[0].items[0], Not)
+        grouped = parse_statement(
+            "SELECT A1 WHERE A1 = 1 AND (A2 > 2 OR A3 < 3)"
+        ).where
+        assert isinstance(grouped, And) and isinstance(grouped.items[1], Or)
+
+    def test_signed_and_scientific_literals_fold(self):
+        where = parse_statement("SELECT A1 WHERE A1 > -2.5e-1").where
+        assert where.right == Literal(-0.25)
+        assert parse_statement("SELECT A1 WHERE A1 < +3").where.right == Literal(3.0)
+
+    def test_explain_wraps_a_select(self):
+        assert parse_statement("EXPLAIN SELECT A1").explain is True
+        with pytest.raises(QuerySyntaxError, match="SELECT after EXPLAIN"):
+            parse_statement("EXPLAIN APPEND (1.0)")
+
+    def test_append_rows_with_missing_markers(self):
+        statement = parse_statement("APPEND VALUES (1, ?, 3), (null, 2, NAN);")
+        assert isinstance(statement, AppendStatement)
+        assert statement.rows[0][0] == 1.0
+        assert math.isnan(statement.rows[0][1])
+        assert math.isnan(statement.rows[1][0])
+        assert math.isnan(statement.rows[1][2])
+        # VALUES is optional
+        assert parse_statement("APPEND (1, 2)").rows == ((1.0, 2.0),)
+
+    def test_append_ragged_rows_are_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="equal width"):
+            parse_statement("APPEND (1, 2), (3)")
+
+    def test_update_delete_impute(self):
+        update = parse_statement("UPDATE 3 SET A1 = 1.5, A2 = -2")
+        assert update == UpdateStatement(3, (("A1", 1.5), ("A2", -2.0)))
+        assert parse_statement("DELETE 0, 2, 5") == DeleteStatement((0, 2, 5))
+        assert parse_statement("IMPUTE;") == ImputeStatement()
+
+    def test_missing_markers_outside_append_are_syntax_errors(self):
+        for bad, match in [
+            ("SELECT A1 WHERE A1 > ?", "not comparable"),
+            ("SELECT A1 WHERE A1 = NaN", "not comparable"),
+            ("UPDATE 0 SET A1 = ?", "complete numbers"),
+            ("UPDATE 0 SET A1 = null", "complete numbers"),
+        ]:
+            with pytest.raises(QuerySyntaxError, match=match):
+                parse_statement(bad)
+
+    def test_script_tolerates_comments_and_stray_semicolons(self):
+        statements = parse_script(
+            ";; -- a header comment\nSELECT A1;;\n-- between\nIMPUTE;\n"
+        )
+        assert [type(s).__name__ for s in statements] == [
+            "SelectStatement", "ImputeStatement",
+        ]
+
+    def test_parse_statement_wants_exactly_one(self):
+        with pytest.raises(QuerySyntaxError, match="empty query"):
+            parse_statement("  -- nothing\n")
+        with pytest.raises(QuerySyntaxError, match="one at a time"):
+            parse_statement("SELECT A1; SELECT A2;")
+
+    def test_unknown_leading_word_lists_the_statements(self):
+        with pytest.raises(QuerySyntaxError, match="must start with"):
+            parse_statement("DROP TABLE x")
+
+    def test_errors_carry_offsets(self):
+        with pytest.raises(QuerySyntaxError, match="at offset"):
+            parse_statement("SELECT A1 WHERE A1 >")
+
+    def test_negative_limit_is_rejected(self):
+        # the sign lexes as a symbol, so the count itself is reported missing
+        with pytest.raises(QuerySyntaxError, match="LIMIT count"):
+            parse_statement("SELECT A1 LIMIT -1")
+        with pytest.raises(QuerySyntaxError, match="integer"):
+            parse_statement("SELECT A1 LIMIT 1.5")
+
+    def test_statements_render_back_to_canonical_text(self):
+        for text in [
+            "SELECT A1, A2 WHERE (A1 > 2 AND A2 <= 3) ORDER BY A1 DESC LIMIT 5;",
+            "APPEND (1, ?, 3.5);",
+            "UPDATE 2 SET A1 = 1.5;",
+            "DELETE 0, 1;",
+            "IMPUTE;",
+        ]:
+            statement = parse_statement(text)
+            assert parse_statement(str(statement)) == statement
+
+
+class TestPlanner:
+    schema = Schema(["A1", "A2", "A3"])
+
+    def _plan(self, text):
+        return plan_query(parse_statement(text), self.schema)
+
+    def test_projection_and_referenced_set(self):
+        plan = self._plan("SELECT A2 WHERE A3 > 1 ORDER BY A1")
+        assert plan.projection == (1,)
+        assert plan.referenced == (0, 1, 2)
+        assert plan.output_names == ("A2",)
+        assert not plan.is_aggregate
+
+    def test_unreferenced_attributes_stay_out(self):
+        plan = self._plan("SELECT A1")
+        assert plan.referenced == (0,)
+
+    def test_star_references_everything(self):
+        plan = self._plan("SELECT *")
+        assert plan.projection == (0, 1, 2)
+        assert plan.referenced == (0, 1, 2)
+
+    def test_count_star_references_nothing(self):
+        plan = self._plan("SELECT count(*)")
+        assert plan.is_aggregate and plan.referenced == ()
+
+    def test_aggregate_resolution(self):
+        plan = self._plan("SELECT count(*), avg(A2)")
+        assert plan.aggregates == (("count", None), ("avg", 1))
+        assert plan.output_names == ("count(*)", "avg(A2)")
+
+    def test_unknown_attribute_names_the_schema(self):
+        with pytest.raises(QueryError, match=r"unknown attribute 'A9'.*A1"):
+            self._plan("SELECT A9")
+
+    def test_mixed_select_list_is_rejected(self):
+        with pytest.raises(QueryError, match="cannot mix"):
+            self._plan("SELECT A1, count(*)")
+
+    def test_order_by_on_aggregates_is_rejected(self):
+        with pytest.raises(QueryError, match="ORDER BY does not apply"):
+            self._plan("SELECT count(*) ORDER BY A1")
+
+    def test_describe_is_the_explain_payload(self):
+        described = self._plan(
+            "SELECT A1 WHERE A2 > 2 ORDER BY A3 DESC LIMIT 4"
+        ).describe()
+        assert described["kind"] == "scan"
+        assert described["columns"] == ["A1"]
+        assert described["filter"] == "A2 > 2"
+        assert described["order_by"] == ["A3 DESC"]
+        assert described["limit"] == 4
+        assert described["referenced_attributes"] == ["A1", "A2", "A3"]
+        assert "imputed in one batch" in described["on_demand_imputation"]

@@ -1,0 +1,260 @@
+"""Property tests: random queries == a naive full-materialize reference.
+
+One seeded engine (complete store + incomplete pending tuples over the
+six-attribute ASF table), many hypothesis-generated SELECTs.  The oracle
+is deliberately naive: impute **every** incomplete row up front, then
+filter/sort/limit in plain Python (``sorted`` for stability, per-row
+predicate evaluation) — the executor's impute-only-what-the-query-touches
+fast path must be indistinguishable from it.  A second property pins the
+provenance contract: the reported cells are exactly the missing cells of
+the touched rows, no more, no fewer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import load_dataset
+from repro.online import OnlineImputationEngine
+from repro.query import (
+    Aggregate,
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    OrderKey,
+    SelectStatement,
+    execute_query,
+    parse_statement,
+)
+
+N_STORE, N_PENDING = 90, 14
+
+
+@pytest.fixture(scope="module")
+def engine():
+    values = load_dataset("asf", size=N_STORE + N_PENDING).raw
+    rng = np.random.default_rng(11)
+    built = OnlineImputationEngine(
+        k=3, learning="adaptive", stepping=4, max_learning_neighbors=15
+    )
+    built.append(values[:N_STORE])
+    pending = values[N_STORE:].copy()
+    for r in range(N_PENDING):  # 1-2 holes per pending row
+        cols = rng.choice(pending.shape[1], size=1 + (r % 2), replace=False)
+        pending[r, cols] = np.nan
+    built.append(pending, allow_incomplete=True)
+    return built
+
+
+@pytest.fixture(scope="module")
+def oracle(engine):
+    """(raw matrix with NaNs, fully-materialized matrix)."""
+    raw = np.array(engine.store_relation(include_pending=True).raw, dtype=float)
+    full = raw.copy()
+    incomplete = np.flatnonzero(np.isnan(raw).any(axis=1))
+    full[incomplete] = engine.impute_batch(raw[incomplete])
+    return raw, full
+
+
+NAMES = [f"A{i + 1}" for i in range(6)]
+_COLUMNS = st.sampled_from(NAMES)
+# thresholds inside the data's rough range so selectivity varies
+_LITERALS = st.floats(min_value=-2.0, max_value=60.0, allow_nan=False)
+_OPS = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+def _comparisons():
+    operand = st.one_of(
+        _COLUMNS.map(ColumnRef), _LITERALS.map(lambda v: Literal(float(v)))
+    )
+    return st.builds(Comparison, _COLUMNS.map(ColumnRef), _OPS, operand)
+
+
+def _filters():
+    return st.recursive(
+        _comparisons(),
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda p: And(p)),
+            st.tuples(inner, inner).map(lambda p: Or(p)),
+            inner.map(Not),
+        ),
+        max_leaves=4,
+    )
+
+
+_PLAIN_SELECTS = st.builds(
+    SelectStatement,
+    columns=st.one_of(
+        st.none(),
+        st.lists(_COLUMNS, min_size=1, max_size=4, unique=True).map(
+            lambda names: tuple(ColumnRef(n) for n in names)
+        ),
+    ),
+    where=st.one_of(st.none(), _filters()),
+    order_by=st.lists(_COLUMNS, min_size=0, max_size=2, unique=True).flatmap(
+        lambda names: st.tuples(
+            *[st.booleans().map(lambda d, n=n: OrderKey(n, d)) for n in names]
+        )
+    ),
+    limit=st.one_of(st.none(), st.integers(0, N_STORE + N_PENDING + 5)),
+)
+
+_AGG_SELECTS = st.builds(
+    SelectStatement,
+    columns=st.lists(
+        st.one_of(
+            st.just(Aggregate("count", None)),
+            st.builds(
+                Aggregate, st.sampled_from(["avg", "min", "max"]), _COLUMNS
+            ),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(tuple),
+    where=st.one_of(st.none(), _filters()),
+)
+
+
+# ------------------------------------------------------------------ #
+# The naive reference
+# ------------------------------------------------------------------ #
+_PY_OPS = {
+    "=": lambda a, b: a == b, "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+}
+
+
+def _value(operand, row):
+    if isinstance(operand, ColumnRef):
+        return row[NAMES.index(operand.name)]
+    return float(operand.value)
+
+
+def _holds(expr, row):
+    if isinstance(expr, Comparison):
+        return _PY_OPS[expr.op](_value(expr.left, row), _value(expr.right, row))
+    if isinstance(expr, And):
+        return all(_holds(item, row) for item in expr.items)
+    if isinstance(expr, Or):
+        return any(_holds(item, row) for item in expr.items)
+    return not _holds(expr.item, row)
+
+
+def _naive(statement, full):
+    rows = [i for i in range(full.shape[0])
+            if statement.where is None or _holds(statement.where, full[i])]
+    if statement.columns and isinstance(statement.columns[0], Aggregate):
+        out = []
+        for agg in statement.columns:
+            if agg.func == "count":
+                out.append(float(len(rows)))
+                continue
+            column = full[rows, NAMES.index(agg.attribute)]
+            if column.size == 0:
+                out.append(float("nan"))
+            elif agg.func == "avg":
+                out.append(float(column.mean()))
+            elif agg.func == "min":
+                out.append(float(column.min()))
+            else:
+                out.append(float(column.max()))
+        return np.array([out]), []
+    for key in reversed(statement.order_by):
+        index = NAMES.index(key.attribute)
+        rows = sorted(rows, key=lambda i: full[i, index],
+                      reverse=key.descending)
+    if statement.limit is not None:
+        rows = rows[: statement.limit]
+    projection = (
+        list(range(len(NAMES)))
+        if statement.columns is None
+        else [NAMES.index(c.name) for c in statement.columns]
+    )
+    return full[np.ix_(rows, projection)] if rows else np.empty(
+        (0, len(projection))
+    ), rows
+
+
+def _referenced(statement):
+    names = set()
+
+    def walk(expr):
+        if isinstance(expr, Comparison):
+            for operand in (expr.left, expr.right):
+                if isinstance(operand, ColumnRef):
+                    names.add(operand.name)
+        elif isinstance(expr, (And, Or)):
+            for item in expr.items:
+                walk(item)
+        elif isinstance(expr, Not):
+            walk(expr.item)
+
+    if statement.columns is None:
+        names.update(NAMES)
+    else:
+        for column in statement.columns:
+            if isinstance(column, ColumnRef):
+                names.add(column.name)
+            elif column.attribute is not None:
+                names.add(column.attribute)
+    if statement.where is not None:
+        walk(statement.where)
+    names.update(key.attribute for key in statement.order_by)
+    return {NAMES.index(name) for name in names}
+
+
+@settings(max_examples=60, deadline=None)
+@given(statement=st.one_of(_PLAIN_SELECTS, _AGG_SELECTS))
+def test_executor_matches_naive_full_materialization(engine, oracle, statement):
+    raw, full = oracle
+    result = execute_query(engine, statement)
+    expected_rows, expected_indices = _naive(statement, full)
+    np.testing.assert_array_equal(result.rows, expected_rows)
+    if not result.aggregate:
+        assert result.row_indices == expected_indices
+    # the fast path scans everything but imputes only what it must
+    assert result.rows_scanned == raw.shape[0]
+    referenced = sorted(_referenced(statement))
+    touched = (
+        np.flatnonzero(np.isnan(raw)[:, referenced].any(axis=1))
+        if referenced
+        else np.empty(0, dtype=int)
+    )
+    assert result.rows_imputed == touched.size
+
+
+@settings(max_examples=25, deadline=None)
+@given(statement=_PLAIN_SELECTS)
+def test_provenance_is_exactly_the_missing_cells_of_touched_rows(
+    engine, oracle, statement
+):
+    raw, _ = oracle
+    mask = np.isnan(raw)
+    result = execute_query(engine, statement, provenance=True)
+    referenced = sorted(_referenced(statement))
+    touched = (
+        np.flatnonzero(mask[:, referenced].any(axis=1))
+        if referenced
+        else np.empty(0, dtype=int)
+    )
+    expected = {
+        (int(r), int(c)) for r in touched for c in np.flatnonzero(mask[r])
+    }
+    got = {(cell["row"], cell["attribute_index"]) for cell in result.provenance}
+    assert got == expected
+    for cell in result.provenance:
+        assert math.isfinite(cell["value"])
+        assert cell["method"] == "IIM"
+
+
+@settings(max_examples=25, deadline=None)
+@given(statement=st.one_of(_PLAIN_SELECTS, _AGG_SELECTS))
+def test_rendered_statements_parse_back_to_themselves(statement):
+    assert parse_statement(str(statement)) == statement

@@ -1,0 +1,180 @@
+"""The analytic generator: query steps riding a streaming base trace.
+
+Three contracts keep ``analytic_probe`` safe inside the existing scenario
+machinery:
+
+* the base streaming rounds are **byte-identical** to a plain streaming
+  spec with the same core parameters (statement generation draws from a
+  separate rng stream), so the cold-oracle verification and the digest of
+  the imputation workload stay meaningful;
+* query-step ``APPEND`` statements carry **only incomplete rows** (every
+  row has a missing marker) and never ``IMPUTE`` — they park tuples in
+  the pending side-store without ever perturbing the complete store the
+  replayer's shadow oracle tracks;
+* the replayer executes query steps through the session under test and
+  accumulates ``query_totals`` without polluting the per-round RMS report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    AppendStatement,
+    ImputeStatement,
+    SelectStatement,
+    parse_script,
+)
+from repro.scenarios import ScenarioSpec, generate_trace, get, replay
+
+CORE = {"dataset": "sn", "size": 140, "n_rounds": 3, "queries_per_round": 5}
+MODEL = {"k": 4, "learning": "fixed", "learning_neighbors": 4}
+
+ANALYTIC = ScenarioSpec(
+    name="analytic_unit",
+    generator="analytic",
+    params={**CORE, "selects_per_round": 2, "incomplete_per_round": 2,
+            "select_limit": 4},
+    model=dict(MODEL),
+    seed=21,
+)
+
+STREAMING_TWIN = ScenarioSpec(
+    name="analytic_unit_twin",
+    generator="streaming",
+    params=dict(CORE),
+    model=dict(MODEL),
+    seed=21,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(ANALYTIC)
+
+
+class TestTraceShape:
+    def test_every_round_is_followed_by_one_query_step(self, trace):
+        kinds = [step.kind for step in trace.steps]
+        for position, kind in enumerate(kinds):
+            if kind == "round":
+                assert kinds[position + 1] == "query"
+        assert kinds.count("query") == kinds.count("round") == 3
+
+    def test_statements_ride_query_steps_only(self, trace):
+        for step in trace.steps:
+            if step.kind == "query":
+                assert step.statements
+            else:
+                assert step.statements is None
+
+    def test_statements_parse_and_respect_the_safety_invariants(self, trace):
+        for step in trace.steps:
+            if step.kind != "query":
+                continue
+            statements = parse_script("\n".join(step.statements))
+            assert statements, step.statements
+            for statement in statements:
+                assert not isinstance(statement, ImputeStatement), (
+                    "IMPUTE would promote tuples the shadow store never sees"
+                )
+                if isinstance(statement, AppendStatement):
+                    rows = np.array(statement.rows, dtype=float)
+                    assert np.isnan(rows).any(axis=1).all(), (
+                        "complete rows would enter the store and desync "
+                        "the cold oracle"
+                    )
+            # every query step ends in queries over the live relation
+            selects = [s for s in statements
+                       if isinstance(s, SelectStatement)]
+            assert len(selects) >= 3  # 2 selects + the aggregate probe
+
+    def test_base_rounds_are_byte_identical_to_plain_streaming(self, trace):
+        twin = generate_trace(STREAMING_TWIN)
+        base_steps = [s for s in trace.steps if s.kind != "query"]
+        assert len(base_steps) == len(twin.steps)
+        for ours, theirs in zip(base_steps, twin.steps):
+            assert ours.kind == theirs.kind
+            for attribute in ("queries", "truth", "batch", "updates"):
+                mine = getattr(ours, attribute, None)
+                other = getattr(theirs, attribute, None)
+                if mine is None or other is None:
+                    assert mine is other or (mine is None) == (other is None)
+                else:
+                    np.testing.assert_array_equal(mine, other)
+
+    def test_digest_is_deterministic(self):
+        assert (
+            generate_trace(ANALYTIC).digest()
+            == generate_trace(ANALYTIC).digest()
+        )
+
+
+class TestReplay:
+    def test_engine_replay_verifies_and_accumulates_query_totals(self):
+        report = replay(ANALYTIC, transport="engine", isolate_obs=True)
+        assert report.verified is True
+        totals = report.query_totals
+        assert totals["statements"] == sum(
+            len(step.statements)
+            for step in generate_trace(ANALYTIC).steps
+            if step.kind == "query"
+        )
+        assert totals["rows_imputed"] > 0
+        assert totals["rows_scanned"] >= totals["result_rows"]
+        assert report.phase_summaries["scenario.query"]["count"] >= 1
+        # query steps never contribute RMS rounds
+        assert report.n_rounds == 3
+        assert np.isfinite(report.max_abs_diff)
+        payload = report.as_dict()
+        assert payload["query_totals"] == totals
+
+    def test_multi_tenant_composition_carries_the_query_steps(self):
+        spec = ScenarioSpec(
+            name="analytic_mix_unit",
+            generator="multi_tenant",
+            params={"tenants": [
+                {"name": "t-steady", "scenario": "steady_stream",
+                 "overrides": {"size": 140, "n_rounds": 2,
+                               "queries_per_round": 4}},
+                {"name": "t-analytic", "scenario": "analytic_probe",
+                 "overrides": {"size": 140, "n_rounds": 2,
+                               "queries_per_round": 4}},
+            ]},
+            seed=33,
+        )
+        trace = generate_trace(spec)
+        query_steps = [s for s in trace.steps if s.kind == "query"]
+        assert len(query_steps) == 2  # one per analytic round, none dropped
+        assert all(s.session == "t-analytic" for s in query_steps)
+        report = replay(spec, transport="serve", isolate_obs=True)
+        assert report.verified is True
+        assert report.query_totals["statements"] == sum(
+            len(s.statements) for s in query_steps
+        )
+
+    def test_builtin_analytic_probe_is_registered_and_pinned(self):
+        spec = get("analytic_probe")
+        assert spec.generator == "analytic"
+        from repro.scenarios import golden_digest
+
+        assert golden_digest("analytic_probe") is not None
+
+
+class TestSpecValidation:
+    def test_analytic_extras_are_schema_checked(self):
+        with pytest.raises(Exception, match="selects_per_round"):
+            ScenarioSpec(
+                name="bad",
+                generator="analytic",
+                params={**CORE, "selects_per_round": 0},
+                model=dict(MODEL),
+            )
+
+    def test_streaming_rejects_analytic_extras(self):
+        with pytest.raises(Exception, match="selects_per_round"):
+            ScenarioSpec(
+                name="bad",
+                generator="streaming",
+                params={**CORE, "selects_per_round": 2},
+                model=dict(MODEL),
+            )
